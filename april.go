@@ -1,0 +1,357 @@
+// Package april is a reproduction of "APRIL: A Processor Architecture
+// for Multiprocessing" (Agarwal, Lim, Kranz, Kubiatowicz — ISCA 1990):
+// an instruction-level simulator for the APRIL coarse-grain
+// multithreaded processor and the ALEWIFE machine around it, a compiler
+// for Mul-T mini (the paper's parallel Scheme subset with futures), the
+// run-time system with eager and lazy task creation, and the Section 8
+// analytical performance model.
+//
+// Quick start:
+//
+//	res, err := april.Run(`
+//	    (define (fib n)
+//	      (if (< n 2) n (+ (future (fib (- n 1))) (future (fib (- n 2))))))
+//	    (fib 15)`,
+//	    april.Options{Processors: 4})
+//	fmt.Println(res.Value, res.Cycles)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced tables and figures.
+package april
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"april/internal/abi"
+	"april/internal/bench"
+	"april/internal/core"
+	"april/internal/isa"
+	"april/internal/model"
+	"april/internal/mult"
+	"april/internal/rts"
+	"april/internal/sim"
+	"april/internal/workload"
+)
+
+// MachineType selects the simulated machine (Table 3's three systems).
+type MachineType string
+
+const (
+	// APRIL is the SPARC-based APRIL: 4 task frames, 11-cycle context
+	// switch, hardware future detection.
+	APRIL MachineType = "april"
+	// APRILCustom is the custom implementation sketched in Section 6.1
+	// with a 4-cycle context switch.
+	APRILCustom MachineType = "april-custom"
+	// Encore is the Encore Multimax baseline: a conventional processor
+	// with software future detection and heavyweight tasks.
+	Encore MachineType = "encore"
+)
+
+func (mt MachineType) profile() (rts.Profile, error) {
+	switch mt {
+	case "", APRIL:
+		return rts.APRIL, nil
+	case APRILCustom:
+		return rts.APRILCustom, nil
+	case Encore:
+		return rts.Encore, nil
+	}
+	return rts.Profile{}, fmt.Errorf("april: unknown machine type %q", mt)
+}
+
+// AlewifeOptions enables the full memory system (caches + directory
+// coherence + k-ary n-cube network) instead of the default
+// zero-latency shared memory.
+type AlewifeOptions = sim.AlewifeConfig
+
+// Options configures a run.
+type Options struct {
+	// Processors is the machine size (default 1).
+	Processors int
+	// Machine selects the cost profile and future-detection style.
+	Machine MachineType
+	// LazyFutures compiles (future X) to lazy task creation markers
+	// instead of eager tasks (Section 3.2).
+	LazyFutures bool
+	// Sequential strips futures: the paper's "T seq" configuration.
+	Sequential bool
+	// Alewife, when non-nil, simulates the full memory system.
+	Alewife *AlewifeOptions
+	// Output receives the program's (print ...) output.
+	Output io.Writer
+	// MemoryBytes sizes simulated memory; MaxCycles bounds the run.
+	MemoryBytes uint32
+	MaxCycles   uint64
+}
+
+func (o Options) mode() mult.Mode {
+	return mult.Mode{
+		HardwareFutures: o.Machine != Encore,
+		LazyFutures:     o.LazyFutures,
+		Sequential:      o.Sequential,
+	}
+}
+
+func (o Options) build() (*sim.Machine, *isa.Program, error) {
+	prof, err := o.Machine.profile()
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := sim.New(sim.Config{
+		Nodes:       max(1, o.Processors),
+		Profile:     prof,
+		Lazy:        o.LazyFutures,
+		MemoryBytes: o.MemoryBytes,
+		MaxCycles:   o.MaxCycles,
+		Out:         o.Output,
+		Alewife:     o.Alewife,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, nil, nil
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Value is the printed form of the program's final value.
+	Value string
+	// Cycles is the simulated execution time.
+	Cycles uint64
+	// Instructions retired across all processors.
+	Instructions uint64
+	// Utilization is useful cycles / total cycles across processors.
+	Utilization float64
+	// ContextSwitches across all processors.
+	ContextSwitches uint64
+	// TasksCreated counts eager tasks; Steals counts lazy continuation
+	// steals; TouchesResolved/TouchesUnresolved count future touches.
+	TasksCreated      uint64
+	Steals            uint64
+	TouchesResolved   uint64
+	TouchesUnresolved uint64
+	// CacheMissTraps counts controller-forced context switches
+	// (ALEWIFE mode).
+	CacheMissTraps uint64
+}
+
+// Run compiles and executes a Mul-T mini program.
+func Run(source string, o Options) (Result, error) {
+	m, _, err := o.build()
+	if err != nil {
+		return Result{}, err
+	}
+	prog, err := mult.Compile(source, o.mode(), m.StaticHeap())
+	if err != nil {
+		return Result{}, err
+	}
+	if err := m.Load(prog); err != nil {
+		return Result{}, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	stats := m.TotalStats()
+	var switches uint64
+	for _, n := range m.Nodes {
+		switches += n.Proc.Engine.Switches
+	}
+	s := m.Sched.Stats
+	return Result{
+		Value:             res.Formatted,
+		Cycles:            res.Cycles,
+		Instructions:      stats.Instructions,
+		Utilization:       stats.Utilization(),
+		ContextSwitches:   switches,
+		TasksCreated:      s.TasksCreated,
+		Steals:            s.Steals,
+		TouchesResolved:   s.TouchesResolved,
+		TouchesUnresolved: s.TouchesUnresolved,
+		CacheMissTraps:    stats.Traps[core.TrapCacheMiss],
+	}, nil
+}
+
+// Interpret evaluates a program with the sequential reference
+// interpreter (the compiler's differential-testing oracle).
+func Interpret(source string, output io.Writer) (string, error) {
+	v, err := mult.NewInterp(output, 0).RunSource(source)
+	if err != nil {
+		return "", err
+	}
+	return mult.FormatValue(v), nil
+}
+
+// RunAssembly assembles and executes a raw APRIL assembly program (the
+// syntax Disassemble emits). The program's main thread starts at the
+// entry point (".entry label" or the "=>" marker) with its return
+// address pointing at the __main_exit stub; stubs are appended
+// automatically if the source does not define them, so a program can
+// simply return through r5 or end with "trap 1" (main exit, value in
+// r8).
+func RunAssembly(source string, o Options) (Result, error) {
+	m, _, err := o.build()
+	if err != nil {
+		return Result{}, err
+	}
+	prog, err := isa.Assemble(source)
+	if err != nil {
+		return Result{}, err
+	}
+	appendStub := func(name string, service int) {
+		if _, ok := prog.Symbols[name]; ok {
+			return
+		}
+		prog.Symbols[name] = uint32(len(prog.Code))
+		prog.Code = append(prog.Code, isa.Trap(abi.TrapImm(service, 0, 0)), isa.Halt)
+	}
+	appendStub(abi.SymTaskExit, abi.SvcTaskExit)
+	appendStub(abi.SymMainExit, abi.SvcMainExit)
+	if err := m.Load(prog); err != nil {
+		return Result{}, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	stats := m.TotalStats()
+	return Result{
+		Value:        res.Formatted,
+		Cycles:       res.Cycles,
+		Instructions: stats.Instructions,
+		Utilization:  stats.Utilization(),
+	}, nil
+}
+
+// Assemble parses APRIL assembly into a loadable program (exposed for
+// tools; see internal/isa for the syntax).
+func Assemble(source string) (*isa.Program, error) { return isa.Assemble(source) }
+
+// Disassemble compiles a program and returns the assembly listing.
+func Disassemble(source string, o Options) (string, error) {
+	m, _, err := o.build()
+	if err != nil {
+		return "", err
+	}
+	prog, err := mult.Compile(source, o.mode(), m.StaticHeap())
+	if err != nil {
+		return "", err
+	}
+	return prog.Disassemble(), nil
+}
+
+// --- Analytical model (Section 8) ---
+
+// ModelParams are the Table 4 system parameters.
+type ModelParams = model.Params
+
+// ModelPoint is the model solution at one thread count.
+type ModelPoint = model.Breakdown
+
+// Figure5Point carries the Figure 5 component curves at one p.
+type Figure5Point = model.Figure5Point
+
+// DefaultModelParams returns Table 4's defaults (8000 processors, 3-D
+// network of radix 20, 10-cycle context... see model.Default).
+func DefaultModelParams() ModelParams { return model.Default() }
+
+// Utilization solves the model for p resident threads.
+func Utilization(params ModelParams, threads float64) ModelPoint {
+	return params.Utilization(threads)
+}
+
+// Figure5 computes the component curves of Figure 5.
+func Figure5(params ModelParams, maxThreads int) []Figure5Point {
+	return params.Figure5(maxThreads)
+}
+
+// FormatFigure5 renders Figure 5 curves as a table.
+func FormatFigure5(points []Figure5Point) string { return model.FormatFigure5(points) }
+
+// SweepSwitchCost computes U(p) curves for several context-switch
+// costs (the Section 6.1 design ablation).
+func SweepSwitchCost(params ModelParams, costs []float64, maxThreads int) map[float64][]ModelPoint {
+	return model.SweepSwitchCost(params, costs, maxThreads)
+}
+
+// --- Experiment harnesses ---
+
+// Table3Row is one row of the reproduced Table 3.
+type Table3Row = bench.Row
+
+// Table3Config drives the Table 3 harness.
+type Table3Config = bench.Table3Config
+
+// Table3Sizes selects benchmark workload sizes.
+type Table3Sizes = bench.Sizes
+
+// DefaultTable3Config mirrors the paper's Table 3 configuration.
+func DefaultTable3Config() Table3Config { return bench.DefaultTable3Config() }
+
+// Table3 regenerates Table 3 (execution times of fib, factor, queens
+// and speech across Encore / APRIL / APRIL-lazy, normalized to
+// sequential T).
+func Table3(cfg Table3Config) ([]Table3Row, error) { return bench.Table3(cfg) }
+
+// FormatTable3 renders rows in the paper's layout.
+func FormatTable3(rows []Table3Row, procs []int) string { return bench.FormatTable(rows, procs) }
+
+// FramesSweepConfig drives the task-frame ablation (experiment E9):
+// utilization versus hardware task frames on the full memory system.
+type FramesSweepConfig = bench.FramesSweepConfig
+
+// FramesPoint is one measured frames-sweep point.
+type FramesPoint = bench.FramesPoint
+
+// DefaultFramesSweep is the standard E9 configuration.
+func DefaultFramesSweep() FramesSweepConfig { return bench.DefaultFramesSweep() }
+
+// FramesSweep measures utilization against the number of task frames.
+func FramesSweep(cfg FramesSweepConfig) ([]FramesPoint, error) { return bench.FramesSweep(cfg) }
+
+// FormatFramesSweep renders a frames sweep.
+func FormatFramesSweep(points []FramesPoint) string { return bench.FormatFramesSweep(points) }
+
+// BenchmarkSource returns the Mul-T source of a paper benchmark
+// ("fib", "factor", "queens", "speech").
+func BenchmarkSource(name string, sizes Table3Sizes) string { return sizes.Source(name) }
+
+// PaperSizes and TestSizes are the standard workload scales.
+var (
+	PaperSizes = bench.PaperSizes
+	TestSizes  = bench.TestSizes
+)
+
+// ValidationConfig drives the model-validation workload (E6).
+type ValidationConfig = workload.Config
+
+// ValidationPoint is one measured sweep point.
+type ValidationPoint = workload.Measurement
+
+// DefaultValidationConfig returns the E6 default machine.
+func DefaultValidationConfig() ValidationConfig { return workload.DefaultConfig() }
+
+// ValidateModel sweeps resident threads on the full ALEWIFE simulator,
+// measuring m(p), T(p) and U(p) (experiment E6).
+func ValidateModel(cfg ValidationConfig, maxThreads int) ([]ValidationPoint, error) {
+	return workload.Sweep(cfg, maxThreads)
+}
+
+// LinearFit returns the least-squares a+b·x fit with its R² (used to
+// check the model's linear-in-p assumptions against measurements).
+func LinearFit(xs, ys []float64) (a, b, r2 float64) { return workload.LinearFit(xs, ys) }
+
+// Version describes this reproduction.
+const Version = "1.0.0"
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var _ = strings.TrimSpace // reserved for future formatting helpers

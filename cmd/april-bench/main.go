@@ -1,0 +1,62 @@
+// Command april-bench regenerates Table 3 of the paper: normalized
+// execution times of fib, factor, queens and speech on the Encore
+// Multimax baseline and on APRIL with normal and lazy task creation,
+// at 1-16 processors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"april"
+)
+
+func main() {
+	var (
+		sizes   = flag.String("sizes", "paper", "workload scale: paper | test")
+		verbose = flag.Bool("v", false, "log each measurement as it completes")
+		frames  = flag.Bool("frames", false, "run the task-frame ablation (E9) instead of Table 3")
+	)
+	flag.Parse()
+
+	if *frames {
+		pts, err := april.FramesSweep(april.DefaultFramesSweep())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "april-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("E9: utilization vs hardware task frames (fib on the full ALEWIFE memory system)")
+		fmt.Println()
+		fmt.Print(april.FormatFramesSweep(pts))
+		return
+	}
+
+	cfg := april.DefaultTable3Config()
+	switch *sizes {
+	case "paper":
+		cfg.Sizes = april.PaperSizes
+	case "test":
+		cfg.Sizes = april.TestSizes
+	default:
+		fmt.Fprintf(os.Stderr, "april-bench: unknown -sizes %q\n", *sizes)
+		os.Exit(2)
+	}
+	var log io.Writer
+	if *verbose {
+		log = os.Stderr
+	}
+	cfg.Verbose = log
+
+	rows, err := april.Table3(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "april-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Table 3: Execution time for Mul-T benchmarks, normalized to sequential T")
+	fmt.Println("(paper reference: fib 28.9/14.2/1.5 at 1p for Encore/APRIL/Apr-lazy;")
+	fmt.Println(" Mul-T seq overhead ~1.4-2.0x on Encore, ~1.0 on APRIL)")
+	fmt.Println()
+	fmt.Print(april.FormatTable3(rows, cfg.AprilProcs))
+}

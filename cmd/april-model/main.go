@@ -1,0 +1,125 @@
+// Command april-model evaluates the Section 8 analytical model of
+// multithreaded processor utilization and its validation experiments:
+//
+//	april-model -fig5      # Figure 5 component curves
+//	april-model -headline  # the paper's headline numbers
+//	april-model -sweepC    # utilization vs context switch cost (§6.1)
+//	april-model -validate  # measure m(p), T(p), U(p) on the simulator (E6)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"april"
+)
+
+func main() {
+	var (
+		fig5     = flag.Bool("fig5", false, "print the Figure 5 component curves")
+		headline = flag.Bool("headline", false, "print the Section 8 headline numbers")
+		sweepC   = flag.Bool("sweepC", false, "sweep the context switch cost (Section 6.1 ablation)")
+		validate = flag.Bool("validate", false, "validate the model's m(p)/T(p) assumptions by simulation (E6)")
+		maxP     = flag.Int("p", 8, "maximum resident threads")
+
+		switchCost = flag.Float64("C", 10, "context switch overhead in cycles")
+		fixedMiss  = flag.Float64("miss", 0.02, "fixed miss rate per cycle")
+		cacheKB    = flag.Int("cache", 64, "cache size in KB")
+		dim        = flag.Int("dim", 3, "network dimension n")
+		radix      = flag.Int("radix", 20, "network radix k")
+	)
+	flag.Parse()
+
+	params := april.DefaultModelParams()
+	params.SwitchCost = *switchCost
+	params.FixedMiss = *fixedMiss
+	params.CacheBytes = *cacheKB << 10
+	params.Dim = *dim
+	params.Radix = *radix
+
+	ran := false
+	if *headline || (!*fig5 && !*sweepC && !*validate) {
+		ran = true
+		printHeadline(params)
+	}
+	if *fig5 {
+		ran = true
+		fmt.Printf("\nFigure 5: processor utilization components (C=%.0f, %d nodes, base latency %.0f)\n\n",
+			params.SwitchCost, params.Nodes(), params.BaseLatency())
+		fmt.Print(april.FormatFigure5(april.Figure5(params, *maxP)))
+	}
+	if *sweepC {
+		ran = true
+		printSweepC(params, *maxP)
+	}
+	if *validate {
+		ran = true
+		if err := printValidation(); err != nil {
+			fmt.Fprintln(os.Stderr, "april-model:", err)
+			os.Exit(1)
+		}
+	}
+	_ = ran
+}
+
+func printHeadline(params april.ModelParams) {
+	fmt.Printf("System: %d processors (%d-ary %d-cube), %d KB caches, C=%.0f cycles\n",
+		params.Nodes(), params.Radix, params.Dim, params.CacheBytes>>10, params.SwitchCost)
+	fmt.Printf("Average unloaded round-trip network latency: %.0f cycles (paper: 55)\n\n", params.BaseLatency())
+	for _, p := range []float64{1, 2, 3, 4, 6, 8} {
+		b := april.Utilization(params, p)
+		sat := ""
+		if b.Saturated {
+			sat = " (saturated)"
+		}
+		fmt.Printf("p=%1.0f  U=%.3f  m=%.4f/cycle  T=%.1f cycles  channel load %.2f%s\n",
+			p, b.Utilization, b.MissRate, b.Latency, b.ChannelLoad, sat)
+	}
+	u3 := april.Utilization(params, 3).Utilization
+	fmt.Printf("\nHeadline: U(3) = %.1f%%  — paper: \"close to 80%% processor utilization\n"+
+		"with as few as three resident threads per processor\".\n", 100*u3)
+}
+
+func printSweepC(params april.ModelParams, maxP int) {
+	costs := []float64{1, 4, 10, 16, 64}
+	curves := april.SweepSwitchCost(params, costs, maxP)
+	fmt.Printf("\nUtilization vs context switch cost (SPARC APRIL: C=11; custom: C=4)\n\n   p")
+	for _, c := range costs {
+		fmt.Printf("   C=%-4.0f", c)
+	}
+	fmt.Println()
+	for i := 0; i < maxP; i++ {
+		fmt.Printf("%4d", i+1)
+		for _, c := range costs {
+			fmt.Printf("   %.3f ", curves[c][i].Utilization)
+		}
+		fmt.Println()
+	}
+}
+
+func printValidation() error {
+	cfg := april.DefaultValidationConfig()
+	fmt.Printf("\nE6: measured m(p), T(p), U(p) on the cache+directory+network simulator\n")
+	fmt.Printf("(%d nodes, %d KB caches, %d-block working sets)\n\n",
+		cfg.Nodes, cfg.CacheBytes>>10, cfg.WorkingSetBlocks)
+	points, err := april.ValidateModel(cfg, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%2s  %8s  %10s  %8s\n", "p", "U(p)", "m(p)/cyc", "T(p)")
+	var ps, ms, ts []float64
+	for _, pt := range points {
+		fmt.Printf("%2d  %8.3f  %10.5f  %8.1f\n", pt.ThreadsPerNode, pt.Utilization, pt.MissPerCycle, pt.RemoteLatency)
+		ps = append(ps, float64(pt.ThreadsPerNode))
+		ms = append(ms, pt.MissPerCycle)
+		ts = append(ts, pt.RemoteLatency)
+	}
+	a, b, r2 := april.LinearFit(ps, ms)
+	fmt.Printf("\nm(p) ~ %.5f + %.5f*p   (R^2 = %.3f)\n", a, b, r2)
+	a, b, r2 = april.LinearFit(ps, ts)
+	fmt.Printf("T(p) ~ %.2f + %.2f*p     (R^2 = %.3f)\n", a, b, r2)
+	fmt.Println("\nPaper: both terms are \"the sum of two components: one component")
+	fmt.Println("independent of the number of threads p and the other linearly related to p\".")
+	return nil
+}

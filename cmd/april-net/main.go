@@ -1,0 +1,74 @@
+// Command april-net runs standalone network experiments (E8): average
+// packet latency versus offered load on the k-ary n-cube under uniform
+// random traffic — the latency behavior T(p) that the Section 8 model
+// summarizes, and the bandwidth ceiling behind the paper's ~0.80
+// utilization plateau.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"april/internal/network"
+)
+
+func main() {
+	var (
+		dim    = flag.Int("dim", 3, "network dimension n")
+		radix  = flag.Int("radix", 4, "network radix k")
+		size   = flag.Int("packet", 4, "packet size in flits (Table 4: 4)")
+		cycles = flag.Int("cycles", 20000, "cycles per measurement")
+		seed   = flag.Int64("seed", 1, "traffic seed")
+	)
+	flag.Parse()
+
+	geo := network.Geometry{Dim: *dim, Radix: *radix}
+	fmt.Printf("E8: %d-ary %d-cube (%d nodes), %d-flit packets, uniform random traffic\n",
+		geo.Radix, geo.Dim, geo.Nodes(), *size)
+	fmt.Printf("%12s  %12s  %12s\n", "offered", "avg latency", "max latency")
+	fmt.Printf("%12s  %12s  %12s\n", "(msgs/node/cyc)", "(cycles)", "(cycles)")
+
+	for _, load := range []float64{0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35} {
+		avg, maxLat, err := measure(geo, *size, load, *cycles, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "april-net:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%12.3f  %12.1f  %12d\n", load, avg, maxLat)
+	}
+	fmt.Println("\nLatency rises sharply near saturation — \"when available network")
+	fmt.Println("bandwidth is used up, adding more processes will not improve")
+	fmt.Println("processor utilization\" (Section 8).")
+}
+
+func measure(geo network.Geometry, size int, load float64, cycles int, seed int64) (float64, uint64, error) {
+	tor, err := network.NewTorus(geo)
+	if err != nil {
+		return 0, 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := geo.Nodes()
+	for c := 0; c < cycles; c++ {
+		for node := 0; node < n; node++ {
+			if rng.Float64() < load {
+				dst := rng.Intn(n)
+				tor.Send(&network.Message{Src: node, Dst: dst, Size: size})
+			}
+		}
+		tor.Tick()
+		for node := 0; node < n; node++ {
+			tor.Deliveries(node)
+		}
+	}
+	// Drain in-flight packets so the average includes queued ones.
+	for i := 0; i < 200000 && tor.InFlight() > 0; i++ {
+		tor.Tick()
+		for node := 0; node < n; node++ {
+			tor.Deliveries(node)
+		}
+	}
+	s := tor.Stats()
+	return s.AvgLatency(), s.MaxLatency, nil
+}

@@ -1,0 +1,114 @@
+// Command april compiles and runs a Mul-T mini program on a simulated
+// APRIL/ALEWIFE machine.
+//
+//	april [flags] program.mt        # or - for stdin
+//
+// Examples:
+//
+//	april -n 8 examples/progs/fib.mt
+//	april -n 16 -lazy -machine april-custom prog.mt
+//	april -n 8 -alewife -stats prog.mt
+//	april -interp prog.mt           # reference interpreter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"april"
+)
+
+func main() {
+	var (
+		nProcs  = flag.Int("n", 1, "number of processors")
+		machine = flag.String("machine", "april", "machine profile: april | april-custom | encore")
+		lazy    = flag.Bool("lazy", false, "lazy task creation (instead of eager futures)")
+		seq     = flag.Bool("seq", false, "strip futures (sequential 'T seq' compilation)")
+		alewife = flag.Bool("alewife", false, "simulate the full memory system (caches + directory + network)")
+		stats   = flag.Bool("stats", false, "print execution statistics")
+		interp  = flag.Bool("interp", false, "run the reference interpreter instead of the simulator")
+		dis     = flag.Bool("S", false, "print the compiled assembly listing and exit")
+		asm     = flag.Bool("asm", false, "treat the input as raw APRIL assembly instead of Mul-T")
+		cycles  = flag.Uint64("max-cycles", 0, "simulation cycle budget (0 = default)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: april [flags] program.mt   (use - for stdin)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := readSource(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *interp {
+		v, err := april.Interpret(src, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=> %s\n", v)
+		return
+	}
+
+	opts := april.Options{
+		Processors:  *nProcs,
+		Machine:     april.MachineType(*machine),
+		LazyFutures: *lazy,
+		Sequential:  *seq,
+		Output:      os.Stdout,
+		MaxCycles:   *cycles,
+	}
+	if *alewife {
+		opts.Alewife = &april.AlewifeOptions{}
+	}
+
+	if *dis {
+		listing, err := april.Disassemble(src, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(listing)
+		return
+	}
+
+	var res april.Result
+	if *asm {
+		res, err = april.RunAssembly(src, opts)
+	} else {
+		res, err = april.Run(src, opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("=> %s\n", res.Value)
+	if *stats {
+		fmt.Printf("cycles:            %d\n", res.Cycles)
+		fmt.Printf("instructions:      %d\n", res.Instructions)
+		fmt.Printf("utilization:       %.3f\n", res.Utilization)
+		fmt.Printf("context switches:  %d\n", res.ContextSwitches)
+		fmt.Printf("tasks created:     %d\n", res.TasksCreated)
+		fmt.Printf("lazy steals:       %d\n", res.Steals)
+		fmt.Printf("touches resolved:  %d (unresolved: %d)\n", res.TouchesResolved, res.TouchesUnresolved)
+		if opts.Alewife != nil {
+			fmt.Printf("cache-miss traps:  %d\n", res.CacheMissTraps)
+		}
+	}
+}
+
+func readSource(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "april:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Fine-grain synchronization (Section 3.3): a producer/consumer
+// pipeline communicating through an I-structure — a vector whose slots
+// carry full/empty bits. The consumer's vector-ref-sync compiles to a
+// trapping load (ldtw) that switch-spins until the producer's
+// vector-set-sync! (stftw) fills the slot: word-level synchronization
+// with no locks and no busy-wait loops in the program text.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"april"
+)
+
+const program = `
+(define n 64)
+(define stage1 (make-ivector n))  ; I-structure: all slots start empty
+(define stage2 (make-ivector n))
+
+; Stage 1: produce squares.
+(define (produce i)
+  (if (= i n)
+      'done
+      (begin
+        (vector-set-sync! stage1 i (* i i))
+        (produce (+ i 1)))))
+
+; Stage 2: read stage 1 as soon as each slot fills, add 1, pass on.
+(define (transform i)
+  (if (= i n)
+      'done
+      (begin
+        (vector-set-sync! stage2 i (+ 1 (vector-ref-sync stage1 i)))
+        (transform (+ i 1)))))
+
+; Stage 3: consume and sum.
+(define (consume i acc)
+  (if (= i n)
+      acc
+      (consume (+ i 1) (+ acc (vector-ref-sync stage2 i)))))
+
+; All three stages run concurrently; the full/empty bits sequence them
+; element by element.
+(define f1 (future (produce 0)))
+(define f2 (future (transform 0)))
+(define total (consume 0 0))
+(touch f1)
+(touch f2)
+(print total)
+total
+`
+
+func main() {
+	res, err := april.Run(program, april.Options{
+		Processors: 3,
+		Machine:    april.APRIL,
+		Output:     os.Stdout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// sum_{i<64} (i^2 + 1) = 85344 + 64
+	fmt.Printf("\npipeline sum = %s (expected 85408)\n", res.Value)
+	fmt.Printf("cycles: %d, context switches: %d\n", res.Cycles, res.ContextSwitches)
+	fmt.Println("\nEvery element-level handoff synchronized by a full/empty bit —")
+	fmt.Println("no barriers, no locks (Section 3.3 of the paper).")
+}

@@ -1,0 +1,71 @@
+// Multimodel support mechanisms (Section 3.4): the out-of-band LDIO /
+// STIO instructions drive the per-node DMA engine for block transfers
+// — the primitive the paper proposes for a message-passing
+// computational model on top of APRIL. The program below is raw APRIL
+// assembly: it builds an array, block-transfers it to a remote buffer,
+// polls the transfer status register, and sums the copy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"april"
+)
+
+const program = `
+; Registers: r9 src base, r10 dst base, r11 loop index (raw bytes),
+;            r12 scratch, r8 result.
+.entry main
+main:
+        movi r9, 0x300000         ; source buffer
+        movi r10, 0x340000        ; destination "message" buffer
+        movi r11, 0               ; byte offset
+
+fill:   subcc r0, r11, 64         ; 16 words
+        bge transfer
+        srl r12, r11, 2           ; i = off/4
+        sll r12, r12, 2           ; value = fixnum(i) = i<<2
+        sll r12, r12, 1           ;         ... times 2 -> fixnum(2i)
+        stnt [r9+r11], r12
+        rawadd r11, r11, 4
+        ba fill
+
+transfer:
+        stio [r0+32], r9          ; IOBTSrc
+        stio [r0+36], r10         ; IOBTDst
+        movi r12, 64
+        stio [r0+40], r12         ; IOBTLen
+        stio [r0+44], r0          ; IOBTGo
+
+poll:   ldio r12, [r0+48]         ; IOBTStatus: fixnum 1 while busy
+        subcc r0, r12, 4          ; fixnum(1)
+        be poll                   ; spin until the DMA engine is idle
+
+        ; Sum the received message: r8 = sum of fixnums at dst.
+        movi r8, 0
+        movi r11, 0
+sum:    subcc r0, r11, 64
+        bge done
+        ldnt r12, [r10+r11]
+        add r8, r8, r12
+        rawadd r11, r11, 4
+        ba sum
+
+done:   jmpl r0, r5+0             ; return r8 through main-exit
+`
+
+func main() {
+	res, err := april.RunAssembly(program, april.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// sum of 2i for i in 0..15 = 240
+	fmt.Printf("message sum = %s (expected 240)\n", res.Value)
+	fmt.Printf("cycles: %d (DMA runs concurrently; the poll loop observes\n", res.Cycles)
+	fmt.Println("the engine's modeled 2-cycles-per-word duration)")
+	fmt.Println()
+	fmt.Println("Block transfers plus interprocessor interrupts (IOIPITarget /")
+	fmt.Println("IOIPISend) form the paper's primitive for message passing on a")
+	fmt.Println("shared-memory machine.")
+}

@@ -1,0 +1,7 @@
+; The paper's fib benchmark: futures around both recursive calls.
+(define (fib n)
+  (if (< n 2)
+      n
+      (+ (future (fib (- n 1))) (future (fib (- n 2))))))
+(print (fib 18))
+(fib 18)

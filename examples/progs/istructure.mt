@@ -1,0 +1,12 @@
+; Producer/consumer through full/empty bits (Section 3.3).
+(define cells (make-ivector 16))
+(define (produce i)
+  (if (= i 16) 'done
+      (begin (vector-set-sync! cells i (* i 3)) (produce (+ i 1)))))
+(define producer (future (produce 0)))
+(define (consume i acc)
+  (if (= i 16) acc (consume (+ i 1) (+ acc (vector-ref-sync cells i)))))
+(define total (consume 0 0))
+(touch producer)
+(print total)
+total

@@ -1,0 +1,11 @@
+; Raw APRIL assembly: sum the fixnums 1..100 and return the result
+; through the main-exit convention (value in r8).
+; Run with: april -asm examples/progs/sum.s
+.entry main
+main:   movi r9, 400         ; i = fixnum 100  (100 << 2)
+        movi r10, 0          ; sum = fixnum 0
+loop:   add r10, r10, r9
+        subcc r9, r9, 4      ; i--
+        bg loop
+        add r8, r10, r0      ; result convention: r8
+        jmpl r0, r5+0        ; return to __main_exit

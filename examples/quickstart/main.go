@@ -1,0 +1,54 @@
+// Quickstart: compile a Mul-T program with futures and run it on a
+// 4-processor APRIL machine, then compare against the sequential
+// compilation — the core of what the paper's architecture buys.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"april"
+)
+
+const program = `
+; Doubly-recursive Fibonacci with a future around each recursive call
+; (the paper's fib benchmark).
+(define (fib n)
+  (if (< n 2)
+      n
+      (+ (future (fib (- n 1))) (future (fib (- n 2))))))
+(print (fib 15))
+(fib 15)
+`
+
+func main() {
+	// Parallel run: 4 processors, lazy task creation.
+	par, err := april.Run(program, april.Options{
+		Processors:  4,
+		Machine:     april.APRIL,
+		LazyFutures: true,
+		Output:      os.Stdout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sequential baseline ("T seq"): futures stripped, one processor.
+	seq, err := april.Run(program, april.Options{
+		Processors: 1,
+		Machine:    april.APRIL,
+		Sequential: true,
+		Output:     os.Stdout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nresult:             %s\n", par.Value)
+	fmt.Printf("sequential cycles:  %d\n", seq.Cycles)
+	fmt.Printf("4-processor cycles: %d (lazy task creation)\n", par.Cycles)
+	fmt.Printf("speedup:            %.2fx\n", float64(seq.Cycles)/float64(par.Cycles))
+	fmt.Printf("continuations stolen: %d, context switches: %d\n",
+		par.Steals, par.ContextSwitches)
+}

@@ -1,0 +1,3 @@
+module april
+
+go 1.22

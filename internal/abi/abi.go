@@ -1,0 +1,147 @@
+// Package abi pins down the software contract between the Mul-T
+// compiler (package mult) and the run-time system (package rts): heap
+// object layouts, the thread control block, the lazy-task-creation
+// marker deque, the procedure calling convention, and the software trap
+// (syscall) services. Everything here is convention layered over the
+// APRIL hardware — the paper's systems-level design keeps the processor
+// simple by migrating this machinery into software.
+package abi
+
+// Heap object kinds. Cons cells carry their own pointer tag and have no
+// header; every "other"-tagged heap object starts with a header word
+//
+//	header = length<<3 | kind
+//
+// where length counts elements (vector), captured values (closure), or
+// bytes (string/symbol).
+const (
+	KindVector  = 1
+	KindClosure = 2
+	KindString  = 3
+	KindSymbol  = 4
+	KindCell    = 5 // single mutable box (captured set! variables)
+)
+
+// HeaderKindMask extracts the kind from a header word.
+const HeaderKindMask = 7
+
+// HeaderShift is the length field's shift.
+const HeaderShift = 3
+
+// Object layout offsets in bytes.
+const (
+	// Cons: two words, no header.
+	ConsCarOff = 0
+	ConsCdrOff = 4
+	ConsBytes  = 8
+
+	// Vector: header, then elements.
+	VecHeaderOff = 0
+	VecElemOff   = 4
+
+	// Closure: header, code entry (fixnum instruction index), captured
+	// values.
+	ClosHeaderOff = 0
+	ClosEntryOff  = 4
+	ClosCapOff    = 8
+
+	// Cell: header, value.
+	CellValueOff = 4
+
+	// String/symbol: header, then bytes packed 4 per word.
+	StrBytesOff = 4
+
+	// Future object (future-tagged, no header): the value slot's
+	// full/empty bit is the resolution flag — "the future is resolved
+	// if the full/empty bit of the future's value slot is set to full"
+	// (Section 6.2). The aux slot holds the eager thunk before the
+	// task runs (for debugging) or the stealing marker's address.
+	FutValueOff = 0
+	FutAuxOff   = 4
+	FutBytes    = 8
+)
+
+// Thread control block (TCB), reached through the RTP register. The
+// lazy task creation marker deque lives directly after the fixed
+// fields. Marker entries are two words: the resume PC (a fixnum) and
+// the parent's stack pointer; a thief overwrites the resume-PC slot
+// with the future it created (future tag distinguishes the two).
+const (
+	TCBLockOff  = 0  // deque lock word (full = unlocked; F/E-bit lock)
+	TCBTopOff   = 4  // raw byte address one past the newest marker
+	TCBBotOff   = 8  // raw byte address of the oldest unstolen marker
+	TCBIDOff    = 12 // thread id as fixnum (debugging)
+	TCBDequeOff = 16 // first marker entry
+
+	// A marker records the continuation resume point, the parent frame
+	// (sp == fp at the marker), and the address of the per-site status
+	// slot in that frame. A thief stamps the future it created into the
+	// status slot, so ANY thread later reaching the matching pop — the
+	// original victim, or a continuation thread that inherited the pop
+	// of an ancestor marker — finds the future to resolve there.
+	MarkerBytes     = 16
+	MarkerPCOff     = 0
+	MarkerSPOff     = 4
+	MarkerStatusOff = 8
+
+	// DequeCapacity bounds the number of simultaneously outstanding
+	// lazy markers per thread (the maximum future-nesting depth).
+	DequeCapacity = 1024
+
+	TCBBytes = TCBDequeOff + DequeCapacity*MarkerBytes
+)
+
+// Stack frame layout. The stack grows down; RSP holds the raw byte
+// address of the frame base (lowest address). Callee prologue pushes
+// the frame and sets RFP = RSP.
+const (
+	FrameSavedFPOff   = 0
+	FrameSavedLinkOff = 4
+	FrameSavedClosOff = 8
+	FrameLocalsOff    = 12
+
+	// StackBytes is the stack allotted to each thread.
+	StackBytes = 64 << 10
+)
+
+// Syscall service numbers for the TRAP instruction. The trap immediate
+// packs the service in its low byte plus an optional register number
+// and object size: imm = service | reg<<8 | size<<16.
+const (
+	SvcMainExit    = 1  // value in RArg0; terminates the program
+	SvcTaskExit    = 2  // value in RArg0; resolves this thread's future and exits
+	SvcFutureNew   = 3  // eager futures: thunk closure in RArg0 -> future in RArg0
+	SvcStolen      = 4  // lazy slow path: marker slot addr in RArg0, value in RArg1
+	SvcPrint       = 6  // print the value in RArg0
+	SvcError       = 7  // fatal program error; code in imm's reg field
+	SvcYield       = 8  // voluntary reschedule point
+	SvcTouchReg    = 9  // software future touch: resolve the future in reg
+	SvcMakeVector  = 10 // n (fixnum) in RArg0, fill in RArg1 -> vector in RArg0
+	SvcAllocRefill = 11 // inline bump allocation overflowed: give the
+	// thread a fresh arena chunk; reg <- object base, g0/g1 updated
+)
+
+// TrapImm packs a trap immediate.
+func TrapImm(service, reg, size int) int32 {
+	return int32(service | reg<<8 | size<<16)
+}
+
+// TrapService, TrapReg and TrapSize unpack a trap immediate.
+func TrapService(imm int32) int { return int(imm) & 0xff }
+func TrapReg(imm int32) int     { return int(imm) >> 8 & 0xff }
+func TrapSize(imm int32) int    { return int(uint32(imm) >> 16) }
+
+// Program stub symbols the compiler defines and the runtime relies on.
+const (
+	SymTaskExit = "__task_exit" // return point of eager task thunks
+	SymMainExit = "__main_exit" // return point of the main procedure
+)
+
+// Runtime error codes for SvcError.
+const (
+	ErrCarOfNonPair = 1
+	ErrIndexRange   = 2
+	ErrNotProcedure = 3
+	ErrDequeFull    = 4
+	ErrArity        = 5
+)

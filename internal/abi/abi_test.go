@@ -1,0 +1,53 @@
+package abi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTrapImmRoundTrip(t *testing.T) {
+	f := func(svc, reg uint8, size uint16) bool {
+		imm := TrapImm(int(svc), int(reg), int(size))
+		return TrapService(imm) == int(svc) &&
+			TrapReg(imm) == int(reg) &&
+			TrapSize(imm) == int(size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutConstantsConsistent(t *testing.T) {
+	if TCBBytes != TCBDequeOff+DequeCapacity*MarkerBytes {
+		t.Error("TCB size inconsistent with deque capacity")
+	}
+	if MarkerBytes%8 != 0 {
+		t.Error("markers must stay 8-aligned for pointer tagging")
+	}
+	if FrameLocalsOff != 12 {
+		t.Error("frame header is savedFP/savedLink/savedClos = 12 bytes")
+	}
+	if StackBytes%8 != 0 {
+		t.Error("stacks must be 8-aligned")
+	}
+	// Future objects: value slot first (its F/E bit is the resolution
+	// flag, Section 6.2).
+	if FutValueOff != 0 {
+		t.Error("future value slot must be at offset 0")
+	}
+}
+
+func TestServiceNumbersDistinct(t *testing.T) {
+	svcs := []int{SvcMainExit, SvcTaskExit, SvcFutureNew, SvcStolen,
+		SvcPrint, SvcError, SvcYield, SvcTouchReg, SvcMakeVector, SvcAllocRefill}
+	seen := map[int]bool{}
+	for _, s := range svcs {
+		if s <= 0 || s > 0xff {
+			t.Errorf("service %d outside the low byte", s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate service number %d", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"april/internal/core"
+	"april/internal/mult"
+	"april/internal/rts"
+	"april/internal/sim"
+)
+
+// FramesSweep measures the central claim of the architecture on a real
+// workload: processor utilization as a function of the number of
+// hardware task frames (resident threads), running a future-parallel
+// program on the full ALEWIFE memory system where remote misses force
+// context switches. It is the empirical, end-to-end counterpart of the
+// Figure 5 model curves (experiment E9 in EXPERIMENTS.md).
+type FramesPoint struct {
+	Frames      int
+	Cycles      uint64
+	Utilization float64 // useful cycles / total busy+idle cycles
+	Switches    uint64
+	MissTraps   uint64
+}
+
+// FramesSweepConfig drives the sweep.
+type FramesSweepConfig struct {
+	Nodes  int
+	Frames []int
+	FibN   int
+	Lazy   bool
+}
+
+// DefaultFramesSweep runs fib on an 8-node machine at 1-8 frames.
+func DefaultFramesSweep() FramesSweepConfig {
+	return FramesSweepConfig{
+		Nodes:  8,
+		Frames: []int{1, 2, 3, 4, 6, 8},
+		FibN:   15,
+		Lazy:   false,
+	}
+}
+
+// FramesSweep runs the sweep.
+func FramesSweep(cfg FramesSweepConfig) ([]FramesPoint, error) {
+	src := FibSource(cfg.FibN)
+	var out []FramesPoint
+	var want string
+	for _, frames := range cfg.Frames {
+		prof := rts.APRIL
+		prof.Frames = frames
+		m, err := sim.New(sim.Config{
+			Nodes:   cfg.Nodes,
+			Profile: prof,
+			Lazy:    cfg.Lazy,
+			Alewife: &sim.AlewifeConfig{},
+		})
+		if err != nil {
+			return nil, err
+		}
+		mode := mult.Mode{HardwareFutures: true, LazyFutures: cfg.Lazy}
+		prog, err := mult.Compile(src, mode, m.StaticHeap())
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Load(prog); err != nil {
+			return nil, err
+		}
+		res, err := m.Run()
+		if err != nil {
+			return nil, fmt.Errorf("frames=%d: %w", frames, err)
+		}
+		if want == "" {
+			want = res.Formatted
+		} else if res.Formatted != want {
+			return nil, fmt.Errorf("frames=%d: result %s != %s", frames, res.Formatted, want)
+		}
+		stats := m.TotalStats()
+		var switches uint64
+		for _, n := range m.Nodes {
+			switches += n.Proc.Engine.Switches
+		}
+		out = append(out, FramesPoint{
+			Frames:      frames,
+			Cycles:      res.Cycles,
+			Utilization: stats.Utilization(),
+			Switches:    switches,
+			MissTraps:   stats.Traps[core.TrapCacheMiss],
+		})
+	}
+	return out, nil
+}
+
+// FormatFramesSweep renders the sweep.
+func FormatFramesSweep(points []FramesPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%7s  %12s  %12s  %10s  %10s\n",
+		"frames", "cycles", "utilization", "switches", "miss-traps")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%7d  %12d  %12.3f  %10d  %10d\n",
+			p.Frames, p.Cycles, p.Utilization, p.Switches, p.MissTraps)
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+// TestFramesSweepShape is experiment E9 at test scale: on the full
+// memory system, utilization and run time improve as task frames are
+// added, with diminishing returns — the architecture's core claim.
+func TestFramesSweepShape(t *testing.T) {
+	cfg := FramesSweepConfig{
+		Nodes:  4,
+		Frames: []int{1, 2, 4},
+		FibN:   12,
+	}
+	pts, err := FramesSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	if pts[1].Cycles >= pts[0].Cycles {
+		t.Errorf("2 frames (%d cycles) should beat 1 frame (%d)", pts[1].Cycles, pts[0].Cycles)
+	}
+	if pts[1].Utilization <= pts[0].Utilization {
+		t.Errorf("utilization did not improve with a second frame: %.3f -> %.3f",
+			pts[0].Utilization, pts[1].Utilization)
+	}
+	// Diminishing returns: the 2->4 gain is smaller than the 1->2 gain.
+	g12 := pts[1].Utilization - pts[0].Utilization
+	g24 := pts[2].Utilization - pts[1].Utilization
+	if g24 > g12 {
+		t.Errorf("marginal benefit grew: +%.3f then +%.3f", g12, g24)
+	}
+	if s := FormatFramesSweep(pts); len(s) == 0 {
+		t.Error("empty rendering")
+	}
+}

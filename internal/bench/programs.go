@@ -1,0 +1,145 @@
+// Package bench contains the paper's benchmark programs (Section 7)
+// written in Mul-T mini, and the harnesses that regenerate the
+// evaluation artifacts: Table 3 (execution time of fib, factor, queens
+// and speech on the Encore Multimax and on APRIL with normal and lazy
+// task creation) and the supporting overhead measurements.
+package bench
+
+import "fmt"
+
+// FibSource is the ubiquitous doubly recursive Fibonacci program with
+// futures around each of its recursive calls.
+func FibSource(n int) string {
+	return fmt.Sprintf(`
+(define (fib n)
+  (if (< n 2)
+      n
+      (+ (future (fib (- n 1))) (future (fib (- n 2))))))
+(fib %d)
+`, n)
+}
+
+// FactorSource finds the largest prime factor of each number in a
+// range of numbers and sums them up, with a future per number.
+func FactorSource(lo, hi int) string {
+	return fmt.Sprintf(`
+(define (largest-prime-factor n)
+  (let loop ((n n) (f 2) (best 1))
+    (cond ((> (* f f) n) (max best n))
+          ((= (remainder n f) 0) (loop (quotient n f) f (max best f)))
+          (else (loop n (+ f 1) best)))))
+(define (sum-factors lo hi)
+  (cond ((>= lo hi) 0)
+        ((= (+ lo 1) hi) (largest-prime-factor lo))
+        (else
+         (let ((mid (quotient (+ lo hi) 2)))
+           (+ (future (sum-factors lo mid)) (sum-factors mid hi))))))
+(sum-factors %d %d)
+`, lo, hi)
+}
+
+// QueensSource counts all solutions to the n-queens problem, spawning
+// a future per safe placement.
+func QueensSource(n int) string {
+	return fmt.Sprintf(`
+(define board-size %d)
+(define (safe? row dist placed)
+  (cond ((null? placed) #t)
+        ((= (car placed) row) #f)
+        ((= (abs (- (car placed) row)) dist) #f)
+        (else (safe? row (+ dist 1) (cdr placed)))))
+(define (try-row placed len row)
+  (cond ((> row board-size) 0)
+        ((safe? row 1 placed)
+         (+ (future (extend (cons row placed) (+ len 1)))
+            (try-row placed len (+ row 1))))
+        (else (try-row placed len (+ row 1)))))
+(define (extend placed len)
+  (if (= len board-size) 1 (try-row placed len 1)))
+(extend '() 0)
+`, n)
+}
+
+// SpeechSource is the stand-in for the paper's SUMMIT benchmark: a
+// modified Viterbi best-path search over a synthetic layered lattice
+// with deterministic pseudo-random transition weights (DESIGN.md,
+// substitution 4). Each layer relaxes its nodes in parallel with one
+// future per node; the next layer touches the previous layer's scores,
+// giving the medium-grain, pipeline-parallel structure of the original
+// graph search.
+func SpeechSource(layers, width int) string {
+	return fmt.Sprintf(`
+(define nlayers %d)
+(define width %d)
+(define (weight l i j)
+  (remainder (+ (* 7919 (+ (* l width) i)) (* 10079 j)) 1000))
+(define (best-into j prev l)
+  (let loop ((i 0) (best 99999999))
+    (if (= i width)
+        best
+        (loop (+ i 1) (min best (+ (vector-ref prev i) (weight l i j)))))))
+(define (next-layer prev l)
+  (let ((cur (make-vector width 0)))
+    (let loop ((j 0))
+      (if (= j width)
+          cur
+          (begin
+            (vector-set! cur j (future (best-into j prev l)))
+            (loop (+ j 1)))))))
+(define (min-over v)
+  (let loop ((i 0) (best 99999999))
+    (if (= i width) best (loop (+ i 1) (min best (vector-ref v i))))))
+(define (run)
+  (let loop ((l 1) (prev (make-vector width 0)))
+    (if (> l nlayers)
+        (min-over prev)
+        (loop (+ l 1) (next-layer prev l)))))
+(run)
+`, layers, width)
+}
+
+// Sizes bundles the benchmark parameters.
+type Sizes struct {
+	FibN               int
+	FactorLo, FactorHi int
+	QueensN            int
+	SpeechLayers       int
+	SpeechWidth        int
+}
+
+// PaperSizes approximates the paper's workloads at a scale an
+// instruction-level simulation completes in seconds.
+var PaperSizes = Sizes{
+	FibN:     18,
+	FactorLo: 2000, FactorHi: 2150,
+	QueensN:      8,
+	SpeechLayers: 30,
+	SpeechWidth:  14,
+}
+
+// TestSizes are small variants for unit tests.
+var TestSizes = Sizes{
+	FibN:     12,
+	FactorLo: 100, FactorHi: 130,
+	QueensN:      6,
+	SpeechLayers: 6,
+	SpeechWidth:  6,
+}
+
+// Program names in paper order.
+var Names = []string{"fib", "factor", "queens", "speech"}
+
+// Source returns the named benchmark's source at the given sizes.
+func (s Sizes) Source(name string) string {
+	switch name {
+	case "fib":
+		return FibSource(s.FibN)
+	case "factor":
+		return FactorSource(s.FactorLo, s.FactorHi)
+	case "queens":
+		return QueensSource(s.QueensN)
+	case "speech":
+		return SpeechSource(s.SpeechLayers, s.SpeechWidth)
+	}
+	panic("bench: unknown program " + name)
+}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"april/internal/mult"
+	"april/internal/rts"
+	"april/internal/sim"
+)
+
+// System identifies a Table 3 row group.
+type System string
+
+const (
+	SysEncore    System = "Encore"
+	SysAPRIL     System = "APRIL"
+	SysAPRILLazy System = "Apr-lazy"
+)
+
+// Row is one row of Table 3: normalized execution times for one
+// program on one system. Values are execution time divided by the
+// sequential T-compiled time ("T seq"), exactly as in the paper.
+type Row struct {
+	Program string
+	System  System
+	TSeq    float64         // always 1.0 (the baseline itself)
+	MulTSeq float64         // sequential code with future detection
+	Par     map[int]float64 // processors -> normalized time
+	Result  string          // program result (for cross-checking)
+	RawSeq  uint64          // T seq cycles (the normalization base)
+}
+
+// Table3Config drives the harness.
+type Table3Config struct {
+	Sizes       Sizes
+	AprilProcs  []int // paper: 1 2 4 8 16
+	EncoreProcs []int // paper measured the Multimax up to 8
+	Verbose     io.Writer
+}
+
+// DefaultTable3Config mirrors the paper's configurations.
+func DefaultTable3Config() Table3Config {
+	return Table3Config{
+		Sizes:       PaperSizes,
+		AprilProcs:  []int{1, 2, 4, 8, 16},
+		EncoreProcs: []int{1, 2, 4, 8},
+	}
+}
+
+// runOnce compiles and runs src and returns the cycle count.
+func runOnce(src string, mode mult.Mode, prof rts.Profile, lazy bool, nodes int) (uint64, string, error) {
+	m, err := sim.New(sim.Config{Nodes: nodes, Profile: prof, Lazy: lazy})
+	if err != nil {
+		return 0, "", err
+	}
+	prog, err := mult.Compile(src, mode, m.StaticHeap())
+	if err != nil {
+		return 0, "", err
+	}
+	if err := m.Load(prog); err != nil {
+		return 0, "", err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return 0, "", err
+	}
+	return res.Cycles, res.Formatted, nil
+}
+
+// systemSetup captures how each Table 3 system compiles and runs.
+type systemSetup struct {
+	sys   System
+	prof  rts.Profile
+	mode  mult.Mode // parallel-mode flags
+	lazy  bool
+	procs func(cfg *Table3Config) []int
+}
+
+func setups() []systemSetup {
+	return []systemSetup{
+		{
+			sys:   SysEncore,
+			prof:  rts.Encore,
+			mode:  mult.Mode{HardwareFutures: false},
+			lazy:  false,
+			procs: func(cfg *Table3Config) []int { return cfg.EncoreProcs },
+		},
+		{
+			sys:   SysAPRIL,
+			prof:  rts.APRIL,
+			mode:  mult.Mode{HardwareFutures: true},
+			lazy:  false,
+			procs: func(cfg *Table3Config) []int { return cfg.AprilProcs },
+		},
+		{
+			sys:   SysAPRILLazy,
+			prof:  rts.APRIL,
+			mode:  mult.Mode{HardwareFutures: true, LazyFutures: true},
+			lazy:  true,
+			procs: func(cfg *Table3Config) []int { return cfg.AprilProcs },
+		},
+	}
+}
+
+// Table3 regenerates the paper's Table 3: for each benchmark and each
+// system it measures "T seq" (sequential code, no future detection),
+// "Mul-T seq" (sequential code with the machine's future detection),
+// and the parallel runs at each processor count, all normalized to
+// T seq.
+func Table3(cfg Table3Config) ([]Row, error) {
+	var rows []Row
+	for _, name := range Names {
+		src := cfg.Sizes.Source(name)
+		for _, su := range setups() {
+			row, err := table3Row(name, src, su, &cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, su.sys, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func table3Row(name, src string, su systemSetup, cfg *Table3Config) (Row, error) {
+	log := func(format string, args ...interface{}) {
+		if cfg.Verbose != nil {
+			fmt.Fprintf(cfg.Verbose, format+"\n", args...)
+		}
+	}
+	// "T seq": the optimized sequential compilation (no futures, no
+	// detection overhead).
+	tseqMode := mult.Mode{HardwareFutures: true, Sequential: true}
+	tseq, wantResult, err := runOnce(src, tseqMode, su.prof, false, 1)
+	if err != nil {
+		return Row{}, fmt.Errorf("T seq: %w", err)
+	}
+	log("%-7s %-9s T-seq %d cycles (result %s)", name, su.sys, tseq, wantResult)
+
+	// "Mul-T seq": sequential code compiled by the Mul-T compiler for
+	// this machine — on the Encore that inserts software future checks
+	// before strict operations; on APRIL the tag hardware makes it
+	// free.
+	mulTSeqMode := mult.Mode{HardwareFutures: su.mode.HardwareFutures, Sequential: true}
+	mulTSeq, r2, err := runOnce(src, mulTSeqMode, su.prof, false, 1)
+	if err != nil {
+		return Row{}, fmt.Errorf("Mul-T seq: %w", err)
+	}
+	if r2 != wantResult {
+		return Row{}, fmt.Errorf("Mul-T seq result %s != %s", r2, wantResult)
+	}
+
+	row := Row{
+		Program: name,
+		System:  su.sys,
+		TSeq:    1.0,
+		MulTSeq: float64(mulTSeq) / float64(tseq),
+		Par:     map[int]float64{},
+		Result:  wantResult,
+		RawSeq:  tseq,
+	}
+	for _, p := range su.procs(cfg) {
+		cycles, r, err := runOnce(src, su.mode, su.prof, su.lazy, p)
+		if err != nil {
+			return Row{}, fmt.Errorf("%d procs: %w", p, err)
+		}
+		if r != wantResult {
+			return Row{}, fmt.Errorf("%d procs: result %s != %s", p, r, wantResult)
+		}
+		row.Par[p] = float64(cycles) / float64(tseq)
+		log("%-7s %-9s %2dp   %.2f (%d cycles)", name, su.sys, p, row.Par[p], cycles)
+	}
+	return row, nil
+}
+
+// FormatTable renders rows in the paper's layout.
+func FormatTable(rows []Row, procs []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-9s %6s %8s", "Program", "System", "T seq", "Mul-T")
+	for _, p := range procs {
+		fmt.Fprintf(&b, " %6d", p)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-9s %6.1f %8.2f", r.Program, r.System, r.TSeq, r.MulTSeq)
+		for _, p := range procs {
+			if v, ok := r.Par[p]; ok {
+				fmt.Fprintf(&b, " %6.2f", v)
+			} else {
+				fmt.Fprintf(&b, " %6s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

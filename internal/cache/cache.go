@@ -1,0 +1,234 @@
+// Package cache implements the per-node cache of an ALEWIFE node. The
+// simulator separates timing state from data: the cache tracks which
+// blocks are present and with what permissions (the coherence protocol
+// serializes writers, so values can live in the flat functional memory),
+// which is the same structure as the paper's cache simulator driving a
+// functional interpreter (Figure 4).
+package cache
+
+import "fmt"
+
+// State is a block's local coherence state.
+type State uint8
+
+const (
+	Invalid   State = iota
+	Shared          // read-only copy
+	Exclusive       // sole read-write copy
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	}
+	return "?"
+}
+
+// Config sizes the cache. Table 4 defaults: 64 KB, 16-byte blocks.
+type Config struct {
+	SizeBytes  uint32
+	BlockBytes uint32
+	Assoc      int
+}
+
+// DefaultConfig is the Table 4 cache.
+func DefaultConfig() Config {
+	return Config{SizeBytes: 64 << 10, BlockBytes: 16, Assoc: 4}
+}
+
+// Validate checks the geometry.
+func (c Config) Validate() error {
+	if c.BlockBytes == 0 || c.SizeBytes%c.BlockBytes != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of block %d", c.SizeBytes, c.BlockBytes)
+	}
+	if c.Assoc < 1 {
+		return fmt.Errorf("cache: associativity %d", c.Assoc)
+	}
+	blocks := c.SizeBytes / c.BlockBytes
+	if blocks%uint32(c.Assoc) != 0 {
+		return fmt.Errorf("cache: %d blocks not divisible by associativity %d", blocks, c.Assoc)
+	}
+	return nil
+}
+
+type line struct {
+	block uint32 // block number (addr / BlockBytes)
+	state State
+	dirty bool
+	lru   uint64
+}
+
+// Cache is a set-associative cache indexed by block number.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	clock uint64
+
+	// Stats.
+	Hits, Misses, Evictions, Writebacks, Invalidations uint64
+}
+
+// New builds a cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := int(cfg.SizeBytes/cfg.BlockBytes) / cfg.Assoc
+	sets := make([][]line, nsets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Assoc)
+	}
+	return &Cache{cfg: cfg, sets: sets}, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Block maps a byte address to its block number.
+func (c *Cache) Block(addr uint32) uint32 { return addr / c.cfg.BlockBytes }
+
+func (c *Cache) set(block uint32) []line {
+	return c.sets[block%uint32(len(c.sets))]
+}
+
+func (c *Cache) find(block uint32) *line {
+	set := c.set(block)
+	for i := range set {
+		if set[i].state != Invalid && set[i].block == block {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Lookup returns the block's state, touching LRU on a hit.
+func (c *Cache) Lookup(block uint32) (State, bool) {
+	if l := c.find(block); l != nil {
+		c.clock++
+		l.lru = c.clock
+		c.Hits++
+		return l.state, true
+	}
+	c.Misses++
+	return Invalid, false
+}
+
+// Probe reads the state without touching LRU or stats.
+func (c *Cache) Probe(block uint32) (State, bool) {
+	if l := c.find(block); l != nil {
+		return l.state, true
+	}
+	return Invalid, false
+}
+
+// MarkDirty notes that the (exclusive) block was written.
+func (c *Cache) MarkDirty(block uint32) {
+	if l := c.find(block); l != nil {
+		l.dirty = true
+	}
+}
+
+// Dirty reports whether a cached block is dirty.
+func (c *Cache) Dirty(block uint32) bool {
+	l := c.find(block)
+	return l != nil && l.dirty
+}
+
+// Victim describes an evicted block.
+type Victim struct {
+	Block uint32
+	State State
+	Dirty bool
+}
+
+// Insert installs block with the given state, returning the evicted
+// victim if the set was full.
+func (c *Cache) Insert(block uint32, st State) (Victim, bool) {
+	if l := c.find(block); l != nil {
+		// Upgrade/downgrade in place.
+		l.state = st
+		c.clock++
+		l.lru = c.clock
+		return Victim{}, false
+	}
+	set := c.set(block)
+	vi := 0
+	for i := range set {
+		if set[i].state == Invalid {
+			vi = i
+			break
+		}
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	var victim Victim
+	evicted := set[vi].state != Invalid
+	if evicted {
+		victim = Victim{Block: set[vi].block, State: set[vi].state, Dirty: set[vi].dirty}
+		c.Evictions++
+		if victim.Dirty {
+			c.Writebacks++
+		}
+	}
+	c.clock++
+	set[vi] = line{block: block, state: st, lru: c.clock}
+	return victim, evicted
+}
+
+// SetState changes a cached block's state (downgrades clear dirty).
+func (c *Cache) SetState(block uint32, st State) bool {
+	l := c.find(block)
+	if l == nil {
+		return false
+	}
+	l.state = st
+	if st != Exclusive {
+		l.dirty = false
+	}
+	if st == Invalid {
+		c.Invalidations++
+	}
+	return true
+}
+
+// Invalidate removes a block, reporting whether it was present and
+// dirty.
+func (c *Cache) Invalidate(block uint32) (wasDirty, wasPresent bool) {
+	l := c.find(block)
+	if l == nil {
+		return false, false
+	}
+	wasDirty = l.dirty
+	l.state = Invalid
+	l.dirty = false
+	c.Invalidations++
+	return wasDirty, true
+}
+
+// Occupancy counts valid lines (for interference studies).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, l := range set {
+			if l.state != Invalid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MissRatio is misses / (hits + misses).
+func (c *Cache) MissRatio() float64 {
+	t := c.Hits + c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(t)
+}

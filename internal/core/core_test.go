@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"april/internal/isa"
+)
+
+func TestPSRCondCodes(t *testing.T) {
+	p := PSR(0).WithCC(true, false, true, false)
+	if !p.N() || p.Z() || !p.V() || p.C() {
+		t.Errorf("WithCC wrong: %b", p)
+	}
+	p = p.WithCC(false, true, false, true)
+	if p.N() || !p.Z() || p.V() || !p.C() {
+		t.Errorf("WithCC replace wrong: %b", p)
+	}
+}
+
+func TestPSRFullBit(t *testing.T) {
+	p := PSR(0)
+	if p.Full() {
+		t.Error("fresh PSR reads full")
+	}
+	p = p.WithFull(true)
+	if !p.Full() || !p.CondHolds(isa.CondFull) || p.CondHolds(isa.CondEmpty) {
+		t.Error("full bit / Jfull semantics wrong")
+	}
+	p = p.WithFull(false)
+	if p.Full() || p.CondHolds(isa.CondFull) || !p.CondHolds(isa.CondEmpty) {
+		t.Error("empty bit / Jempty semantics wrong")
+	}
+}
+
+func TestCondHoldsSignedComparisons(t *testing.T) {
+	// Emulate subcc a-b for a few pairs and check branch truth tables.
+	sub := func(a, b int32) PSR {
+		r := a - b
+		n := r < 0
+		z := r == 0
+		v := (a >= 0 && b < 0 && r < 0) || (a < 0 && b >= 0 && r >= 0)
+		c := uint32(a) < uint32(b)
+		return PSR(0).WithCC(n, z, v, c)
+	}
+	cases := []struct{ a, b int32 }{
+		{1, 2}, {2, 1}, {5, 5}, {-3, 4}, {4, -3}, {-7, -7}, {-2147483648, 1}, {2147483647, -1},
+	}
+	for _, cse := range cases {
+		p := sub(cse.a, cse.b)
+		checks := []struct {
+			cond isa.Cond
+			want bool
+		}{
+			{isa.CondE, cse.a == cse.b},
+			{isa.CondNE, cse.a != cse.b},
+			{isa.CondL, cse.a < cse.b},
+			{isa.CondLE, cse.a <= cse.b},
+			{isa.CondG, cse.a > cse.b},
+			{isa.CondGE, cse.a >= cse.b},
+			{isa.CondCS, uint32(cse.a) < uint32(cse.b)},
+			{isa.CondA, true},
+		}
+		for _, ch := range checks {
+			if got := p.CondHolds(ch.cond); got != ch.want {
+				t.Errorf("a=%d b=%d cond=%v: got %v, want %v", cse.a, cse.b, ch.cond, got, ch.want)
+			}
+		}
+	}
+}
+
+func TestCondHoldsProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		r := a - b
+		v := (a >= 0 && b < 0 && r < 0) || (a < 0 && b >= 0 && r >= 0)
+		p := PSR(0).WithCC(r < 0, r == 0, v, uint32(a) < uint32(b))
+		return p.CondHolds(isa.CondL) == (a < b) &&
+			p.CondHolds(isa.CondGE) == (a >= b) &&
+			p.CondHolds(isa.CondLE) == (a <= b) &&
+			p.CondHolds(isa.CondG) == (a > b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineRegisterFile(t *testing.T) {
+	e := NewEngine(4, 11)
+	// r0 is hardwired zero.
+	e.SetReg(isa.RZero, isa.MakeFixnum(99))
+	if e.Reg(isa.RZero) != 0 {
+		t.Error("r0 not hardwired to zero")
+	}
+	// Frame registers are per-frame.
+	e.SetReg(8, isa.MakeFixnum(1))
+	e.Switch(1)
+	if e.Reg(8) != 0 {
+		t.Error("frame 1 sees frame 0's r8")
+	}
+	e.SetReg(8, isa.MakeFixnum(2))
+	e.Switch(0)
+	if isa.FixnumValue(e.Reg(8)) != 1 {
+		t.Error("frame 0's r8 lost across switches")
+	}
+	// Globals are visible from every frame (Section 3).
+	e.SetReg(isa.GAllocPtr, isa.MakeFixnum(7))
+	e.Switch(3)
+	if isa.FixnumValue(e.Reg(isa.GAllocPtr)) != 7 {
+		t.Error("globals not shared across frames")
+	}
+}
+
+func TestFPInstructions(t *testing.T) {
+	e := NewEngine(4, 11)
+	e.IncFP()
+	if e.FP() != 1 {
+		t.Errorf("IncFP -> %d", e.FP())
+	}
+	e.DecFP()
+	e.DecFP()
+	if e.FP() != 3 {
+		t.Errorf("DecFP wraparound -> %d, want 3", e.FP())
+	}
+	e.SetFP(6) // modulo 4
+	if e.FP() != 2 {
+		t.Errorf("SetFP(6) -> %d, want 2", e.FP())
+	}
+	e.SetFP(-1)
+	if e.FP() != 3 {
+		t.Errorf("SetFP(-1) -> %d, want 3", e.FP())
+	}
+}
+
+func TestSwitchCostAndStats(t *testing.T) {
+	e := NewEngine(4, 11)
+	if c := e.SwitchNext(); c != 11 {
+		t.Errorf("switch cost %d, want 11 (SPARC profile)", c)
+	}
+	if e.FP() != 1 {
+		t.Errorf("SwitchNext went to %d", e.FP())
+	}
+	ec := NewEngine(4, SwitchCyclesCustom)
+	if c := ec.SwitchNext(); c != 4 {
+		t.Errorf("custom switch cost %d, want 4", c)
+	}
+	if e.Switches != 1 || ec.Switches != 1 {
+		t.Error("switch counter wrong")
+	}
+}
+
+func TestSwitchNextCyclesThroughAllFrames(t *testing.T) {
+	e := NewEngine(4, 11)
+	seen := map[int]bool{e.FP(): true}
+	for i := 0; i < 3; i++ {
+		e.SwitchNext()
+		seen[e.FP()] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("switch-spinning visited %d frames, want 4", len(seen))
+	}
+	e.SwitchNext()
+	if e.FP() != 0 {
+		t.Error("switch-spinning did not wrap to frame 0")
+	}
+}
+
+func TestThreadBookkeeping(t *testing.T) {
+	e := NewEngine(4, 11)
+	if e.LoadedThreads() != 0 {
+		t.Error("fresh engine has loaded threads")
+	}
+	e.Frames[0].ThreadID = 10
+	e.Frames[2].ThreadID = 11
+	if e.LoadedThreads() != 2 {
+		t.Errorf("LoadedThreads = %d", e.LoadedThreads())
+	}
+	if e.FindFrame(11) != 2 || e.FindFrame(99) != -1 {
+		t.Error("FindFrame wrong")
+	}
+	// FreeFrame prefers the frame after FP.
+	if f := e.FreeFrame(); f != 1 {
+		t.Errorf("FreeFrame = %d, want 1", f)
+	}
+	e.Frames[1].ThreadID = 12
+	e.Frames[3].ThreadID = 13
+	if f := e.FreeFrame(); f != -1 {
+		t.Errorf("FreeFrame on full engine = %d, want -1", f)
+	}
+}
+
+func TestFrameReset(t *testing.T) {
+	var f Frame
+	f.R[5] = isa.MakeFixnum(3)
+	f.PC, f.NPC = 10, 11
+	f.ThreadID = 7
+	f.Reset()
+	if f.ThreadID != -1 || f.R[5] != 0 || f.PC != 0 {
+		t.Errorf("Reset left state: %+v", f)
+	}
+}
+
+func TestPaperTimingConstants(t *testing.T) {
+	// Section 6.1: 5-cycle trap entry + 6-cycle handler = 11-cycle
+	// context switch on SPARC; 4 cycles on a custom implementation.
+	if TrapEntryCycles+SwitchHandlerCyclesSPARC != 11 {
+		t.Error("SPARC context switch must total 11 cycles")
+	}
+	if SwitchCyclesCustom != 4 {
+		t.Error("custom context switch must be 4 cycles")
+	}
+	if DefaultFrames != 4 {
+		t.Error("SPARC implementation has 4 task frames")
+	}
+}

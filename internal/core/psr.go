@@ -1,0 +1,110 @@
+// Package core implements the paper's primary contribution: the
+// coarse-grain multithreading engine of the APRIL processor. It holds
+// the user-visible processor state of Figure 2 — multiple task frames
+// (each a register set plus a PC chain and a Processor State Register),
+// eight always-visible global registers, and the current frame pointer
+// (FP) — and performs the rapid context switch: let the pipeline empty,
+// save the PC chain, and bump the FP to another task frame.
+//
+// The engine is deliberately independent of the instruction set
+// interpreter (package proc) and of scheduling policy (package rts):
+// the paper's thesis is exactly this separation — a small amount of
+// processor hardware (task frames + cheap traps) with everything else
+// migrated into the run-time software.
+package core
+
+import "april/internal/isa"
+
+// PSR is the Processor State Register: a 32-bit register holding the
+// condition codes, the full/empty condition bit used by Jfull/Jempty,
+// and mode bits. It can be read into and written from the general
+// registers (Section 3).
+type PSR isa.Word
+
+// PSR bit assignments.
+const (
+	PSRCarry    PSR = 1 << 0 // C: carry out of the ALU
+	PSROverflow PSR = 1 << 1 // V: signed overflow
+	PSRZero     PSR = 1 << 2 // Z: result was zero
+	PSRNegative PSR = 1 << 3 // N: result was negative
+
+	// PSRFull is the full/empty condition bit, set by non-trapping
+	// memory instructions to the prior state of the accessed word and
+	// dispatched on by Jfull/Jempty (Section 4). On the SPARC
+	// implementation this is a coprocessor condition bit.
+	PSRFull PSR = 1 << 4
+
+	// PSRFutureTrap enables hardware future detection: when set,
+	// strict compute instructions trap if an operand's LSB is set, and
+	// memory instructions trap if an address operand's LSB is set.
+	// The Encore baseline profile runs with this bit clear and relies
+	// on compiled-in software checks instead.
+	PSRFutureTrap PSR = 1 << 5
+)
+
+// CC reports the four integer condition codes.
+func (p PSR) N() bool { return p&PSRNegative != 0 }
+func (p PSR) Z() bool { return p&PSRZero != 0 }
+func (p PSR) V() bool { return p&PSROverflow != 0 }
+func (p PSR) C() bool { return p&PSRCarry != 0 }
+
+// Full reports the full/empty condition bit.
+func (p PSR) Full() bool { return p&PSRFull != 0 }
+
+// WithCC returns p with the four condition codes replaced.
+func (p PSR) WithCC(n, z, v, c bool) PSR {
+	p &^= PSRNegative | PSRZero | PSROverflow | PSRCarry
+	if n {
+		p |= PSRNegative
+	}
+	if z {
+		p |= PSRZero
+	}
+	if v {
+		p |= PSROverflow
+	}
+	if c {
+		p |= PSRCarry
+	}
+	return p
+}
+
+// WithFull returns p with the full/empty condition bit set to full.
+func (p PSR) WithFull(full bool) PSR {
+	if full {
+		return p | PSRFull
+	}
+	return p &^ PSRFull
+}
+
+// CondHolds evaluates a branch condition against the PSR, following the
+// SPARC integer condition code semantics the paper's implementation
+// inherits.
+func (p PSR) CondHolds(c isa.Cond) bool {
+	n, z, v, cy := p.N(), p.Z(), p.V(), p.C()
+	switch c {
+	case isa.CondA:
+		return true
+	case isa.CondE:
+		return z
+	case isa.CondNE:
+		return !z
+	case isa.CondL:
+		return n != v
+	case isa.CondLE:
+		return z || (n != v)
+	case isa.CondG:
+		return !(z || (n != v))
+	case isa.CondGE:
+		return n == v
+	case isa.CondCS:
+		return cy
+	case isa.CondCC:
+		return !cy
+	case isa.CondFull:
+		return p.Full()
+	case isa.CondEmpty:
+		return !p.Full()
+	}
+	return false
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"april/internal/isa"
+)
+
+// TrapKind enumerates the exception conditions of Sections 3 and 4.
+// On a trap the pipeline empties (TrapEntryCycles) and control passes
+// to a software handler executing in the *same* task frame as the
+// trapped thread, so the handler can see the thread's registers.
+type TrapKind uint8
+
+const (
+	TrapNone TrapKind = iota
+
+	// TrapFuture: a strict compute instruction found an operand with
+	// its LSB set — a future used by a strict operator (Section 4,
+	// "Future Detection and Compute Instructions").
+	TrapFuture
+
+	// TrapAddrFuture: a memory instruction found an address operand
+	// with its LSB set. This implements implicit touches in operators
+	// that dereference pointers (car/cdr) and doubles as the alignment
+	// trap on the SPARC implementation.
+	TrapAddrFuture
+
+	// TrapAlign: a memory address was not word aligned (and not a
+	// future). Objects are word-allocated, so this indicates a type
+	// error in the running program.
+	TrapAlign
+
+	// TrapEmpty: a load with an EL-trap flavor touched an empty
+	// location (full/empty synchronization fault).
+	TrapEmpty
+
+	// TrapFullStore: a store with a trap flavor touched a full
+	// location.
+	TrapFullStore
+
+	// TrapCacheMiss: the cache controller signalled a miss requiring a
+	// network request; the controller traps the processor so that the
+	// handler can context switch (Section 6.1). Misses that can be
+	// satisfied locally make the processor wait instead.
+	TrapCacheMiss
+
+	// TrapSyscall: the software trap instruction; the run-time system
+	// dispatches on the service number.
+	TrapSyscall
+
+	// TrapIPI: an asynchronous interprocessor interrupt delivered via
+	// the controller (Section 3.4).
+	TrapIPI
+)
+
+var trapNames = [...]string{
+	TrapNone:       "none",
+	TrapFuture:     "future",
+	TrapAddrFuture: "addr-future",
+	TrapAlign:      "align",
+	TrapEmpty:      "empty-location",
+	TrapFullStore:  "full-location",
+	TrapCacheMiss:  "cache-miss",
+	TrapSyscall:    "syscall",
+	TrapIPI:        "ipi",
+}
+
+func (k TrapKind) String() string {
+	if int(k) < len(trapNames) {
+		return trapNames[k]
+	}
+	return fmt.Sprintf("trap(%d)", uint8(k))
+}
+
+// Trap carries everything a software handler needs about an exception.
+type Trap struct {
+	Kind TrapKind
+	PC   uint32   // address of the trapping instruction
+	Inst isa.Inst // the trapping instruction itself (handlers decode it)
+
+	// Value is the offending operand for future traps (the future
+	// pointer itself), letting the handler find and resolve it — the
+	// paper's handler decodes the trapping instruction to find the
+	// register; we hand it the value directly and charge the decode
+	// cost in cycles.
+	Value isa.Word
+
+	// Reg is the register holding Value (so a resolved future can be
+	// replaced in place).
+	Reg uint8
+
+	// Addr is the effective address for memory traps.
+	Addr uint32
+
+	// Service is the service number of a syscall trap.
+	Service int32
+
+	// Store marks full/empty faults raised by stores.
+	Store bool
+}
+
+func (t Trap) String() string {
+	switch t.Kind {
+	case TrapSyscall:
+		return fmt.Sprintf("%v(service=%d) at pc=%d", t.Kind, t.Service, t.PC)
+	case TrapEmpty, TrapFullStore, TrapCacheMiss, TrapAddrFuture, TrapAlign:
+		return fmt.Sprintf("%v at pc=%d addr=%#x", t.Kind, t.PC, t.Addr)
+	default:
+		return fmt.Sprintf("%v at pc=%d", t.Kind, t.PC)
+	}
+}

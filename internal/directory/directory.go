@@ -1,0 +1,210 @@
+// Package directory implements ALEWIFE's full-map directory-based
+// cache coherence (Chaiken et al. [5]): each block of distributed
+// shared memory has a home node whose directory entry records the
+// global state — uncached, read-shared by a set of nodes, or held
+// exclusively by one owner. The controller logic that exchanges the
+// protocol messages lives in package sim; this package provides the
+// entries, the sharer sets, and the message vocabulary.
+package directory
+
+import (
+	"fmt"
+	"strings"
+)
+
+// State is a block's global state at its home directory.
+type State uint8
+
+const (
+	Uncached State = iota
+	Shared
+	Exclusive
+)
+
+func (s State) String() string {
+	switch s {
+	case Uncached:
+		return "uncached"
+	case Shared:
+		return "shared"
+	case Exclusive:
+		return "exclusive"
+	}
+	return "?"
+}
+
+// Sharers is a set of node ids.
+type Sharers struct {
+	bits []uint64
+}
+
+// Add inserts node.
+func (s *Sharers) Add(node int) {
+	w := node / 64
+	for len(s.bits) <= w {
+		s.bits = append(s.bits, 0)
+	}
+	s.bits[w] |= 1 << (node % 64)
+}
+
+// Remove deletes node.
+func (s *Sharers) Remove(node int) {
+	w := node / 64
+	if w < len(s.bits) {
+		s.bits[w] &^= 1 << (node % 64)
+	}
+}
+
+// Has reports membership.
+func (s *Sharers) Has(node int) bool {
+	w := node / 64
+	return w < len(s.bits) && s.bits[w]&(1<<(node%64)) != 0
+}
+
+// Count returns the set size.
+func (s *Sharers) Count() int {
+	n := 0
+	for _, w := range s.bits {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach visits members in ascending order.
+func (s *Sharers) ForEach(f func(node int)) {
+	for wi, w := range s.bits {
+		for b := 0; b < 64; b++ {
+			if w&(1<<b) != 0 {
+				f(wi*64 + b)
+			}
+		}
+	}
+}
+
+// Clear empties the set.
+func (s *Sharers) Clear() { s.bits = s.bits[:0] }
+
+// String renders the set.
+func (s *Sharers) String() string {
+	var parts []string
+	s.ForEach(func(n int) { parts = append(parts, fmt.Sprint(n)) })
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Entry is one block's directory state.
+type Entry struct {
+	State   State
+	Sharers Sharers
+	Owner   int
+}
+
+// Directory holds the entries homed at one node (allocated lazily; an
+// absent entry is Uncached).
+type Directory struct {
+	entries map[uint32]*Entry
+
+	// Stats.
+	ReadMisses, WriteMisses, InvalsSent, Fetches, Writebacks uint64
+}
+
+// New creates an empty directory.
+func New() *Directory {
+	return &Directory{entries: map[uint32]*Entry{}}
+}
+
+// Entry returns (creating) the entry for block.
+func (d *Directory) Entry(block uint32) *Entry {
+	e, ok := d.entries[block]
+	if !ok {
+		e = &Entry{Owner: -1}
+		d.entries[block] = e
+	}
+	return e
+}
+
+// Probe returns the entry if it exists.
+func (d *Directory) Probe(block uint32) (*Entry, bool) {
+	e, ok := d.entries[block]
+	return e, ok
+}
+
+// Entries counts allocated entries.
+func (d *Directory) Entries() int { return len(d.entries) }
+
+// Blocks lists every block with an allocated entry (inspection and
+// invariant checking).
+func (d *Directory) Blocks() []uint32 {
+	out := make([]uint32, 0, len(d.entries))
+	for b := range d.entries {
+		out = append(out, b)
+	}
+	return out
+}
+
+// MsgKind enumerates the coherence protocol messages.
+type MsgKind uint8
+
+const (
+	// Requester -> home.
+	ReadReq  MsgKind = iota
+	WriteReq         // also upgrade
+	WBNotify         // eviction writeback of a dirty exclusive block
+
+	// Home -> requester.
+	Data   // read reply, shared copy
+	DataEx // write reply, exclusive copy
+
+	// Home -> third parties and their replies.
+	Inv      // invalidate a shared copy
+	InvAck   // -> home
+	Fetch    // recall the exclusive copy from its owner
+	FetchAck // owner -> home, carries the data
+
+	// Cache management (Section 3.4).
+	FlushWB  // FLUSH writeback -> home
+	FlushAck // home -> flusher (decrements the fence counter)
+)
+
+var kindNames = [...]string{
+	ReadReq: "RREQ", WriteReq: "WREQ", WBNotify: "WB",
+	Data: "DATA", DataEx: "DATAEX",
+	Inv: "INV", InvAck: "INVACK", Fetch: "FETCH", FetchAck: "FETCHACK",
+	FlushWB: "FLUSHWB", FlushAck: "FLUSHACK",
+}
+
+func (k MsgKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("msg(%d)", uint8(k))
+}
+
+// CarriesData reports whether the message includes a memory block (and
+// so pays the data packet size).
+func (k MsgKind) CarriesData() bool {
+	switch k {
+	case Data, DataEx, FetchAck, WBNotify, FlushWB:
+		return true
+	}
+	return false
+}
+
+// Msg is one protocol message.
+type Msg struct {
+	Kind      MsgKind
+	Block     uint32
+	From      int
+	Requester int  // original requester for three-party transactions
+	Write     bool // Fetch: recall for a writer (invalidate) vs reader (downgrade)
+}
+
+// Size returns the packet size in flits: a two-flit header plus the
+// block payload for data-bearing messages.
+func (m Msg) Size(blockBytes uint32) int {
+	if m.Kind.CarriesData() {
+		return 2 + int(blockBytes/4)
+	}
+	return 2
+}

@@ -1,0 +1,120 @@
+package directory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSharersBasics(t *testing.T) {
+	var s Sharers
+	if s.Count() != 0 || s.Has(0) {
+		t.Error("fresh set not empty")
+	}
+	s.Add(3)
+	s.Add(70)
+	s.Add(3) // idempotent
+	if s.Count() != 2 || !s.Has(3) || !s.Has(70) || s.Has(4) {
+		t.Errorf("set state wrong: %s", s.String())
+	}
+	s.Remove(3)
+	if s.Count() != 1 || s.Has(3) {
+		t.Error("remove failed")
+	}
+	s.Remove(99) // absent: no-op
+	s.Clear()
+	if s.Count() != 0 {
+		t.Error("clear failed")
+	}
+}
+
+func TestSharersForEachOrdered(t *testing.T) {
+	var s Sharers
+	for _, n := range []int{64, 1, 200, 0} {
+		s.Add(n)
+	}
+	var got []int
+	s.ForEach(func(n int) { got = append(got, n) })
+	want := []int{0, 1, 64, 200}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSharersProperty(t *testing.T) {
+	f := func(adds []uint8) bool {
+		var s Sharers
+		ref := map[int]bool{}
+		for _, a := range adds {
+			s.Add(int(a))
+			ref[int(a)] = true
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for n := range ref {
+			if !s.Has(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectoryEntries(t *testing.T) {
+	d := New()
+	e := d.Entry(42)
+	if e.State != Uncached || e.Owner != -1 {
+		t.Errorf("fresh entry %+v", e)
+	}
+	e.State = Exclusive
+	e.Owner = 7
+	if again := d.Entry(42); again != e {
+		t.Error("Entry not stable")
+	}
+	if _, ok := d.Probe(43); ok {
+		t.Error("Probe invented an entry")
+	}
+	if d.Entries() != 1 {
+		t.Errorf("entries = %d", d.Entries())
+	}
+}
+
+func TestMsgSizes(t *testing.T) {
+	// Control messages are 2 flits; data messages add the block
+	// payload (16 B block = 4 words), giving the mix behind Table 4's
+	// "average packet size 4".
+	req := Msg{Kind: ReadReq}
+	if req.Size(16) != 2 {
+		t.Errorf("RREQ size %d", req.Size(16))
+	}
+	data := Msg{Kind: Data}
+	if data.Size(16) != 6 {
+		t.Errorf("DATA size %d", data.Size(16))
+	}
+	for _, k := range []MsgKind{Data, DataEx, FetchAck, WBNotify, FlushWB} {
+		if !k.CarriesData() {
+			t.Errorf("%v should carry data", k)
+		}
+	}
+	for _, k := range []MsgKind{ReadReq, WriteReq, Inv, InvAck, Fetch, FlushAck} {
+		if k.CarriesData() {
+			t.Errorf("%v should not carry data", k)
+		}
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := ReadReq; k <= FlushAck; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

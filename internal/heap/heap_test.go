@@ -1,0 +1,251 @@
+package heap
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"april/internal/isa"
+	"april/internal/mem"
+)
+
+func newHeap() *Heap {
+	m := mem.New(1 << 20)
+	return New(m, mem.NewArena(isa.HeapBase, 1<<20))
+}
+
+func TestConsCarCdr(t *testing.T) {
+	h := newHeap()
+	c, err := h.Cons(isa.MakeFixnum(1), isa.MakeFixnum(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isa.IsCons(c) {
+		t.Fatalf("not cons-tagged: %#x", c)
+	}
+	car, _ := h.Car(c)
+	cdr, _ := h.Cdr(c)
+	if isa.FixnumValue(car) != 1 || isa.FixnumValue(cdr) != 2 {
+		t.Errorf("car/cdr = %v/%v", car, cdr)
+	}
+	if _, err := h.Car(isa.MakeFixnum(3)); err == nil {
+		t.Error("car of fixnum did not error")
+	}
+}
+
+func TestListAndFormat(t *testing.T) {
+	h := newHeap()
+	l, err := h.List(isa.MakeFixnum(1), isa.MakeFixnum(2), isa.MakeFixnum(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Format(l); got != "(1 2 3)" {
+		t.Errorf("Format = %q", got)
+	}
+	if h.Format(isa.Nil) != "()" || h.Format(isa.True) != "#t" || h.Format(isa.False) != "#f" {
+		t.Error("immediate formatting wrong")
+	}
+	// Improper list.
+	c, _ := h.Cons(isa.MakeFixnum(1), isa.MakeFixnum(2))
+	if got := h.Format(c); got != "(1 . 2)" {
+		t.Errorf("improper list Format = %q", got)
+	}
+}
+
+func TestVectorRoundTripProperty(t *testing.T) {
+	h := newHeap()
+	f := func(vals []int32) bool {
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		v, err := h.NewVector(len(vals), isa.Nil)
+		if err != nil {
+			return false
+		}
+		for i, x := range vals {
+			x = x << 2 >> 2
+			if err := h.VectorSet(v, i, isa.MakeFixnum(x)); err != nil {
+				return false
+			}
+		}
+		n, err := h.VectorLen(v)
+		if err != nil || n != len(vals) {
+			return false
+		}
+		for i, x := range vals {
+			x = x << 2 >> 2
+			got, err := h.VectorRef(v, i)
+			if err != nil || isa.FixnumValue(got) != x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorBounds(t *testing.T) {
+	h := newHeap()
+	v, _ := h.NewVector(3, isa.MakeFixnum(0))
+	if _, err := h.VectorRef(v, 3); err == nil {
+		t.Error("out-of-range ref succeeded")
+	}
+	if err := h.VectorSet(v, -1, 0); err == nil {
+		t.Error("negative index set succeeded")
+	}
+	if _, err := h.NewVector(-1, 0); err == nil {
+		t.Error("negative length vector created")
+	}
+	if _, err := h.VectorLen(isa.MakeFixnum(1)); err == nil {
+		t.Error("VectorLen of fixnum succeeded")
+	}
+}
+
+func TestClosure(t *testing.T) {
+	h := newHeap()
+	c, err := h.NewClosure(123, []isa.Word{isa.MakeFixnum(5), isa.True})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := h.ClosureEntry(c)
+	if err != nil || entry != 123 {
+		t.Errorf("entry = %d, %v", entry, err)
+	}
+	v0, _ := h.ClosureCaptured(c, 0)
+	v1, _ := h.ClosureCaptured(c, 1)
+	if isa.FixnumValue(v0) != 5 || v1 != isa.True {
+		t.Error("captured values wrong")
+	}
+	if _, err := h.ClosureCaptured(c, 2); err == nil {
+		t.Error("captured out of range succeeded")
+	}
+	if _, err := h.ClosureEntry(isa.Nil); err == nil {
+		t.Error("ClosureEntry of nil succeeded")
+	}
+}
+
+func TestCell(t *testing.T) {
+	h := newHeap()
+	c, err := h.NewCell(isa.MakeFixnum(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CellSet(c, isa.MakeFixnum(9)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.CellGet(c)
+	if err != nil || isa.FixnumValue(v) != 9 {
+		t.Errorf("cell = %v, %v", v, err)
+	}
+}
+
+func TestStringsAndSymbols(t *testing.T) {
+	h := newHeap()
+	for _, s := range []string{"", "a", "abc", "abcd", "hello, world", "exactly8"} {
+		w, err := h.NewString(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := h.BytesOf(w)
+		if err != nil || got != s {
+			t.Errorf("BytesOf(NewString(%q)) = %q, %v", s, got, err)
+		}
+	}
+	sym, _ := h.NewSymbol("foo")
+	if got := h.Format(sym); got != "foo" {
+		t.Errorf("symbol Format = %q", got)
+	}
+	str, _ := h.NewString("hi")
+	if got := h.Format(str); got != `"hi"` {
+		t.Errorf("string Format = %q", got)
+	}
+}
+
+func TestFutureLifecycle(t *testing.T) {
+	h := newHeap()
+	f, err := h.NewFuture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isa.IsFuture(f) {
+		t.Fatalf("not future-tagged: %#x", f)
+	}
+	ok, err := h.Resolved(f)
+	if err != nil || ok {
+		t.Error("fresh future reads resolved")
+	}
+	if _, err := h.FutureValue(f); err == nil {
+		t.Error("FutureValue of unresolved future succeeded")
+	}
+	if got := h.Format(f); got != "#[future]" {
+		t.Errorf("unresolved Format = %q", got)
+	}
+	if err := h.Resolve(f, isa.MakeFixnum(42)); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ = h.Resolved(f)
+	if !ok {
+		t.Error("future not resolved after Resolve")
+	}
+	v, err := h.FutureValue(f)
+	if err != nil || isa.FixnumValue(v) != 42 {
+		t.Errorf("FutureValue = %v, %v", v, err)
+	}
+	if got := h.Format(f); got != "42" {
+		t.Errorf("resolved Format = %q, want the value", got)
+	}
+	if err := h.Resolve(isa.Nil, 0); err == nil {
+		t.Error("Resolve of non-future succeeded")
+	}
+}
+
+func TestFutureResolutionIsFullEmptyBit(t *testing.T) {
+	// The resolution flag must literally be the value slot's F/E bit
+	// (Section 6.2) — the trap handler tests it directly.
+	h := newHeap()
+	f, _ := h.NewFuture()
+	addr := isa.PointerAddress(f)
+	if h.Mem.MustFE(addr) {
+		t.Error("unresolved future's value slot is full")
+	}
+	h.Mem.MustStore(addr, isa.MakeFixnum(5))
+	h.Mem.MustSetFE(addr, true) // resolve "by hand" through memory
+	ok, _ := h.Resolved(f)
+	if !ok {
+		t.Error("Resolved does not read the F/E bit")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	m := mem.New(1 << 16)
+	h := New(m, mem.NewArena(isa.HeapBase, isa.HeapBase+16))
+	if _, err := h.Cons(isa.Nil, isa.Nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Cons(isa.Nil, isa.Nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err := h.Cons(isa.Nil, isa.Nil)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestFormatDeepStructureTerminates(t *testing.T) {
+	h := newHeap()
+	w := isa.Nil
+	for i := 0; i < 100; i++ {
+		var err error
+		w, err = h.Cons(w, isa.Nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := h.Format(w)
+	if !strings.Contains(s, "...") {
+		t.Errorf("deep Format did not truncate: %d chars", len(s))
+	}
+}

@@ -1,0 +1,408 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses APRIL assembly text into a program. The syntax is
+// exactly what Inst.String and Program.Disassemble emit, so listings
+// round-trip:
+//
+//	fib:                      ; labels end with ':'
+//	=>   12:  subcc r0, r8, 8 ; disassembler prefixes are accepted
+//	          bge done        ; branch targets may be labels
+//	          jmpl r5, fib    ; and jmpl targets too
+//	done:     halt
+//
+// A line whose disassembler prefix is "=>" (or a ".entry label"
+// directive) sets the program entry point.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Symbols: map[string]uint32{}}
+	type fix struct {
+		at    int
+		label string
+		rel   bool
+		line  int
+	}
+	var fixes []fix
+	entrySet := false
+	var entryLabel string
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Directives.
+		if rest, ok := strings.CutPrefix(line, ".entry"); ok {
+			entryLabel = strings.TrimSpace(rest)
+			continue
+		}
+		// Disassembler prefixes: "=>" marker and "NNN:" address.
+		if rest, ok := strings.CutPrefix(line, "=>"); ok {
+			line = strings.TrimSpace(rest)
+			p.Entry = uint32(len(p.Code))
+			entrySet = true
+		}
+		if f := strings.Fields(line); len(f) > 0 {
+			if n := strings.TrimSuffix(f[0], ":"); n != f[0] {
+				if _, err := strconv.Atoi(n); err == nil {
+					// An address prefix from a listing; drop it.
+					line = strings.TrimSpace(strings.TrimPrefix(line, f[0]))
+				}
+			}
+		}
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			f := strings.Fields(line)
+			if len(f) == 0 {
+				break
+			}
+			name := strings.TrimSuffix(f[0], ":")
+			if name == f[0] || name == "" {
+				break
+			}
+			if _, err := strconv.Atoi(name); err == nil {
+				break // numeric: an address prefix, already handled
+			}
+			if _, dup := p.Symbols[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, name)
+			}
+			p.Symbols[name] = uint32(len(p.Code))
+			line = strings.TrimSpace(strings.TrimPrefix(line, f[0]))
+		}
+		if line == "" {
+			continue
+		}
+
+		inst, labelRef, rel, err := parseInst(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		if labelRef != "" {
+			fixes = append(fixes, fix{at: len(p.Code), label: labelRef, rel: rel, line: lineNo + 1})
+		}
+		p.Code = append(p.Code, inst)
+	}
+
+	for _, f := range fixes {
+		addr, ok := p.Symbols[f.label]
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined label %q", f.line, f.label)
+		}
+		if f.rel {
+			p.Code[f.at].Imm = int32(addr) - int32(f.at)
+		} else {
+			p.Code[f.at].Imm = int32(addr)
+		}
+	}
+	if entryLabel != "" {
+		addr, ok := p.Symbols[entryLabel]
+		if !ok {
+			return nil, fmt.Errorf(".entry: undefined label %q", entryLabel)
+		}
+		p.Entry = addr
+	} else if !entrySet {
+		p.Entry = 0
+	}
+	return p, nil
+}
+
+// opByName resolves a mnemonic.
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := 0; op < NumOpcodes; op++ {
+		m[Opcode(op).Name()] = Opcode(op)
+	}
+	return m
+}()
+
+func parseReg(s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	switch s[0] {
+	case 'r':
+		if n < 0 || n >= NumFrameRegs {
+			return 0, fmt.Errorf("register %q out of range", s)
+		}
+		return uint8(n), nil
+	case 'g':
+		if n < 0 || n >= NumGlobalRegs {
+			return 0, fmt.Errorf("register %q out of range", s)
+		}
+		return uint8(NumFrameRegs + n), nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int32, error) {
+	s = strings.TrimSpace(s)
+	n, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow the full uint32 range for movi-style hex constants.
+		if u, uerr := strconv.ParseUint(s, 0, 32); uerr == nil {
+			return int32(uint32(u)), nil
+		}
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if n < -(1<<31) || n > (1<<32)-1 {
+		return 0, fmt.Errorf("immediate %q out of range", s)
+	}
+	return int32(n), nil
+}
+
+// parseEA parses "[base+off]", "[base+idx]" or "[base+idx+off]".
+func parseEA(s string) (rs1, rs2 uint8, imm int32, useImm bool, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, 0, false, fmt.Errorf("bad effective address %q", s)
+	}
+	parts := splitEA(s[1 : len(s)-1])
+	if len(parts) < 1 || len(parts) > 3 {
+		return 0, 0, 0, false, fmt.Errorf("bad effective address %q", s)
+	}
+	rs1, err = parseReg(parts[0])
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	switch len(parts) {
+	case 1:
+		return rs1, 0, 0, true, nil
+	case 2:
+		if r, rerr := parseReg(parts[1]); rerr == nil {
+			return rs1, r, 0, false, nil
+		}
+		imm, err = parseImm(parts[1])
+		return rs1, 0, imm, true, err
+	default:
+		rs2, rerr := parseReg(parts[1])
+		if rerr != nil {
+			return 0, 0, 0, false, rerr
+		}
+		imm, err = parseImm(parts[2])
+		return rs1, rs2, imm, false, err
+	}
+}
+
+// splitEA splits "r9+-6" / "r9+r10+2" on '+' while keeping a leading
+// '-' attached to its number ("r9+-6" -> ["r9", "-6"]).
+func splitEA(s string) []string {
+	var parts []string
+	cur := strings.Builder{}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '+' && cur.Len() > 0 {
+			parts = append(parts, cur.String())
+			cur.Reset()
+			continue
+		}
+		cur.WriteByte(s[i])
+	}
+	if cur.Len() > 0 {
+		parts = append(parts, cur.String())
+	}
+	return parts
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	raw := strings.Split(s, ",")
+	out := make([]string, len(raw))
+	for i, p := range raw {
+		out[i] = strings.TrimSpace(p)
+	}
+	return out
+}
+
+// parseInst parses one instruction line, returning an optional label
+// reference to patch (rel = PC-relative branch vs absolute jmpl).
+func parseInst(line string) (inst Inst, labelRef string, rel bool, err error) {
+	mnem := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnem, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	op, ok := opByName[mnem]
+	if !ok {
+		return Inst{}, "", false, fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	ops := splitOperands(rest)
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s takes %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+
+	switch op.Class() {
+	case ClassNop, ClassHalt:
+		return Inst{Op: op}, "", false, need(0)
+
+	case ClassCompute:
+		switch op {
+		case OpMovI:
+			if err := need(2); err != nil {
+				return Inst{}, "", false, err
+			}
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return Inst{}, "", false, err
+			}
+			imm, err := parseImm(ops[1])
+			return Inst{Op: op, Rd: rd, UseImm: true, Imm: imm}, "", false, err
+		case OpTagCmp:
+			if err := need(2); err != nil {
+				return Inst{}, "", false, err
+			}
+			rs1, err := parseReg(ops[0])
+			if err != nil {
+				return Inst{}, "", false, err
+			}
+			if r, rerr := parseReg(ops[1]); rerr == nil {
+				return Inst{Op: op, Rs1: rs1, Rs2: r}, "", false, nil
+			}
+			imm, err := parseImm(ops[1])
+			return Inst{Op: op, Rs1: rs1, UseImm: true, Imm: imm}, "", false, err
+		default:
+			if err := need(3); err != nil {
+				return Inst{}, "", false, err
+			}
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return Inst{}, "", false, err
+			}
+			rs1, err := parseReg(ops[1])
+			if err != nil {
+				return Inst{}, "", false, err
+			}
+			if r, rerr := parseReg(ops[2]); rerr == nil {
+				return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: r}, "", false, nil
+			}
+			imm, err := parseImm(ops[2])
+			return Inst{Op: op, Rd: rd, Rs1: rs1, UseImm: true, Imm: imm}, "", false, err
+		}
+
+	case ClassLoad:
+		if err := need(2); err != nil {
+			return Inst{}, "", false, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return Inst{}, "", false, err
+		}
+		rs1, rs2, imm, useImm, err := parseEA(ops[1])
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: imm, UseImm: useImm}, "", false, err
+
+	case ClassStore:
+		if err := need(2); err != nil {
+			return Inst{}, "", false, err
+		}
+		rs1, rs2, imm, useImm, err := parseEA(ops[0])
+		if err != nil {
+			return Inst{}, "", false, err
+		}
+		rd, err := parseReg(ops[1])
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: imm, UseImm: useImm}, "", false, err
+
+	case ClassBranch:
+		if err := need(1); err != nil {
+			return Inst{}, "", false, err
+		}
+		if imm, ierr := parseImm(ops[0]); ierr == nil {
+			return Inst{Op: op, UseImm: true, Imm: imm}, "", false, nil
+		}
+		return Inst{Op: op, UseImm: true}, ops[0], true, nil
+
+	case ClassJmpl:
+		if err := need(2); err != nil {
+			return Inst{}, "", false, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return Inst{}, "", false, err
+		}
+		t := ops[1]
+		if i := strings.IndexByte(t, '+'); i > 0 {
+			rs1, rerr := parseReg(t[:i])
+			if rerr == nil {
+				imm, ierr := parseImm(t[i+1:])
+				return Inst{Op: op, Rd: rd, Rs1: rs1, UseImm: true, Imm: imm}, "", false, ierr
+			}
+		}
+		if r, rerr := parseReg(t); rerr == nil {
+			return Inst{Op: op, Rd: rd, Rs1: r, UseImm: true}, "", false, nil
+		}
+		if imm, ierr := parseImm(t); ierr == nil {
+			return Inst{Op: op, Rd: rd, UseImm: true, Imm: imm}, "", false, nil
+		}
+		return Inst{Op: op, Rd: rd, UseImm: true}, t, false, nil
+
+	case ClassFrame:
+		switch op {
+		case OpIncFP, OpDecFP:
+			return Inst{Op: op}, "", false, need(0)
+		case OpRdFP, OpRdPSR:
+			if err := need(1); err != nil {
+				return Inst{}, "", false, err
+			}
+			rd, err := parseReg(ops[0])
+			return Inst{Op: op, Rd: rd}, "", false, err
+		default: // STFP, WRPSR
+			if err := need(1); err != nil {
+				return Inst{}, "", false, err
+			}
+			rs1, err := parseReg(ops[0])
+			return Inst{Op: op, Rs1: rs1}, "", false, err
+		}
+
+	case ClassCacheOp:
+		if err := need(1); err != nil {
+			return Inst{}, "", false, err
+		}
+		rs1, _, imm, _, err := parseEA(ops[0])
+		return Inst{Op: op, Rs1: rs1, Imm: imm, UseImm: true}, "", false, err
+
+	case ClassIO:
+		if err := need(2); err != nil {
+			return Inst{}, "", false, err
+		}
+		if op == OpLdio {
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return Inst{}, "", false, err
+			}
+			rs1, _, imm, _, err := parseEA(ops[1])
+			return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm, UseImm: true}, "", false, err
+		}
+		rs1, _, imm, _, err := parseEA(ops[0])
+		if err != nil {
+			return Inst{}, "", false, err
+		}
+		rd, err := parseReg(ops[1])
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm, UseImm: true}, "", false, err
+
+	case ClassTrap:
+		if err := need(1); err != nil {
+			return Inst{}, "", false, err
+		}
+		imm, err := parseImm(ops[0])
+		return Inst{Op: op, UseImm: true, Imm: imm}, "", false, err
+	}
+	return Inst{}, "", false, fmt.Errorf("cannot assemble %q", line)
+}

@@ -1,0 +1,159 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	src := `
+; sum 1..5 with a loop
+        movi r8, 20          ; i = fixnum 5... stored tagged by hand
+        movi r9, 0
+loop:   add r9, r9, r8
+        subcc r8, r8, 4
+        bg loop
+        halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 6 {
+		t.Fatalf("assembled %d instructions", len(p.Code))
+	}
+	if p.Symbols["loop"] != 2 {
+		t.Errorf("label loop at %d", p.Symbols["loop"])
+	}
+	if p.Code[4].Op != OpBg || p.Code[4].Imm != -2 {
+		t.Errorf("branch = %+v", p.Code[4])
+	}
+}
+
+func TestAssembleEntryDirectiveAndMarker(t *testing.T) {
+	p, err := Assemble(".entry main\n nop\nmain: halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 1 {
+		t.Errorf("entry = %d", p.Entry)
+	}
+	p2, err := Assemble(" nop\n=> halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Entry != 1 {
+		t.Errorf("marker entry = %d", p2.Entry)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate r1, r2",
+		"add r1, r2",          // wrong arity
+		"add r99, r1, r2",     // bad register
+		"bne nowhere",         // undefined label
+		"x: nop\nx: nop",      // duplicate label
+		"ldnt r1, r2",         // missing brackets
+		".entry missing\nnop", // undefined entry
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("assembled invalid program %q", src)
+		}
+	}
+}
+
+func TestAssembleJmplForms(t *testing.T) {
+	p, err := Assemble(`
+f:      jmpl r5, f
+        jmpl r5, 7
+        jmpl r0, r5+0
+        jmpl r0, r5+12
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Inst{
+		{Op: OpJmpl, Rd: RLink, UseImm: true, Imm: 0},
+		{Op: OpJmpl, Rd: RLink, UseImm: true, Imm: 7},
+		{Op: OpJmpl, Rd: 0, Rs1: RLink, UseImm: true, Imm: 0},
+		{Op: OpJmpl, Rd: 0, Rs1: RLink, UseImm: true, Imm: 12},
+	}
+	for i, w := range want {
+		if p.Code[i] != w {
+			t.Errorf("inst %d = %+v, want %+v", i, p.Code[i], w)
+		}
+	}
+}
+
+// TestAsmDisasmRoundTrip: for random valid instructions, assembling the
+// disassembly reproduces the same semantics (compared through a second
+// disassembly, since ignored operand fields need not survive).
+func TestAsmDisasmRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		in := Inst{
+			Op:     Opcode(rng.Intn(NumOpcodes)),
+			Rd:     uint8(rng.Intn(NumRegs)),
+			Rs1:    uint8(rng.Intn(NumRegs)),
+			Rs2:    uint8(rng.Intn(NumRegs)),
+			UseImm: rng.Intn(2) == 0,
+			Imm:    int32(rng.Uint32()),
+		}
+		if in.Op.Class() == ClassBranch {
+			// Branches always carry an immediate offset.
+			in.UseImm = true
+		}
+		text := in.String()
+		p, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("#%d: assemble %q (from %+v): %v", i, text, in, err)
+		}
+		if len(p.Code) != 1 {
+			t.Fatalf("#%d: %q assembled to %d instructions", i, text, len(p.Code))
+		}
+		if got := p.Code[0].String(); got != text {
+			t.Fatalf("#%d: round trip %q -> %q (in %+v out %+v)", i, text, got, in, p.Code[0])
+		}
+	}
+}
+
+// TestListingRoundTrip assembles a full disassembler listing with
+// labels and entry marker back into an equivalent program.
+func TestListingRoundTrip(t *testing.T) {
+	orig := &Program{
+		Code: []Inst{
+			Trap(2),
+			Halt,
+			MovI(8, MakeFixnum(3)),
+			RI(OpSubCC, 0, 8, 4),
+			Br(OpBg, -1),
+			Jmpl(RLink, RZero, 2),
+			Halt,
+		},
+		Entry:   2,
+		Symbols: map[string]uint32{"__main_exit": 0, "main": 2},
+	}
+	listing := orig.Disassemble()
+	back, err := Assemble(listing)
+	if err != nil {
+		t.Fatalf("assemble listing:\n%s\nerror: %v", listing, err)
+	}
+	if back.Entry != orig.Entry {
+		t.Errorf("entry %d, want %d", back.Entry, orig.Entry)
+	}
+	if len(back.Code) != len(orig.Code) {
+		t.Fatalf("code length %d, want %d", len(back.Code), len(orig.Code))
+	}
+	for i := range orig.Code {
+		if back.Code[i].String() != orig.Code[i].String() {
+			t.Errorf("inst %d: %q != %q", i, back.Code[i], orig.Code[i])
+		}
+	}
+	for name, addr := range orig.Symbols {
+		if back.Symbols[name] != addr {
+			t.Errorf("symbol %s at %d, want %d", name, back.Symbols[name], addr)
+		}
+	}
+}

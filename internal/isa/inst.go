@@ -1,0 +1,192 @@
+package isa
+
+import "fmt"
+
+// Inst is a decoded APRIL instruction. The simulator executes decoded
+// instructions directly; Encode/Decode define the binary format used
+// for program images and exercised by the encoding round-trip tests.
+//
+// Operand roles by class:
+//
+//	compute:  rd <- rs1 op (imm | rs2)
+//	load:     rd <- mem[rs1 + (imm | rs2)]
+//	store:    mem[rs1 + (imm | rs2)] <- rd
+//	branch:   pc-relative offset in imm
+//	jmpl:     rd <- link; pc <- rs1 + imm
+//	trap:     service number in imm
+type Inst struct {
+	Op     Opcode
+	Rd     uint8
+	Rs1    uint8
+	Rs2    uint8
+	UseImm bool
+	Imm    int32
+}
+
+// Binary layout of an encoded instruction (64 bits):
+//
+//	bits  0..7   opcode
+//	bits  8..13  rd
+//	bits 14..19  rs1
+//	bits 20..25  rs2
+//	bit  26      useImm
+//	bits 32..63  imm (two's complement)
+const (
+	encOpShift  = 0
+	encRdShift  = 8
+	encRs1Shift = 14
+	encRs2Shift = 20
+	encImmFlag  = 1 << 26
+	encImmShift = 32
+)
+
+// Encode packs i into its 64-bit binary representation.
+func Encode(i Inst) uint64 {
+	w := uint64(i.Op) << encOpShift
+	w |= uint64(i.Rd&0x3f) << encRdShift
+	w |= uint64(i.Rs1&0x3f) << encRs1Shift
+	w |= uint64(i.Rs2&0x3f) << encRs2Shift
+	if i.UseImm {
+		w |= encImmFlag
+	}
+	w |= uint64(uint32(i.Imm)) << encImmShift
+	return w
+}
+
+// Decode unpacks a 64-bit instruction word. It returns an error for an
+// undefined opcode or register field so that corrupted program images
+// fail loudly at load time rather than mid-simulation.
+func Decode(w uint64) (Inst, error) {
+	i := Inst{
+		Op:     Opcode(w >> encOpShift & 0xff),
+		Rd:     uint8(w >> encRdShift & 0x3f),
+		Rs1:    uint8(w >> encRs1Shift & 0x3f),
+		Rs2:    uint8(w >> encRs2Shift & 0x3f),
+		UseImm: w&encImmFlag != 0,
+		Imm:    int32(uint32(w >> encImmShift)),
+	}
+	if !i.Op.Valid() {
+		return Inst{}, fmt.Errorf("isa: undefined opcode %d", i.Op)
+	}
+	if !ValidReg(i.Rd) || !ValidReg(i.Rs1) || !ValidReg(i.Rs2) {
+		return Inst{}, fmt.Errorf("isa: register field out of range in %q", i.Op.Name())
+	}
+	return i, nil
+}
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	op := i.Op
+	src2 := func() string {
+		if i.UseImm {
+			return fmt.Sprintf("%d", i.Imm)
+		}
+		return RegName(i.Rs2)
+	}
+	// Memory effective addresses may combine a register index AND a
+	// displacement; render both so listings assemble back losslessly.
+	ea := func() string {
+		if i.UseImm {
+			return fmt.Sprintf("[%s+%d]", RegName(i.Rs1), i.Imm)
+		}
+		if i.Imm != 0 {
+			return fmt.Sprintf("[%s+%s+%d]", RegName(i.Rs1), RegName(i.Rs2), i.Imm)
+		}
+		return fmt.Sprintf("[%s+%s]", RegName(i.Rs1), RegName(i.Rs2))
+	}
+	switch op.Class() {
+	case ClassNop:
+		return "nop"
+	case ClassCompute:
+		if op == OpMovI {
+			return fmt.Sprintf("movi %s, 0x%x", RegName(i.Rd), uint32(i.Imm))
+		}
+		if op == OpTagCmp {
+			return fmt.Sprintf("tagcmp %s, %s", RegName(i.Rs1), src2())
+		}
+		return fmt.Sprintf("%s %s, %s, %s", op.Name(), RegName(i.Rd), RegName(i.Rs1), src2())
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, %s", op.Name(), RegName(i.Rd), ea())
+	case ClassStore:
+		return fmt.Sprintf("%s %s, %s", op.Name(), ea(), RegName(i.Rd))
+	case ClassBranch:
+		return fmt.Sprintf("%s %+d", op.Name(), i.Imm)
+	case ClassJmpl:
+		if i.Rs1 == RZero {
+			return fmt.Sprintf("jmpl %s, %d", RegName(i.Rd), i.Imm)
+		}
+		return fmt.Sprintf("jmpl %s, %s+%d", RegName(i.Rd), RegName(i.Rs1), i.Imm)
+	case ClassFrame:
+		switch op {
+		case OpIncFP, OpDecFP:
+			return op.Name()
+		case OpRdFP, OpRdPSR:
+			return fmt.Sprintf("%s %s", op.Name(), RegName(i.Rd))
+		default:
+			return fmt.Sprintf("%s %s", op.Name(), RegName(i.Rs1))
+		}
+	case ClassCacheOp:
+		return fmt.Sprintf("flush [%s+%d]", RegName(i.Rs1), i.Imm)
+	case ClassIO:
+		if op == OpLdio {
+			return fmt.Sprintf("ldio %s, [%s+%d]", RegName(i.Rd), RegName(i.Rs1), i.Imm)
+		}
+		return fmt.Sprintf("stio [%s+%d], %s", RegName(i.Rs1), i.Imm, RegName(i.Rd))
+	case ClassTrap:
+		return fmt.Sprintf("trap %d", i.Imm)
+	case ClassHalt:
+		return "halt"
+	}
+	return fmt.Sprintf("?%d", op)
+}
+
+// Convenience constructors used by the code generator and tests.
+
+// R3 builds a three-register compute instruction.
+func R3(op Opcode, rd, rs1, rs2 uint8) Inst { return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// RI builds a register-immediate compute instruction.
+func RI(op Opcode, rd, rs1 uint8, imm int32) Inst {
+	return Inst{Op: op, Rd: rd, Rs1: rs1, UseImm: true, Imm: imm}
+}
+
+// MovI builds a 32-bit immediate move.
+func MovI(rd uint8, v Word) Inst { return Inst{Op: OpMovI, Rd: rd, UseImm: true, Imm: int32(v)} }
+
+// Ld builds a load with an immediate offset.
+func Ld(op Opcode, rd, base uint8, off int32) Inst {
+	return Inst{Op: op, Rd: rd, Rs1: base, UseImm: true, Imm: off}
+}
+
+// LdX builds a register-indexed load.
+func LdX(op Opcode, rd, base, index uint8) Inst {
+	return Inst{Op: op, Rd: rd, Rs1: base, Rs2: index}
+}
+
+// St builds a store with an immediate offset; val is the register whose
+// contents are written.
+func St(op Opcode, base uint8, off int32, val uint8) Inst {
+	return Inst{Op: op, Rd: val, Rs1: base, UseImm: true, Imm: off}
+}
+
+// StX builds a register-indexed store.
+func StX(op Opcode, base, index, val uint8) Inst {
+	return Inst{Op: op, Rd: val, Rs1: base, Rs2: index}
+}
+
+// Br builds a branch with a PC-relative offset (in instructions).
+func Br(op Opcode, off int32) Inst { return Inst{Op: op, UseImm: true, Imm: off} }
+
+// Jmpl builds a jump-and-link.
+func Jmpl(rd, base uint8, target int32) Inst {
+	return Inst{Op: OpJmpl, Rd: rd, Rs1: base, UseImm: true, Imm: target}
+}
+
+// Trap builds a software trap with the given service number.
+func Trap(service int32) Inst { return Inst{Op: OpTrap, UseImm: true, Imm: service} }
+
+// Nop and Halt are the fixed instructions.
+var (
+	Nop  = Inst{Op: OpNop}
+	Halt = Inst{Op: OpHalt}
+)

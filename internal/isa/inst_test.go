@@ -1,0 +1,174 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2 uint8, useImm bool, imm int32) bool {
+		i := Inst{
+			Op:     Opcode(int(op) % NumOpcodes),
+			Rd:     rd % NumRegs,
+			Rs1:    rs1 % NumRegs,
+			Rs2:    rs2 % NumRegs,
+			UseImm: useImm,
+			Imm:    imm,
+		}
+		got, err := Decode(Encode(i))
+		return err == nil && got == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	w := Encode(Inst{Op: Opcode(200)})
+	if _, err := Decode(w); err == nil {
+		t.Error("Decode accepted undefined opcode 200")
+	}
+}
+
+func TestDecodeRejectsBadRegister(t *testing.T) {
+	// Register 45 is out of range (max is 39).
+	w := Encode(Inst{Op: OpAdd, Rd: 45})
+	if _, err := Decode(w); err == nil {
+		t.Error("Decode accepted register 45")
+	}
+}
+
+func TestTable2LoadAttributes(t *testing.T) {
+	// Table 2 of the paper, row by row.
+	want := []struct {
+		op     Opcode
+		reset  bool
+		elTrap bool
+		cmTrap bool // CM response "Trap" (vs "Wait")
+	}{
+		{OpLdtt, false, true, true},
+		{OpLdett, true, true, true},
+		{OpLdnt, false, false, true},
+		{OpLdent, true, false, true},
+		{OpLdnw, false, false, false},
+		{OpLdenw, true, false, false},
+		{OpLdtw, false, true, false},
+		{OpLdetw, true, true, false},
+	}
+	for i, w := range want {
+		if LoadFlavors[i] != w.op {
+			t.Errorf("LoadFlavors[%d] = %v, want %v", i, LoadFlavors[i], w.op)
+		}
+		f := w.op.Flavor()
+		if f.ResetFE != w.reset || f.TrapOnSync != w.elTrap || f.WaitOnMiss == w.cmTrap {
+			t.Errorf("%s flavor = %+v, want reset=%v elTrap=%v cmTrap=%v",
+				w.op.Name(), f, w.reset, w.elTrap, w.cmTrap)
+		}
+		if !w.op.IsLoad() {
+			t.Errorf("%s not classified as load", w.op.Name())
+		}
+	}
+}
+
+func TestStoreAttributesMirrorLoads(t *testing.T) {
+	for i, ld := range LoadFlavors {
+		st := StoreFlavors[i]
+		lf, sf := ld.Flavor(), st.Flavor()
+		if sf.SetFE != lf.ResetFE {
+			t.Errorf("%s SetFE=%v, want to mirror %s ResetFE=%v", st.Name(), sf.SetFE, ld.Name(), lf.ResetFE)
+		}
+		if sf.TrapOnSync != lf.TrapOnSync || sf.WaitOnMiss != lf.WaitOnMiss {
+			t.Errorf("%s attributes %+v don't mirror %s %+v", st.Name(), sf, ld.Name(), lf)
+		}
+		if !st.IsStore() {
+			t.Errorf("%s not classified as store", st.Name())
+		}
+	}
+}
+
+func TestComputeOpsAreStrict(t *testing.T) {
+	strict := []Opcode{OpAdd, OpAddCC, OpSub, OpSubCC, OpAnd, OpOr, OpXor}
+	for _, op := range strict {
+		if !op.Strict() {
+			t.Errorf("%s should be strict (trap on future operands)", op.Name())
+		}
+	}
+	// Shifts/mul/div work on untagged intermediates and must not trap;
+	// the compiler touches their tagged sources explicitly.
+	nonStrict := []Opcode{OpTagCmp, OpRawAdd, OpRawSub, OpRawAnd, OpMovI, OpNop, OpLdtt, OpBa,
+		OpSll, OpSrl, OpSra, OpMul, OpDiv, OpMod}
+	for _, op := range nonStrict {
+		if op.Strict() {
+			t.Errorf("%s should not be strict", op.Name())
+		}
+	}
+}
+
+func TestCCAttributes(t *testing.T) {
+	if !OpAddCC.SetsCC() || !OpSubCC.SetsCC() || !OpTagCmp.SetsCC() {
+		t.Error("CC variants must set condition codes")
+	}
+	if OpAdd.SetsCC() || OpSub.SetsCC() {
+		t.Error("non-CC variants must not set condition codes")
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{R3(OpAdd, 8, 9, 10), "add r8, r9, r10"},
+		{RI(OpSubCC, 16, 8, 4), "subcc r16, r8, 4"},
+		{MovI(GAllocPtr, 0x2000), "movi g0, 0x2000"},
+		{Ld(OpLdtt, 8, 9, -6), "ldtt r8, [r9+-6]"},
+		{St(OpStfnt, 1, 8, 16), "stfnt [r1+8], r16"},
+		{Br(OpBne, -3), "bne -3"},
+		{Br(OpJempty, 2), "jempty +2"},
+		{Jmpl(RLink, RZero, 100), "jmpl r5, 100"},
+		{Trap(3), "trap 3"},
+		{Nop, "nop"},
+		{Halt, "halt"},
+		{Inst{Op: OpIncFP}, "incfp"},
+		{Inst{Op: OpRdFP, Rd: 8}, "rdfp r8"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAllOpcodesHaveNames(t *testing.T) {
+	for op := 0; op < NumOpcodes; op++ {
+		name := Opcode(op).Name()
+		if name == "" {
+			t.Errorf("opcode %d has empty name", op)
+		}
+		if op != int(OpNop) && name == "nop" && Opcode(op) != OpNop {
+			t.Errorf("opcode %d missing from opInfo table", op)
+		}
+	}
+	// Names must be unique.
+	seen := map[string]Opcode{}
+	for op := 0; op < NumOpcodes; op++ {
+		name := Opcode(op).Name()
+		if prev, dup := seen[name]; dup {
+			t.Errorf("opcodes %d and %d share name %q", prev, op, name)
+		}
+		seen[name] = Opcode(op)
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	if RegName(0) != "r0" || RegName(31) != "r31" || RegName(32) != "g0" || RegName(39) != "g7" {
+		t.Error("RegName convention broken")
+	}
+	if !strings.HasPrefix(RegName(40), "badreg") {
+		t.Error("RegName should flag out-of-range registers")
+	}
+	if ValidReg(40) || !ValidReg(39) {
+		t.Error("ValidReg boundary wrong")
+	}
+}

@@ -1,0 +1,313 @@
+package isa
+
+// Opcode enumerates APRIL instructions. The set follows Table 1 of the
+// paper (compute, memory, branch, jmpl) extended with the full/empty
+// flavored memory operations of Table 2, the frame pointer
+// instructions, the full/empty conditional branches, and the
+// "out-of-band" instructions of Section 3.4 (FLUSH, LDIO, STIO).
+type Opcode uint8
+
+const (
+	OpNop Opcode = iota
+
+	// Compute instructions: three-address register-to-register
+	// arithmetic/logic operations. All compute instructions are strict:
+	// the hardware traps (TrapFuture) if an operand has its LSB set.
+	// The CC variants additionally set the condition codes.
+	OpAdd
+	OpAddCC
+	OpSub
+	OpSubCC
+	OpAnd
+	OpAndCC
+	OpOr
+	OpOrCC
+	OpXor
+	OpXorCC
+	OpSll
+	OpSrl
+	OpSra
+	OpMul
+	OpDiv
+	OpMod
+
+	// OpTagCmp compares the three-bit tag of rs1 with the immediate and
+	// sets Z accordingly. It is NOT strict (never traps on futures):
+	// software future detection on the Encore baseline is compiled from
+	// it, and trap handlers use it to inspect values.
+	OpTagCmp
+	// OpRawAdd/OpRawSub/OpRawAnd are non-strict variants used by the
+	// run-time system and software-check sequences to manipulate tagged
+	// values without tripping the future-detection hardware.
+	OpRawAdd
+	OpRawSub
+	OpRawAnd
+
+	// OpMovI loads a 32-bit immediate into rd (SETHI+OR pair on the
+	// SPARC implementation; charged as a single cycle here, matching
+	// the paper's instruction-level simulator).
+	OpMovI
+
+	// Memory instructions. Loads per Table 2; stores are symmetric
+	// (trap on *full* rather than empty; optionally set the bit full).
+	// Effective address: R[rs1] + imm (or R[rs2] when register-indexed).
+	// Loads write rd; stores write the value in R[rd] to memory.
+	//
+	// Name key:   ld e? {t|n} {t|w}
+	//   e  = reset the full/empty bit to empty after the load
+	//   t|n (first)  = trap / don't trap when the location is empty
+	//   t|w (second) = trap / wait on a cache miss
+	// and sttt etc. with f = set the bit full after the store.
+	OpLdtt  // load, trap on empty, trap on miss
+	OpLdett // load & empty, trap on empty, trap on miss
+	OpLdnt  // load, no empty trap, trap on miss
+	OpLdent // load & empty, no empty trap, trap on miss
+	OpLdnw  // load, no empty trap, wait on miss
+	OpLdenw // load & empty, no empty trap, wait on miss
+	OpLdtw  // load, trap on empty, wait on miss
+	OpLdetw // load & empty, trap on empty, wait on miss
+
+	OpSttt  // store, trap on full, trap on miss
+	OpStftt // store & fill, trap on full, trap on miss
+	OpStnt  // store, no full trap, trap on miss
+	OpStfnt // store & fill, no full trap, trap on miss
+	OpStnw  // store, no full trap, wait on miss
+	OpStfnw // store & fill, no full trap, wait on miss
+	OpSttw  // store, trap on full, wait on miss
+	OpStftw // store & fill, trap on full, wait on miss
+
+	// Branches: PC-relative on the condition codes (offset in
+	// instructions, in the immediate field).
+	OpBa  // always
+	OpBe  // Z
+	OpBne // !Z
+	OpBl  // N^V
+	OpBle // Z | (N^V)
+	OpBg  // !(Z | (N^V))
+	OpBge // !(N^V)
+	OpBcs // C (carry set; unsigned less-than)
+	OpBcc // !C
+
+	// Full/empty conditional branches (Section 4): dispatch on the
+	// full/empty condition bit set by the most recent non-trapping
+	// memory instruction. Implemented as coprocessor branches on the
+	// SPARC version.
+	OpJfull
+	OpJempty
+
+	// OpJmpl: jump and link. PC <- R[rs1] + imm (instruction index);
+	// rd <- fixnum(return address). With rs1 = r0 this is an absolute
+	// call; with rd = r0 a plain indirect jump.
+	OpJmpl
+
+	// Frame pointer instructions (Section 4).
+	OpIncFP // FP <- FP+1 mod frames
+	OpDecFP // FP <- FP-1 mod frames
+	OpRdFP  // rd <- fixnum(FP)
+	OpStFP  // FP <- fixnum value of R[rs1]
+
+	// PSR access.
+	OpRdPSR // rd <- PSR
+	OpWrPSR // PSR <- R[rs1]
+
+	// Out-of-band instructions (Section 3.4): software-enforced cache
+	// management and memory-mapped I/O for IPIs, block transfers and
+	// the fence counter.
+	OpFlush // write back + invalidate the cache line at R[rs1]+imm
+	OpLdio  // rd <- IO[R[rs1]+imm]   (fence counter, IPI status, ...)
+	OpStio  // IO[R[rs1]+imm] <- R[rd] (send IPI, start block transfer)
+
+	// OpTrap: software trap to the run-time system; the immediate
+	// selects the service (see the rts package). This models the
+	// SPARC "ticc" instruction used by the Mul-T runtime.
+	OpTrap
+
+	// OpHalt stops the processor (end of program / idle loop exit).
+	OpHalt
+
+	opLast // sentinel; must remain final
+)
+
+// NumOpcodes is the count of defined opcodes.
+const NumOpcodes = int(opLast)
+
+// Class partitions opcodes by execution semantics.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassCompute
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJmpl
+	ClassFrame // FP and PSR manipulation
+	ClassCacheOp
+	ClassIO
+	ClassTrap
+	ClassHalt
+)
+
+// MemFlavor captures the Table 2 attributes of a memory instruction.
+type MemFlavor struct {
+	ResetFE    bool // load: set location empty after reading
+	SetFE      bool // store: set location full after writing
+	TrapOnSync bool // trap on empty (load) / full (store) location
+	WaitOnMiss bool // wait (stall) rather than trap on a cache miss
+}
+
+// info is the static decode table entry for an opcode.
+type info struct {
+	name    string
+	class   Class
+	setsCC  bool
+	strict  bool // traps if an operand is a future (LSB set)
+	flavor  MemFlavor
+	hasMem  bool
+	condEnc Cond // for branch opcodes
+}
+
+// Cond enumerates branch conditions.
+type Cond uint8
+
+const (
+	CondA Cond = iota
+	CondE
+	CondNE
+	CondL
+	CondLE
+	CondG
+	CondGE
+	CondCS
+	CondCC
+	CondFull
+	CondEmpty
+)
+
+var opInfo = [NumOpcodes]info{
+	OpNop:   {name: "nop", class: ClassNop},
+	OpAdd:   {name: "add", class: ClassCompute, strict: true},
+	OpAddCC: {name: "addcc", class: ClassCompute, strict: true, setsCC: true},
+	OpSub:   {name: "sub", class: ClassCompute, strict: true},
+	OpSubCC: {name: "subcc", class: ClassCompute, strict: true, setsCC: true},
+	OpAnd:   {name: "and", class: ClassCompute, strict: true},
+	OpAndCC: {name: "andcc", class: ClassCompute, strict: true, setsCC: true},
+	OpOr:    {name: "or", class: ClassCompute, strict: true},
+	OpOrCC:  {name: "orcc", class: ClassCompute, strict: true, setsCC: true},
+	OpXor:   {name: "xor", class: ClassCompute, strict: true},
+	OpXorCC: {name: "xorcc", class: ClassCompute, strict: true, setsCC: true},
+	// Shifts, multiply and divide are NOT strict: on the SPARC
+	// implementation they are multi-step sequences / software routines
+	// whose intermediates are untagged (an untagged odd value would
+	// spuriously read as a future). The compiler emits explicit touches
+	// on their tagged source operands instead.
+	OpSll:    {name: "sll", class: ClassCompute},
+	OpSrl:    {name: "srl", class: ClassCompute},
+	OpSra:    {name: "sra", class: ClassCompute},
+	OpMul:    {name: "mul", class: ClassCompute},
+	OpDiv:    {name: "div", class: ClassCompute},
+	OpMod:    {name: "mod", class: ClassCompute},
+	OpTagCmp: {name: "tagcmp", class: ClassCompute, setsCC: true},
+	OpRawAdd: {name: "rawadd", class: ClassCompute},
+	OpRawSub: {name: "rawsub", class: ClassCompute},
+	OpRawAnd: {name: "rawand", class: ClassCompute},
+	OpMovI:   {name: "movi", class: ClassCompute},
+
+	OpLdtt:  {name: "ldtt", class: ClassLoad, hasMem: true, flavor: MemFlavor{TrapOnSync: true}},
+	OpLdett: {name: "ldett", class: ClassLoad, hasMem: true, flavor: MemFlavor{ResetFE: true, TrapOnSync: true}},
+	OpLdnt:  {name: "ldnt", class: ClassLoad, hasMem: true, flavor: MemFlavor{}},
+	OpLdent: {name: "ldent", class: ClassLoad, hasMem: true, flavor: MemFlavor{ResetFE: true}},
+	OpLdnw:  {name: "ldnw", class: ClassLoad, hasMem: true, flavor: MemFlavor{WaitOnMiss: true}},
+	OpLdenw: {name: "ldenw", class: ClassLoad, hasMem: true, flavor: MemFlavor{ResetFE: true, WaitOnMiss: true}},
+	OpLdtw:  {name: "ldtw", class: ClassLoad, hasMem: true, flavor: MemFlavor{TrapOnSync: true, WaitOnMiss: true}},
+	OpLdetw: {name: "ldetw", class: ClassLoad, hasMem: true, flavor: MemFlavor{ResetFE: true, TrapOnSync: true, WaitOnMiss: true}},
+
+	OpSttt:  {name: "sttt", class: ClassStore, hasMem: true, flavor: MemFlavor{TrapOnSync: true}},
+	OpStftt: {name: "stftt", class: ClassStore, hasMem: true, flavor: MemFlavor{SetFE: true, TrapOnSync: true}},
+	OpStnt:  {name: "stnt", class: ClassStore, hasMem: true, flavor: MemFlavor{}},
+	OpStfnt: {name: "stfnt", class: ClassStore, hasMem: true, flavor: MemFlavor{SetFE: true}},
+	OpStnw:  {name: "stnw", class: ClassStore, hasMem: true, flavor: MemFlavor{WaitOnMiss: true}},
+	OpStfnw: {name: "stfnw", class: ClassStore, hasMem: true, flavor: MemFlavor{SetFE: true, WaitOnMiss: true}},
+	OpSttw:  {name: "sttw", class: ClassStore, hasMem: true, flavor: MemFlavor{TrapOnSync: true, WaitOnMiss: true}},
+	OpStftw: {name: "stftw", class: ClassStore, hasMem: true, flavor: MemFlavor{SetFE: true, TrapOnSync: true, WaitOnMiss: true}},
+
+	OpBa:     {name: "ba", class: ClassBranch, condEnc: CondA},
+	OpBe:     {name: "be", class: ClassBranch, condEnc: CondE},
+	OpBne:    {name: "bne", class: ClassBranch, condEnc: CondNE},
+	OpBl:     {name: "bl", class: ClassBranch, condEnc: CondL},
+	OpBle:    {name: "ble", class: ClassBranch, condEnc: CondLE},
+	OpBg:     {name: "bg", class: ClassBranch, condEnc: CondG},
+	OpBge:    {name: "bge", class: ClassBranch, condEnc: CondGE},
+	OpBcs:    {name: "bcs", class: ClassBranch, condEnc: CondCS},
+	OpBcc:    {name: "bcc", class: ClassBranch, condEnc: CondCC},
+	OpJfull:  {name: "jfull", class: ClassBranch, condEnc: CondFull},
+	OpJempty: {name: "jempty", class: ClassBranch, condEnc: CondEmpty},
+
+	OpJmpl: {name: "jmpl", class: ClassJmpl},
+
+	OpIncFP: {name: "incfp", class: ClassFrame},
+	OpDecFP: {name: "decfp", class: ClassFrame},
+	OpRdFP:  {name: "rdfp", class: ClassFrame},
+	OpStFP:  {name: "stfp", class: ClassFrame},
+	OpRdPSR: {name: "rdpsr", class: ClassFrame},
+	OpWrPSR: {name: "wrpsr", class: ClassFrame},
+
+	OpFlush: {name: "flush", class: ClassCacheOp, hasMem: true},
+	OpLdio:  {name: "ldio", class: ClassIO, hasMem: true},
+	OpStio:  {name: "stio", class: ClassIO, hasMem: true},
+
+	OpTrap: {name: "trap", class: ClassTrap},
+	OpHalt: {name: "halt", class: ClassHalt},
+}
+
+// Name returns the assembler mnemonic for op.
+func (op Opcode) Name() string {
+	if int(op) < NumOpcodes {
+		return opInfo[op].name
+	}
+	return "invalid"
+}
+
+// Class returns op's execution class.
+func (op Opcode) Class() Class {
+	if int(op) < NumOpcodes {
+		return opInfo[op].class
+	}
+	return ClassNop
+}
+
+// SetsCC reports whether op writes the integer condition codes.
+func (op Opcode) SetsCC() bool { return int(op) < NumOpcodes && opInfo[op].setsCC }
+
+// Strict reports whether op traps when an operand is a future
+// (hardware future detection, Section 4).
+func (op Opcode) Strict() bool { return int(op) < NumOpcodes && opInfo[op].strict }
+
+// Flavor returns the Table 2 attributes for a memory opcode.
+func (op Opcode) Flavor() MemFlavor {
+	if int(op) < NumOpcodes {
+		return opInfo[op].flavor
+	}
+	return MemFlavor{}
+}
+
+// Cond returns the branch condition encoded by a branch opcode.
+func (op Opcode) Cond() Cond {
+	if int(op) < NumOpcodes {
+		return opInfo[op].condEnc
+	}
+	return CondA
+}
+
+// IsLoad and IsStore classify memory opcodes.
+func (op Opcode) IsLoad() bool  { return op.Class() == ClassLoad }
+func (op Opcode) IsStore() bool { return op.Class() == ClassStore }
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return int(op) < NumOpcodes }
+
+// LoadFlavors lists the eight load opcodes in Table 2 order (types 1-8).
+var LoadFlavors = [8]Opcode{OpLdtt, OpLdett, OpLdnt, OpLdent, OpLdnw, OpLdenw, OpLdtw, OpLdetw}
+
+// StoreFlavors lists the eight store opcodes in the symmetric order.
+var StoreFlavors = [8]Opcode{OpSttt, OpStftt, OpStnt, OpStfnt, OpStnw, OpStfnw, OpSttw, OpStftw}

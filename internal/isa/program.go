@@ -1,0 +1,81 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is an executable APRIL program image: decoded instructions
+// indexed by instruction address (the PC is an instruction index, not a
+// byte address), an entry point, and an optional symbol table mapping
+// procedure names to entry addresses for disassembly and debugging.
+type Program struct {
+	Code    []Inst
+	Entry   uint32
+	Symbols map[string]uint32
+}
+
+// Fetch returns the instruction at pc, or an error for a wild PC.
+func (p *Program) Fetch(pc uint32) (Inst, error) {
+	if int(pc) >= len(p.Code) {
+		return Inst{}, fmt.Errorf("isa: PC %d outside program of %d instructions", pc, len(p.Code))
+	}
+	return p.Code[pc], nil
+}
+
+// SymbolAt returns the name of the symbol defined exactly at pc, if any.
+func (p *Program) SymbolAt(pc uint32) (string, bool) {
+	for name, addr := range p.Symbols {
+		if addr == pc {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// EncodeImage serializes the program's code to its binary form.
+func (p *Program) EncodeImage() []uint64 {
+	img := make([]uint64, len(p.Code))
+	for i, in := range p.Code {
+		img[i] = Encode(in)
+	}
+	return img
+}
+
+// LoadImage decodes a binary image into a program.
+func LoadImage(img []uint64, entry uint32) (*Program, error) {
+	p := &Program{Code: make([]Inst, len(img)), Entry: entry}
+	for i, w := range img {
+		in, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("at instruction %d: %w", i, err)
+		}
+		p.Code[i] = in
+	}
+	if int(entry) > len(img) {
+		return nil, fmt.Errorf("isa: entry %d outside image of %d instructions", entry, len(img))
+	}
+	return p, nil
+}
+
+// Disassemble renders the program as an assembler listing with symbol
+// labels.
+func (p *Program) Disassemble() string {
+	// Invert the symbol table once.
+	labels := make(map[uint32][]string, len(p.Symbols))
+	for name, addr := range p.Symbols {
+		labels[addr] = append(labels[addr], name)
+	}
+	var b strings.Builder
+	for pc, in := range p.Code {
+		for _, l := range labels[uint32(pc)] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		marker := "  "
+		if uint32(pc) == p.Entry {
+			marker = "=>"
+		}
+		fmt.Fprintf(&b, "%s%6d:  %s\n", marker, pc, in)
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package isa
+
+import "fmt"
+
+// Register numbering. APRIL exposes four task frames of 32 general
+// purpose registers plus eight global registers that are visible
+// regardless of the frame pointer (Section 3 of the paper). In the
+// instruction encoding, register numbers 0..31 select the active
+// frame's registers (r0 is hardwired to zero) and 32..39 select the
+// globals g0..g7.
+const (
+	NumFrameRegs  = 32
+	NumGlobalRegs = 8
+	NumRegs       = NumFrameRegs + NumGlobalRegs
+
+	// RZero is hardwired to the fixnum 0; writes are discarded.
+	RZero = 0
+)
+
+// Software register convention used by the Mul-T compiler and the
+// run-time system. These assignments are convention only; the hardware
+// treats all of r1..r31 alike.
+const (
+	RSP   = 1 // stack pointer (byte address, grows down, fixnum-tagged)
+	RFP   = 2 // procedure frame pointer
+	RTP   = 3 // thread pointer: byte address of the thread control block
+	RClos = 4 // closure register: the closure being invoked
+	RLink = 5 // return address (fixnum instruction index)
+	RArg0 = 8 // first argument / result register
+	// RArg0..RArg0+NumArgRegs-1 carry procedure arguments.
+	NumArgRegs = 6
+	RTmp0      = 16 // first of the caller-saved temporaries r16..r31
+	NumTmpRegs = 16
+)
+
+// Global register convention.
+const (
+	GAllocPtr   = NumFrameRegs + 0 // g0: heap allocation pointer (byte address)
+	GAllocLimit = NumFrameRegs + 1 // g1: heap allocation limit
+	GSelf       = NumFrameRegs + 2 // g2: this processor's node id (fixnum)
+	GScratch0   = NumFrameRegs + 3 // g3: trap-handler scratch
+	GScratch1   = NumFrameRegs + 4 // g4: trap-handler scratch
+	GScratch2   = NumFrameRegs + 5 // g5
+	GScratch3   = NumFrameRegs + 6 // g6
+	GScratch4   = NumFrameRegs + 7 // g7
+)
+
+// RegName renders register r using the r/g convention.
+func RegName(r uint8) string {
+	switch {
+	case int(r) < NumFrameRegs:
+		return fmt.Sprintf("r%d", r)
+	case int(r) < NumRegs:
+		return fmt.Sprintf("g%d", int(r)-NumFrameRegs)
+	default:
+		return fmt.Sprintf("badreg%d", r)
+	}
+}
+
+// ValidReg reports whether r is a legal register number.
+func ValidReg(r uint8) bool { return int(r) < NumRegs }

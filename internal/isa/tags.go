@@ -1,0 +1,127 @@
+// Package isa defines the APRIL instruction set architecture: machine
+// words with their low-bit data type tags (Figure 3 of the paper),
+// register numbering, opcodes with their timing-relevant attributes,
+// the binary instruction encoding, and a disassembler.
+//
+// APRIL is a 32-bit tagged RISC. Every data word carries its type in
+// its low-order bits so that the hardware can detect futures (and other
+// type errors) for free: a future pointer always has its least
+// significant bit set, so strict (compute) instructions trap on futures
+// with a single wired-OR of the operand LSBs.
+package isa
+
+// Word is a 32-bit APRIL machine word. The low-order bits carry the
+// data type tag per Figure 3 of the paper:
+//
+//	Fixnum  ....00   30-bit signed integer in bits 31..2
+//	Other   ...010   immediates (nil, booleans, chars) and non-cons heap pointers
+//	Cons    ...110   pointer to a cons cell
+//	Future  ...101   pointer to a future object (LSB = 1)
+//
+// Heap objects are aligned to 8-byte boundaries so that the low three
+// bits of a pointer are free to hold the tag.
+type Word uint32
+
+// Tag values from Figure 3. FixnumTag uses only the low two bits; the
+// other tags use the low three.
+const (
+	FixnumTag Word = 0x0 // ....00
+	OtherTag  Word = 0x2 // ...010
+	ConsTag   Word = 0x6 // ...110
+	FutureTag Word = 0x5 // ...101
+)
+
+// TagMask3 extracts a three-bit tag; TagMask2 the fixnum tag.
+const (
+	TagMask2 Word = 0x3
+	TagMask3 Word = 0x7
+)
+
+// Distinguished "other"-tagged immediates. They live below HeapBase so
+// they can never be confused with heap pointers.
+const (
+	Nil    Word = 0<<3 | 2 // the empty list '()
+	False  Word = 1<<3 | 2 // #f
+	True   Word = 2<<3 | 2 // #t
+	Unspec Word = 3<<3 | 2 // unspecified value (result of set!, etc.)
+	EOFObj Word = 4<<3 | 2 // end-of-input marker
+)
+
+// HeapBase is the lowest byte address used for heap-allocated objects.
+// Anything "other"-tagged below HeapBase is an immediate.
+const HeapBase = 0x1000
+
+// MakeFixnum boxes a signed integer as a fixnum word. Values outside
+// the 30-bit range wrap (as the silicon would).
+func MakeFixnum(n int32) Word { return Word(uint32(n) << 2) }
+
+// FixnumValue extracts the signed integer from a fixnum word.
+func FixnumValue(w Word) int32 { return int32(uint32(w)) >> 2 }
+
+// IsFixnum reports whether w carries the fixnum tag.
+func IsFixnum(w Word) bool { return w&TagMask2 == FixnumTag }
+
+// IsFuture reports whether w is a future pointer. Per Section 4 of the
+// paper, futures are the only values with a set least significant bit,
+// which is what the hardware future-detection logic tests.
+func IsFuture(w Word) bool { return w&1 == 1 }
+
+// IsCons reports whether w is a cons pointer.
+func IsCons(w Word) bool { return w&TagMask3 == ConsTag }
+
+// IsOther reports whether w carries the "other" tag (immediates and
+// non-cons heap pointers such as vectors, closures and strings).
+func IsOther(w Word) bool { return w&TagMask3 == OtherTag }
+
+// IsPointer reports whether w points into the heap (any tag, address at
+// or above HeapBase).
+func IsPointer(w Word) bool {
+	if IsFixnum(w) {
+		return false
+	}
+	return PointerAddress(w) >= HeapBase
+}
+
+// PointerAddress strips the tag from a pointer word, yielding the byte
+// address of the referenced object (8-byte aligned).
+func PointerAddress(w Word) uint32 { return uint32(w) &^ 7 }
+
+// MakePointer tags an 8-byte-aligned byte address with the given tag.
+func MakePointer(addr uint32, tag Word) Word { return Word(addr&^7) | tag }
+
+// MakeCons tags addr as a cons pointer.
+func MakeCons(addr uint32) Word { return MakePointer(addr, ConsTag) }
+
+// MakeFuture tags addr as a future pointer.
+func MakeFuture(addr uint32) Word { return MakePointer(addr, FutureTag) }
+
+// MakeOther tags addr as an "other" heap pointer.
+func MakeOther(addr uint32) Word { return MakePointer(addr, OtherTag) }
+
+// MakeBool returns the canonical boolean word for b.
+func MakeBool(b bool) Word {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Truthy implements Scheme truth: everything except #f is true.
+func Truthy(w Word) bool { return w != False }
+
+// TagName returns a short human-readable name for w's tag, for
+// disassembly and debugging.
+func TagName(w Word) string {
+	switch {
+	case IsFixnum(w):
+		return "fixnum"
+	case IsFuture(w):
+		return "future"
+	case IsCons(w):
+		return "cons"
+	case IsOther(w):
+		return "other"
+	default:
+		return "invalid"
+	}
+}

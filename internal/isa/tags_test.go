@@ -1,0 +1,136 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFixnumRoundTrip(t *testing.T) {
+	cases := []int32{0, 1, -1, 42, -42, 1 << 28, -(1 << 28), (1 << 29) - 1, -(1 << 29)}
+	for _, n := range cases {
+		w := MakeFixnum(n)
+		if !IsFixnum(w) {
+			t.Errorf("MakeFixnum(%d) = %#x: not tagged fixnum", n, w)
+		}
+		if got := FixnumValue(w); got != n {
+			t.Errorf("FixnumValue(MakeFixnum(%d)) = %d", n, got)
+		}
+		if IsFuture(w) {
+			t.Errorf("fixnum %d detected as future", n)
+		}
+	}
+}
+
+func TestFixnumRoundTripProperty(t *testing.T) {
+	f := func(n int32) bool {
+		// Clamp to the 30-bit fixnum range the tag scheme supports.
+		n = n << 2 >> 2
+		w := MakeFixnum(n)
+		return IsFixnum(w) && FixnumValue(w) == n && !IsFuture(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointerTagging(t *testing.T) {
+	addrs := []uint32{HeapBase, HeapBase + 8, 0x10000, 0xfffffff8}
+	for _, a := range addrs {
+		cons := MakeCons(a)
+		fut := MakeFuture(a)
+		oth := MakeOther(a)
+		if !IsCons(cons) || IsFuture(cons) || IsFixnum(cons) {
+			t.Errorf("cons tag wrong for %#x: %#x", a, cons)
+		}
+		if !IsFuture(fut) || IsCons(fut) || IsFixnum(fut) {
+			t.Errorf("future tag wrong for %#x: %#x", a, fut)
+		}
+		if !IsOther(oth) || IsFuture(oth) || IsFixnum(oth) || IsCons(oth) {
+			t.Errorf("other tag wrong for %#x: %#x", a, oth)
+		}
+		for _, w := range []Word{cons, fut, oth} {
+			if PointerAddress(w) != a&^7 {
+				t.Errorf("PointerAddress(%#x) = %#x, want %#x", w, PointerAddress(w), a&^7)
+			}
+		}
+	}
+}
+
+// TestFutureDetectionIsLSB checks the paper's key hardware property:
+// a word is a future exactly when its least significant bit is set
+// (Section 4, "Future pointers are easily detected by their non-zero
+// least significant bit").
+func TestFutureDetectionIsLSB(t *testing.T) {
+	f := func(raw uint32) bool {
+		w := Word(raw)
+		return IsFuture(w) == (raw&1 == 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// And the four Figure 3 encodings are mutually exclusive.
+	f2 := func(raw uint32) bool {
+		w := Word(raw &^ 7)
+		n := 0
+		for _, x := range []Word{w | FixnumTag, w | OtherTag, w | ConsTag, w | FutureTag} {
+			if IsFuture(x) {
+				n++
+			}
+		}
+		return n == 1 // only the future tag has the LSB set
+	}
+	if err := quick.Check(f2, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImmediates(t *testing.T) {
+	for _, w := range []Word{Nil, False, True, Unspec, EOFObj} {
+		if !IsOther(w) {
+			t.Errorf("immediate %#x not 'other'-tagged", w)
+		}
+		if IsPointer(w) {
+			t.Errorf("immediate %#x classified as pointer", w)
+		}
+	}
+	if Truthy(False) {
+		t.Error("#f is truthy")
+	}
+	for _, w := range []Word{True, Nil, MakeFixnum(0)} {
+		if !Truthy(w) {
+			t.Errorf("%#x should be truthy (only #f is false)", w)
+		}
+	}
+	if MakeBool(true) != True || MakeBool(false) != False {
+		t.Error("MakeBool wrong")
+	}
+}
+
+func TestTagName(t *testing.T) {
+	cases := map[Word]string{
+		MakeFixnum(7):            "fixnum",
+		MakeCons(HeapBase):       "cons",
+		MakeFuture(HeapBase):     "future",
+		Nil:                      "other",
+		MakeOther(HeapBase + 16): "other",
+	}
+	for w, want := range cases {
+		if got := TagName(w); got != want {
+			t.Errorf("TagName(%#x) = %q, want %q", w, got, want)
+		}
+	}
+}
+
+func TestFixnumArithPreservesTag(t *testing.T) {
+	// The compiler relies on tagged fixnum add/sub working directly on
+	// the tagged representation.
+	f := func(a, b int32) bool {
+		a, b = a<<2>>2, b<<2>>2
+		sum := int32(a+b) << 2 >> 2 // wrapped 30-bit result
+		w := Word(uint32(MakeFixnum(a)) + uint32(MakeFixnum(b)))
+		return IsFixnum(w) && FixnumValue(w) == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

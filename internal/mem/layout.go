@@ -1,0 +1,113 @@
+package mem
+
+import (
+	"fmt"
+
+	"april/internal/isa"
+)
+
+// Layout carves the flat address space into the regions the run-time
+// system uses. The split is convention between the compiler and the
+// runtime, not hardware:
+//
+//	[0, HeapBase)            reserved (null page; immediate encodings)
+//	[StaticBase, StaticEnd)  program constants and globals
+//	[StackBase, StackEnd)    per-thread stacks, handed out by the runtime
+//	[HeapStart, end)         per-processor allocation arenas
+type Layout struct {
+	StaticBase uint32
+	StaticEnd  uint32
+	StackBase  uint32
+	StackEnd   uint32
+	HeapStart  uint32
+	End        uint32
+}
+
+// DefaultLayout sizes the regions for a memory of the given size.
+// Static and stack regions get fixed shares; the heap takes the rest.
+func DefaultLayout(size uint32) Layout {
+	staticSize := uint32(1 << 20) // 1 MB of constants/globals
+	stackSize := size / 4         // a quarter of memory for stacks
+	l := Layout{
+		StaticBase: isa.HeapBase,
+		End:        size,
+	}
+	l.StaticEnd = l.StaticBase + staticSize
+	l.StackBase = l.StaticEnd
+	l.StackEnd = l.StackBase + stackSize
+	l.HeapStart = l.StackEnd
+	return l
+}
+
+// Validate checks the layout is ordered and in range.
+func (l Layout) Validate() error {
+	if l.StaticBase < isa.HeapBase ||
+		l.StaticBase > l.StaticEnd ||
+		l.StaticEnd > l.StackBase ||
+		l.StackBase > l.StackEnd ||
+		l.StackEnd > l.HeapStart ||
+		l.HeapStart > l.End {
+		return fmt.Errorf("mem: invalid layout %+v", l)
+	}
+	return nil
+}
+
+// Arena is a bump allocator over a region of simulated memory. The
+// runtime gives each processor its own heap arena so allocation needs
+// no synchronization (the paper's runtime does the same with per-node
+// heaps reached through a global register).
+type Arena struct {
+	Next  uint32
+	Limit uint32
+}
+
+// NewArena returns an arena over [base, limit).
+func NewArena(base, limit uint32) *Arena { return &Arena{Next: base, Limit: limit} }
+
+// Alloc reserves n bytes aligned to 8 (so the low three bits of object
+// addresses are free for tags). It returns 0 when the arena is
+// exhausted; the runtime treats that as a fatal out-of-memory error
+// (this reproduction does not implement garbage collection — see
+// DESIGN.md).
+func (a *Arena) Alloc(n uint32) uint32 {
+	addr := (a.Next + 7) &^ 7
+	if addr+n > a.Limit || addr+n < addr {
+		return 0
+	}
+	a.Next = addr + n
+	return addr
+}
+
+// Remaining returns the bytes left in the arena.
+func (a *Arena) Remaining() uint32 {
+	addr := (a.Next + 7) &^ 7
+	if addr >= a.Limit {
+		return 0
+	}
+	return a.Limit - addr
+}
+
+// Distribution maps physical addresses to their home nodes for the
+// directory protocol. ALEWIFE distributes the globally shared memory
+// among the processing nodes; we interleave at block granularity so
+// that consecutive blocks have different homes (this spreads directory
+// traffic uniformly, the standard configuration for the kind of
+// uniform-access analysis in Section 8).
+type Distribution struct {
+	Nodes     int
+	BlockSize uint32 // bytes; a power of two
+}
+
+// Home returns the home node of addr.
+func (d Distribution) Home(addr uint32) int {
+	if d.Nodes <= 1 {
+		return 0
+	}
+	return int(addr/d.BlockSize) % d.Nodes
+}
+
+// Block returns the block number containing addr.
+func (d Distribution) Block(addr uint32) uint32 { return addr / d.BlockSize }
+
+// BlockBase returns the first byte address of the block containing addr.
+func (d Distribution) BlockBase(addr uint32) uint32 { return addr &^ (d.BlockSize - 1) }

@@ -1,0 +1,166 @@
+// Package mem implements APRIL's word-addressed memory. Every 32-bit
+// data word carries an additional synchronization bit — the full/empty
+// bit of Section 3.3 of the paper — stored here as a parallel bitmap.
+// Full/empty bits are the substrate for fine-grain word-level
+// synchronization: loads may trap on empty locations, stores on full
+// ones, and the bits double as cheap locks for the run-time system
+// (e.g. for lazy task creation markers).
+package mem
+
+import (
+	"errors"
+	"fmt"
+
+	"april/internal/isa"
+)
+
+// Errors reported by memory accesses. Unaligned accesses normally never
+// reach memory — the processor traps on them first (they signal future
+// pointers used as addresses) — so these indicate simulator bugs or
+// hand-written test programs.
+var (
+	ErrUnaligned  = errors.New("mem: unaligned word access")
+	ErrOutOfRange = errors.New("mem: address out of range")
+)
+
+// WordBytes is the size of a machine word in bytes.
+const WordBytes = 4
+
+// Memory is a flat physical memory with one full/empty bit per word.
+// In ALEWIFE the physical memory is distributed among the nodes; the
+// Distribution type maps addresses to their home nodes while the
+// backing store stays flat (the simulator equivalent of the globally
+// shared address space the controllers synthesize).
+//
+// A freshly created memory is all zeros with every full/empty bit set
+// to full, matching the paper's convention that ordinary (non-
+// synchronizing) data lives in full locations and only I-structure
+// style slots start out empty.
+type Memory struct {
+	words []isa.Word
+	fe    []uint64 // 1 bit per word; 1 = full
+	size  uint32   // in bytes
+}
+
+// New creates a memory of the given size in bytes (rounded up to a
+// multiple of 64 words). All words are zero and full.
+func New(size uint32) *Memory {
+	nw := (int(size/WordBytes) + 63) &^ 63
+	m := &Memory{
+		words: make([]isa.Word, nw),
+		fe:    make([]uint64, nw/64),
+		size:  uint32(nw * WordBytes),
+	}
+	for i := range m.fe {
+		m.fe[i] = ^uint64(0) // all full
+	}
+	return m
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() uint32 { return m.size }
+
+func (m *Memory) check(addr uint32) (uint32, error) {
+	if addr%WordBytes != 0 {
+		return 0, fmt.Errorf("%w: %#x", ErrUnaligned, addr)
+	}
+	idx := addr / WordBytes
+	if idx >= uint32(len(m.words)) {
+		return 0, fmt.Errorf("%w: %#x (size %#x)", ErrOutOfRange, addr, m.size)
+	}
+	return idx, nil
+}
+
+// LoadWord reads the word at byte address addr.
+func (m *Memory) LoadWord(addr uint32) (isa.Word, error) {
+	idx, err := m.check(addr)
+	if err != nil {
+		return 0, err
+	}
+	return m.words[idx], nil
+}
+
+// StoreWord writes the word at byte address addr.
+func (m *Memory) StoreWord(addr uint32, w isa.Word) error {
+	idx, err := m.check(addr)
+	if err != nil {
+		return err
+	}
+	m.words[idx] = w
+	return nil
+}
+
+// FE returns the full/empty bit of the word at addr (true = full).
+func (m *Memory) FE(addr uint32) (bool, error) {
+	idx, err := m.check(addr)
+	if err != nil {
+		return false, err
+	}
+	return m.fe[idx/64]&(1<<(idx%64)) != 0, nil
+}
+
+// SetFE sets the full/empty bit of the word at addr.
+func (m *Memory) SetFE(addr uint32, full bool) error {
+	idx, err := m.check(addr)
+	if err != nil {
+		return err
+	}
+	bit := uint64(1) << (idx % 64)
+	if full {
+		m.fe[idx/64] |= bit
+	} else {
+		m.fe[idx/64] &^= bit
+	}
+	return nil
+}
+
+// Access performs a combined load-or-store with full/empty semantics in
+// one step, returning the prior value and prior full/empty state. It is
+// the primitive the cache controller and the perfect-memory port build
+// the Table 2 operations from: the caller decides whether the prior
+// state constitutes a synchronization fault before committing.
+//
+// For a load (store == false) the value argument is ignored.
+func (m *Memory) Access(addr uint32, store bool, value isa.Word) (prev isa.Word, full bool, err error) {
+	idx, err := m.check(addr)
+	if err != nil {
+		return 0, false, err
+	}
+	prev = m.words[idx]
+	full = m.fe[idx/64]&(1<<(idx%64)) != 0
+	if store {
+		m.words[idx] = value
+	}
+	return prev, full, nil
+}
+
+// MustLoad and MustStore panic on error; they are for simulator-internal
+// structures whose addresses are known valid (run-time system state).
+func (m *Memory) MustLoad(addr uint32) isa.Word {
+	w, err := m.LoadWord(addr)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func (m *Memory) MustStore(addr uint32, w isa.Word) {
+	if err := m.StoreWord(addr, w); err != nil {
+		panic(err)
+	}
+}
+
+// MustFE and MustSetFE are the panicking full/empty accessors.
+func (m *Memory) MustFE(addr uint32) bool {
+	b, err := m.FE(addr)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func (m *Memory) MustSetFE(addr uint32, full bool) {
+	if err := m.SetFE(addr, full); err != nil {
+		panic(err)
+	}
+}

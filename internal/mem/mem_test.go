@@ -1,0 +1,177 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"april/internal/isa"
+)
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New(1 << 16)
+	if err := m.StoreWord(0x100, isa.MakeFixnum(42)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.LoadWord(0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isa.FixnumValue(w) != 42 {
+		t.Errorf("got %v, want fixnum 42", w)
+	}
+}
+
+func TestFreshMemoryIsZeroAndFull(t *testing.T) {
+	m := New(4096)
+	for addr := uint32(0); addr < 4096; addr += 4 {
+		if w := m.MustLoad(addr); w != 0 {
+			t.Fatalf("fresh memory at %#x = %#x, want 0", addr, w)
+		}
+		if !m.MustFE(addr) {
+			t.Fatalf("fresh memory at %#x not full", addr)
+		}
+	}
+}
+
+func TestAlignmentAndRangeErrors(t *testing.T) {
+	m := New(4096)
+	if _, err := m.LoadWord(2); !errors.Is(err, ErrUnaligned) {
+		t.Errorf("LoadWord(2) err = %v, want ErrUnaligned", err)
+	}
+	if err := m.StoreWord(4097, 0); err == nil {
+		t.Error("StoreWord past end succeeded")
+	}
+	if _, err := m.LoadWord(1 << 20); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("LoadWord out of range err = %v, want ErrOutOfRange", err)
+	}
+	if _, err := m.FE(3); !errors.Is(err, ErrUnaligned) {
+		t.Errorf("FE(3) err = %v, want ErrUnaligned", err)
+	}
+	if err := m.SetFE(1<<20, true); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("SetFE out of range err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestFullEmptyBits(t *testing.T) {
+	m := New(4096)
+	addr := uint32(0x80)
+	m.MustSetFE(addr, false)
+	if m.MustFE(addr) {
+		t.Error("bit still full after SetFE(false)")
+	}
+	// Neighbors unaffected.
+	if !m.MustFE(addr-4) || !m.MustFE(addr+4) {
+		t.Error("SetFE disturbed neighboring bits")
+	}
+	m.MustSetFE(addr, true)
+	if !m.MustFE(addr) {
+		t.Error("bit still empty after SetFE(true)")
+	}
+}
+
+func TestFEBitsIndependentProperty(t *testing.T) {
+	m := New(1 << 14)
+	nWords := uint32(1<<14) / 4
+	f := func(idxs []uint16) bool {
+		// Empty a set of words; all others must stay full.
+		emptied := map[uint32]bool{}
+		for _, i := range idxs {
+			a := (uint32(i) % nWords) * 4
+			m.MustSetFE(a, false)
+			emptied[a] = true
+		}
+		for a := uint32(0); a < nWords*4; a += 4 {
+			if m.MustFE(a) == emptied[a] {
+				return false
+			}
+		}
+		for a := range emptied {
+			m.MustSetFE(a, true)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessCombined(t *testing.T) {
+	m := New(4096)
+	addr := uint32(0x40)
+	m.MustStore(addr, isa.MakeFixnum(7))
+	m.MustSetFE(addr, false)
+
+	prev, full, err := m.Access(addr, false, 0)
+	if err != nil || full || isa.FixnumValue(prev) != 7 {
+		t.Errorf("load Access = (%v, %v, %v), want (7, empty, nil)", prev, full, err)
+	}
+
+	prev, full, err = m.Access(addr, true, isa.MakeFixnum(9))
+	if err != nil || full || isa.FixnumValue(prev) != 7 {
+		t.Errorf("store Access = (%v, %v, %v)", prev, full, err)
+	}
+	if got := m.MustLoad(addr); isa.FixnumValue(got) != 9 {
+		t.Errorf("after store Access, word = %v, want 9", got)
+	}
+	// Access does not itself change the F/E bit; flavors do that above it.
+	if m.MustFE(addr) {
+		t.Error("Access changed the full/empty bit")
+	}
+}
+
+func TestArena(t *testing.T) {
+	a := NewArena(0x1000, 0x1040)
+	p1 := a.Alloc(16)
+	p2 := a.Alloc(8)
+	if p1 != 0x1000 || p2 != 0x1010 {
+		t.Errorf("allocs at %#x, %#x", p1, p2)
+	}
+	if p1%8 != 0 || p2%8 != 0 {
+		t.Error("allocations not 8-byte aligned")
+	}
+	// Unaligned request still yields aligned next pointer.
+	p3 := a.Alloc(4)
+	p4 := a.Alloc(8)
+	if p4%8 != 0 {
+		t.Errorf("p4 = %#x not aligned after odd-size alloc %#x", p4, p3)
+	}
+	// Exhaustion returns 0.
+	if p := a.Alloc(1 << 20); p != 0 {
+		t.Errorf("oversized alloc returned %#x, want 0", p)
+	}
+	if a.Remaining() > 0x40 {
+		t.Errorf("Remaining = %d", a.Remaining())
+	}
+}
+
+func TestDefaultLayout(t *testing.T) {
+	l := DefaultLayout(64 << 20)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.StaticBase != isa.HeapBase {
+		t.Errorf("static base %#x", l.StaticBase)
+	}
+	if l.HeapStart >= l.End {
+		t.Error("no heap space")
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	d := Distribution{Nodes: 4, BlockSize: 16}
+	if d.Home(0) != 0 || d.Home(16) != 1 || d.Home(32) != 2 || d.Home(48) != 3 || d.Home(64) != 0 {
+		t.Error("interleave wrong")
+	}
+	// All words of a block share a home.
+	for addr := uint32(0); addr < 1024; addr += 4 {
+		if d.Home(addr) != d.Home(d.BlockBase(addr)) {
+			t.Fatalf("addr %#x home differs from its block base", addr)
+		}
+	}
+	// Single node: everything is local.
+	d1 := Distribution{Nodes: 1, BlockSize: 16}
+	if d1.Home(12345&^3) != 0 {
+		t.Error("single-node home must be 0")
+	}
+}

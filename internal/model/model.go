@@ -1,0 +1,257 @@
+// Package model implements the analytical multithreaded-processor
+// model of Section 8 (derived from Agarwal, "Performance Tradeoffs in
+// Multithreaded Processors" [1]):
+//
+//	         p / (1 + T(p)·m(p))     for p <  p*
+//	U(p) = {
+//	         1 / (1 + C·m(p))        for p >= p*
+//
+//	p* = (1 + T(p)·m(p)) / (1 + C·m(p))
+//
+// where p is the number of threads resident on the processor, m(p) the
+// cache miss rate (misses per useful cycle), T(p) the round-trip
+// network latency of a remote request, and C the context switch
+// overhead. Both m and T are, to first order, a fixed component plus a
+// component linear in p — the property the paper validates by
+// simulation and that experiment E6 revalidates here.
+package model
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Params are the system parameters of Table 4 plus the calibration
+// coefficients for the interference and contention components.
+type Params struct {
+	// Table 4 defaults.
+	MemLatency float64 // memory latency in cycles (10)
+	Dim        int     // network dimension n (3)
+	Radix      int     // network radix k (20); Dim^Radix... k^n nodes
+	FixedMiss  float64 // fixed miss rate per useful cycle (0.02)
+	PacketSize float64 // average packet size in flits (4)
+	BlockBytes int     // cache block size (16)
+	WorkingSet int     // per-thread working set in blocks (250)
+	CacheBytes int     // cache size (64 KB)
+	SwitchCost float64 // context switch overhead C in cycles (10)
+
+	// Calibration knobs (see DESIGN.md): cache interference and
+	// network contention coefficients for the linear-in-p components,
+	// and the extra traffic factor for the strong-coherence protocol's
+	// invalidation and acknowledgment messages (Section 2.1 notes the
+	// "long-latency acknowledgment messages resulting from a strong
+	// cache coherence protocol").
+	InterferenceCoeff float64
+	ContentionCoeff   float64
+	CoherenceTraffic  float64
+}
+
+// Default returns the Table 4 parameter set with a 10-cycle context
+// switch.
+func Default() Params {
+	return Params{
+		MemLatency:        10,
+		Dim:               3,
+		Radix:             20,
+		FixedMiss:         0.02,
+		PacketSize:        4,
+		BlockBytes:        16,
+		WorkingSet:        250,
+		CacheBytes:        64 << 10,
+		SwitchCost:        10,
+		InterferenceCoeff: 0.03,
+		ContentionCoeff:   0.35,
+		CoherenceTraffic:  1.3,
+	}
+}
+
+// Nodes returns the machine size k^n (8000 for the defaults).
+func (p Params) Nodes() int {
+	return int(math.Round(math.Pow(float64(p.Radix), float64(p.Dim))))
+}
+
+// AvgHops is the average hop count between a random pair of nodes,
+// nk/3 for the low-dimension direct network (Section 8).
+func (p Params) AvgHops() float64 {
+	return float64(p.Dim) * float64(p.Radix) / 3
+}
+
+// BaseLatency is the unloaded round-trip latency of a remote request:
+// two network traversals plus the packet transmission time and the
+// memory latency. For the Table 4 defaults this is the paper's
+// "average base network latency of 55 cycles".
+func (p Params) BaseLatency() float64 {
+	return 2*p.AvgHops() + p.PacketSize + p.MemLatency + 1
+}
+
+// MissRate m(p): the fixed component (first-time fetches plus
+// coherence invalidations, Table 4's 2%) plus cache interference
+// among the p resident threads' working sets, linear in p to first
+// order. The interference slope scales with the fraction of the cache
+// each additional working set occupies.
+func (p Params) MissRate(threads float64) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	cacheBlocks := float64(p.CacheBytes) / float64(p.BlockBytes)
+	occupancy := float64(p.WorkingSet) / cacheBlocks
+	return p.FixedMiss + p.InterferenceCoeff*(threads-1)*occupancy
+}
+
+// channelLoad estimates the per-channel utilization given the request
+// rate per node: each miss moves request+reply packets of B flits over
+// AvgHops hops, spread over the node's 2n channels.
+func (p Params) channelLoad(missesPerCycle float64) float64 {
+	coh := p.CoherenceTraffic
+	if coh < 1 {
+		coh = 1
+	}
+	rho := missesPerCycle * coh * 2 * p.PacketSize * p.AvgHops() / (2 * float64(p.Dim))
+	if rho > 0.995 {
+		rho = 0.995
+	}
+	return rho
+}
+
+// Latency T(p) for a given per-node request rate: the unloaded base
+// latency plus queueing contention in the switches. The contention
+// term follows the open-network model of [1]: per-hop delay grows as
+// rho*B/(2(1-rho)).
+func (p Params) Latency(missesPerCycle float64) float64 {
+	rho := p.channelLoad(missesPerCycle)
+	contention := 2 * p.AvgHops() * p.ContentionCoeff * rho * p.PacketSize / (2 * (1 - rho))
+	return p.BaseLatency() + contention
+}
+
+// Utilization solves the model self-consistently for p resident
+// threads: the network load depends on the achieved utilization, which
+// depends on the latency, which depends on the load. A short damped
+// fixed-point iteration converges quickly.
+func (p Params) Utilization(threads float64) Breakdown {
+	if threads <= 0 {
+		return Breakdown{}
+	}
+	m := p.MissRate(threads)
+	// F(u) = eq1(p, m, T(m·u), C) is decreasing in u (higher achieved
+	// utilization loads the network and raises T), so F(u) = u has a
+	// unique fixed point; find it by bisection.
+	f := func(u float64) float64 {
+		return eq1(threads, m, p.Latency(m*u), p.SwitchCost) - u
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	u := (lo + hi) / 2
+	T := p.Latency(m * u)
+	sat := threads >= (1+T*m)/(1+p.SwitchCost*m)
+	return Breakdown{
+		Threads:     threads,
+		MissRate:    m,
+		Latency:     T,
+		ChannelLoad: p.channelLoad(m * u),
+		Utilization: u,
+		Saturated:   sat,
+	}
+}
+
+// eq1 is equation (1) of the paper.
+func eq1(p, m, T, C float64) float64 {
+	pstar := (1 + T*m) / (1 + C*m)
+	if p < pstar {
+		return p / (1 + T*m)
+	}
+	return 1 / (1 + C*m)
+}
+
+// Breakdown is the model solution at one thread count.
+type Breakdown struct {
+	Threads     float64
+	MissRate    float64
+	Latency     float64
+	ChannelLoad float64
+	Utilization float64
+	Saturated   bool
+}
+
+// Figure5Point carries the component curves of Figure 5 at one p:
+// utilization under progressively more realistic assumptions. The gaps
+// between successive curves are the figure's shaded regions (network
+// effects, cache effects, context-switch overhead).
+type Figure5Point struct {
+	Threads float64
+
+	Ideal        float64 // m, T fixed at their single-thread values; no C
+	NetworkOnly  float64 // T grows with load; m fixed; no C
+	CacheNetwork float64 // m and T both grow; no C
+	UsefulWork   float64 // the full model with C (equation 1)
+}
+
+// Figure5 computes the component curves for p = 0..maxThreads.
+func (p Params) Figure5(maxThreads int) []Figure5Point {
+	out := make([]Figure5Point, 0, maxThreads+1)
+
+	m1 := p.MissRate(1)
+	T1 := p.BaseLatency()
+
+	for i := 0; i <= maxThreads; i++ {
+		pt := Figure5Point{Threads: float64(i)}
+		if i > 0 {
+			th := float64(i)
+			// Ideal: single-thread miss rate and unloaded latency.
+			pt.Ideal = math.Min(1, th/(1+m1*T1))
+
+			// Network effects: latency responds to load (fixed m1).
+			noC := p
+			noC.SwitchCost = 0
+			noC.InterferenceCoeff = 0
+			pt.NetworkOnly = noC.Utilization(th).Utilization
+
+			// Cache + network effects: m grows too.
+			noC2 := p
+			noC2.SwitchCost = 0
+			pt.CacheNetwork = noC2.Utilization(th).Utilization
+
+			// Full model with the context switch overhead.
+			pt.UsefulWork = p.Utilization(th).Utilization
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// FormatFigure5 renders the curves as a table (one row per p).
+func FormatFigure5(points []Figure5Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%2s  %6s  %8s  %10s  %7s  %10s\n",
+		"p", "ideal", "network", "cache+net", "useful", "CS-overhd")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%2.0f  %6.3f  %8.3f  %10.3f  %7.3f  %10.3f\n",
+			pt.Threads, pt.Ideal, pt.NetworkOnly, pt.CacheNetwork, pt.UsefulWork,
+			math.Max(0, pt.CacheNetwork-pt.UsefulWork))
+	}
+	return b.String()
+}
+
+// SweepSwitchCost computes U(p) for each context switch cost,
+// reproducing the Section 6.1 design question (11-cycle SPARC switch
+// vs 4-cycle custom switch) as an ablation.
+func SweepSwitchCost(base Params, costs []float64, maxThreads int) map[float64][]Breakdown {
+	out := map[float64][]Breakdown{}
+	for _, c := range costs {
+		p := base
+		p.SwitchCost = c
+		var curve []Breakdown
+		for i := 1; i <= maxThreads; i++ {
+			curve = append(curve, p.Utilization(float64(i)))
+		}
+		out[c] = curve
+	}
+	return out
+}

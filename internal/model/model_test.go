@@ -1,0 +1,216 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable4Geometry(t *testing.T) {
+	p := Default()
+	if p.Nodes() != 8000 {
+		t.Errorf("nodes = %d, want 8000 (20^3)", p.Nodes())
+	}
+	if got := p.AvgHops(); got != 20 {
+		t.Errorf("avg hops = %v, want nk/3 = 20", got)
+	}
+	// "average round trip network latency of 55 cycles for an unloaded
+	// network, when memory latency and average packet size are taken
+	// into account" (Section 8).
+	if got := p.BaseLatency(); got != 55 {
+		t.Errorf("base latency = %v, want 55", got)
+	}
+}
+
+func TestHeadlineUtilization(t *testing.T) {
+	// "as few as three processes yield close to 80%% utilization for a
+	// ten-cycle context-switch overhead" (Section 8).
+	p := Default()
+	u3 := p.Utilization(3).Utilization
+	if u3 < 0.74 || u3 > 0.86 {
+		t.Errorf("U(3) = %.3f, want close to 0.80", u3)
+	}
+	// Single thread: U(1) = 1/(1+m(1)*T(1)) ~ 1/(1+0.02*55) = 0.476.
+	u1 := p.Utilization(1).Utilization
+	if u1 < 0.40 || u1 > 0.55 {
+		t.Errorf("U(1) = %.3f, want about 0.476", u1)
+	}
+	// "utilization limited to a maximum of about 0.80 despite an ample
+	// supply of threads".
+	for _, th := range []float64{4, 5, 6, 7, 8} {
+		u := p.Utilization(th).Utilization
+		if u > 0.86 {
+			t.Errorf("U(%v) = %.3f exceeds the ~0.80 plateau", th, u)
+		}
+	}
+}
+
+func TestMarginalBenefitDecreases(t *testing.T) {
+	// "The marginal benefits of additional processes is seen to
+	// decrease due to network and cache interference": gains shrink
+	// monotonically while utilization is still climbing, and once past
+	// the peak more threads never help again.
+	p := Default()
+	var us []float64
+	for i := 1; i <= 8; i++ {
+		us = append(us, p.Utilization(float64(i)).Utilization)
+	}
+	peak := 0
+	for i, u := range us {
+		if u > us[peak] {
+			peak = i
+		}
+	}
+	prevGain := math.Inf(1)
+	for i := 1; i <= peak; i++ {
+		gain := us[i] - us[i-1]
+		if gain > prevGain+1e-9 {
+			t.Errorf("marginal gain increased at p=%d: %.4f > %.4f", i+1, gain, prevGain)
+		}
+		prevGain = gain
+	}
+	for i := peak + 1; i < len(us); i++ {
+		if us[i] > us[i-1]+1e-9 {
+			t.Errorf("utilization rebounded past the peak at p=%d", i+1)
+		}
+	}
+	if peak+1 < 3 || peak+1 > 5 {
+		t.Errorf("utilization peak at p=%d, expected around 3-4 as in Figure 5", peak+1)
+	}
+}
+
+func TestEq1Regions(t *testing.T) {
+	// Below saturation, utilization grows ~linearly with p; above, the
+	// switch-overhead cap applies.
+	if got := eq1(1, 0.02, 55, 10); math.Abs(got-1/(1+0.02*55)) > 1e-12 {
+		t.Errorf("eq1 linear region = %v", got)
+	}
+	if got := eq1(100, 0.02, 55, 10); math.Abs(got-1/(1+10*0.02)) > 1e-12 {
+		t.Errorf("eq1 saturated region = %v", got)
+	}
+	// Continuity at p*.
+	m, T, C := 0.02, 55.0, 10.0
+	pstar := (1 + T*m) / (1 + C*m)
+	lo := eq1(pstar-1e-9, m, T, C)
+	hi := eq1(pstar+1e-9, m, T, C)
+	if math.Abs(lo-hi) > 1e-6 {
+		t.Errorf("eq1 discontinuous at p*: %v vs %v", lo, hi)
+	}
+}
+
+func TestEq1Properties(t *testing.T) {
+	f := func(pRaw, mRaw, tRaw, cRaw uint16) bool {
+		p := 1 + float64(pRaw%16)
+		m := 0.001 + float64(mRaw%100)/1000 // 0.001..0.1
+		T := 10 + float64(tRaw%200)
+		C := float64(cRaw % 64)
+		u := eq1(p, m, T, C)
+		if u <= 0 || u > 1 {
+			return false
+		}
+		// More threads never hurt in eq1 itself (degradation enters
+		// through m(p), T(p)).
+		return eq1(p+1, m, T, C) >= u-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheSizeEffect(t *testing.T) {
+	// "caches greater than 64 Kbytes comfortably sustain the working
+	// sets of four processes. Smaller caches suffer more interference
+	// and reduce the benefits of multithreading."
+	big := Default()
+	small := Default()
+	small.CacheBytes = 16 << 10
+	ub := big.Utilization(4).Utilization
+	us := small.Utilization(4).Utilization
+	if us >= ub {
+		t.Errorf("smaller cache should reduce utilization: 16KB %.3f vs 64KB %.3f", us, ub)
+	}
+	if ub-us < 0.02 {
+		t.Errorf("cache interference effect too weak: %.3f vs %.3f", ub, us)
+	}
+}
+
+func TestSwitchCostSweep(t *testing.T) {
+	// "The relatively large ten-cycle context switch overhead does not
+	// significantly impact performance for the default set of
+	// parameters" — but a very large C does.
+	curves := SweepSwitchCost(Default(), []float64{1, 4, 10, 16, 64}, 8)
+	u4 := func(c float64) float64 { return curves[c][3].Utilization }
+	// The utilization cost of C=10 over C=4 stays modest (the product
+	// of switch frequency and overhead is small in a cache-based
+	// system) ...
+	if (u4(4)-u4(10))/u4(4) > 0.15 {
+		t.Errorf("C=4 vs C=10 at p=4 differ too much: %.3f vs %.3f", u4(4), u4(10))
+	}
+	if u4(10)-u4(64) < 0.15 {
+		t.Errorf("C=64 should hurt substantially: C10=%.3f C64=%.3f", u4(10), u4(64))
+	}
+	// Monotone: cheaper switches never reduce utilization.
+	for i := 0; i < 8; i++ {
+		if curves[1][i].Utilization < curves[10][i].Utilization-1e-9 {
+			t.Errorf("p=%d: C=1 worse than C=10", i+1)
+		}
+	}
+}
+
+func TestFigure5Ordering(t *testing.T) {
+	// The component curves must be ordered: ideal >= network-only >=
+	// cache+network >= useful work, at every p.
+	pts := Default().Figure5(8)
+	if len(pts) != 9 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, pt := range pts[1:] {
+		if pt.Ideal < pt.NetworkOnly-1e-9 || pt.NetworkOnly < pt.CacheNetwork-1e-9 ||
+			pt.CacheNetwork < pt.UsefulWork-1e-9 {
+			t.Errorf("p=%v: curves out of order: %+v", pt.Threads, pt)
+		}
+		if pt.UsefulWork <= 0 || pt.Ideal > 1 {
+			t.Errorf("p=%v: out of range: %+v", pt.Threads, pt)
+		}
+	}
+	// Ideal reaches 1.0 once p >= 1 + m1*T1 (~2.1).
+	if pts[3].Ideal < 0.999 {
+		t.Errorf("ideal at p=3 should saturate at 1.0, got %.3f", pts[3].Ideal)
+	}
+	// The rendering includes every p.
+	s := FormatFigure5(pts)
+	if len(s) == 0 {
+		t.Error("empty Figure 5 rendering")
+	}
+}
+
+func TestMissRateLinearInP(t *testing.T) {
+	// The model's m(p) is affine in p by construction; check the slope
+	// matches the working-set occupancy scaling.
+	p := Default()
+	d1 := p.MissRate(2) - p.MissRate(1)
+	d2 := p.MissRate(5) - p.MissRate(4)
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("m(p) not linear: %v vs %v", d1, d2)
+	}
+	p2 := p
+	p2.WorkingSet *= 2
+	if p2.MissRate(4) <= p.MissRate(4) {
+		t.Error("larger working sets must raise interference")
+	}
+}
+
+func TestLatencyIncreasesWithLoad(t *testing.T) {
+	p := Default()
+	if p.Latency(0) != p.BaseLatency() {
+		t.Errorf("unloaded latency %v != base %v", p.Latency(0), p.BaseLatency())
+	}
+	prev := p.Latency(0)
+	for _, rate := range []float64{0.005, 0.01, 0.02, 0.04} {
+		l := p.Latency(rate)
+		if l <= prev {
+			t.Errorf("latency not increasing at rate %v: %v <= %v", rate, l, prev)
+		}
+		prev = l
+	}
+}

@@ -1,0 +1,425 @@
+package mult
+
+import "fmt"
+
+// Prim is a call to a compiler-known primitive, produced by resolution
+// when an unbound name in call position matches the builtin table.
+type Prim struct {
+	Name Symbol
+	Args []Expr
+}
+
+func (*Prim) exprNode() {}
+
+// builtins maps primitive names to their arities (-1 = handled
+// specially). The code generator and the reference interpreter both
+// implement exactly this set.
+var builtins = map[Symbol]int{
+	"+": 2, "-": 2, "*": 2, "quotient": 2, "remainder": 2, "modulo": 2,
+	"=": 2, "<": 2, ">": 2, "<=": 2, ">=": 2,
+	"zero?": 1, "not": 1, "eq?": 2,
+	"cons": 2, "car": 1, "cdr": 1, "set-car!": 2, "set-cdr!": 2,
+	"pair?": 1, "null?": 1, "fixnum?": 1, "future?": 1, "procedure?": 1,
+	"make-vector": 2, "vector-ref": 2, "vector-set!": 3, "vector-length": 1,
+	// Fine-grain synchronization on vector slots via full/empty bits
+	// (Section 3.3): vector-ref-sync traps (switch-spins) until the
+	// slot is full; vector-set-sync! fills it; vector-empty! resets it.
+	"vector-ref-sync": 2, "vector-set-sync!": 3, "vector-empty!": 2, "vector-full?": 2,
+	"print":   1,
+	"bit-and": 2, "bit-or": 2, "bit-xor": 2, "shift-left": 2, "shift-right": 2,
+}
+
+// Mode selects how futures and future detection compile.
+type Mode struct {
+	// HardwareFutures: rely on APRIL's tag traps for future detection.
+	// When false (the Encore Multimax baseline), every strict operand
+	// gets a compiled-in software check.
+	HardwareFutures bool
+
+	// LazyFutures: compile (future X) to a lazy task creation marker
+	// (Section 3.2, [17]) instead of an eager task.
+	LazyFutures bool
+
+	// Sequential: strip futures entirely (the "T seq" column).
+	Sequential bool
+}
+
+type lamState struct {
+	lam    *Lambda
+	vars   map[Symbol]*Binding
+	free   map[Symbol]*Binding
+	parent *lamState
+	slots  int
+}
+
+func (ls *lamState) newLocal(name Symbol) *Binding {
+	b := &Binding{Name: name, Kind: BindLocal, Slot: ls.slots, Lam: ls.lam}
+	ls.slots++
+	return b
+}
+
+type resolver struct {
+	prog    *Program
+	globals map[Symbol]*Binding
+	defLams map[*Binding]*Lambda // top-level lambda defs (for direct calls)
+	lambdas []*Lambda
+	mode    Mode
+}
+
+// Resolve performs scope resolution, free-variable analysis, and
+// builtin recognition over a parsed program, specializing future
+// expressions for the compilation mode. It rewrites the AST in place
+// and returns it.
+func Resolve(p *Program, mode Mode) (*Program, error) {
+	r := &resolver{
+		prog:    p,
+		globals: map[Symbol]*Binding{},
+		defLams: map[*Binding]*Lambda{},
+		mode:    mode,
+	}
+	for i, d := range p.Defs {
+		if _, dup := r.globals[d.Name]; dup {
+			return nil, fmt.Errorf("mult: duplicate definition of %s", d.Name)
+		}
+		b := &Binding{Name: d.Name, Kind: BindGlobal, Slot: i}
+		r.globals[d.Name] = b
+		d.Bind = b
+	}
+	if mode.Sequential {
+		for _, d := range p.Defs {
+			d.Value = StripFutures(d.Value)
+		}
+		p.Main = StripFutures(p.Main)
+	}
+	// Record which globals are top-level lambdas before resolution so
+	// direct calls can be recognized (a later set! disables this).
+	for _, d := range p.Defs {
+		if lam, ok := d.Value.(*Lambda); ok {
+			r.defLams[d.Bind] = lam
+		}
+	}
+
+	// The top-level forms (global initializers + main body) execute in
+	// a synthetic zero-argument "main" lambda.
+	mainLam := &Lambda{Name: "main"}
+	mainState := &lamState{lam: mainLam, vars: map[Symbol]*Binding{}, free: map[Symbol]*Binding{}}
+
+	var body []Expr
+	for _, d := range p.Defs {
+		v, err := r.expr(d.Value, mainState)
+		if err != nil {
+			return nil, fmt.Errorf("in (define %s ...): %w", d.Name, err)
+		}
+		d.Value = v
+		body = append(body, &Set{Name: d.Name, Bind: d.Bind, Value: v})
+	}
+	mainResolved, err := r.expr(p.Main, mainState)
+	if err != nil {
+		return nil, err
+	}
+	body = append(body, mainResolved)
+	mainLam.Body = &Begin{Body: body}
+	mainLam.NLocals = mainState.slots
+
+	p.Globals = r.globals
+	p.Lambdas = append([]*Lambda{mainLam}, r.lambdas...)
+	p.Main = mainLam.Body
+
+	// Box bindings that are both mutated and captured.
+	for _, lam := range p.Lambdas {
+		for _, fb := range lam.Free {
+			root := fb
+			for root.Outer != nil {
+				root = root.Outer
+			}
+			if root.Mutated {
+				root.Boxed = true
+			}
+		}
+	}
+	// Propagate Boxed to the capture chains.
+	for _, lam := range p.Lambdas {
+		for _, fb := range lam.Free {
+			root := fb
+			for root.Outer != nil {
+				root = root.Outer
+			}
+			fb.Boxed = root.Boxed
+		}
+	}
+	return p, nil
+}
+
+func (r *resolver) lookup(st *lamState, name Symbol) *Binding {
+	// Already captured here?
+	if b, ok := st.free[name]; ok {
+		return b
+	}
+	if b, ok := st.vars[name]; ok {
+		return b
+	}
+	if st.parent == nil {
+		if b, ok := r.globals[name]; ok {
+			return b
+		}
+		return nil
+	}
+	outer := r.lookup(st.parent, name)
+	if outer == nil {
+		return nil
+	}
+	if outer.Kind == BindGlobal {
+		return outer // globals need no capture
+	}
+	// Capture: create a free binding in this lambda chained to the
+	// enclosing binding.
+	fb := &Binding{Name: name, Kind: BindFree, Slot: len(st.lam.Free), Lam: st.lam, Outer: outer}
+	st.lam.Free = append(st.lam.Free, fb)
+	st.free[name] = fb
+	return fb
+}
+
+func (r *resolver) expr(e Expr, st *lamState) (Expr, error) {
+	switch v := e.(type) {
+	case *Const, *Quote:
+		return e, nil
+
+	case *Var:
+		b := r.lookup(st, v.Name)
+		if b == nil {
+			if _, isPrim := builtins[v.Name]; isPrim {
+				return nil, fmt.Errorf("mult: primitive %s is not a first-class value (wrap it in a lambda)", v.Name)
+			}
+			return nil, fmt.Errorf("mult: unbound variable %s", v.Name)
+		}
+		v.Bind = b
+		return v, nil
+
+	case *Set:
+		b := r.lookup(st, v.Name)
+		if b == nil {
+			return nil, fmt.Errorf("mult: set! of unbound variable %s", v.Name)
+		}
+		b.Mutated = true
+		// Mutation through a capture chain marks the root too.
+		for root := b; root != nil; root = root.Outer {
+			root.Mutated = true
+		}
+		v.Bind = b
+		val, err := r.expr(v.Value, st)
+		if err != nil {
+			return nil, err
+		}
+		v.Value = val
+		return v, nil
+
+	case *If:
+		var err error
+		if v.Cond, err = r.expr(v.Cond, st); err != nil {
+			return nil, err
+		}
+		if v.Then, err = r.expr(v.Then, st); err != nil {
+			return nil, err
+		}
+		if v.Else != nil {
+			if v.Else, err = r.expr(v.Else, st); err != nil {
+				return nil, err
+			}
+		}
+		return v, nil
+
+	case *Begin:
+		for i := range v.Body {
+			b, err := r.expr(v.Body[i], st)
+			if err != nil {
+				return nil, err
+			}
+			v.Body[i] = b
+		}
+		return v, nil
+
+	case *Let:
+		v.Binds = make([]*Binding, len(v.Names))
+		// Inits resolve in the outer scope (parallel let).
+		for i := range v.Inits {
+			in, err := r.expr(v.Inits[i], st)
+			if err != nil {
+				return nil, err
+			}
+			v.Inits[i] = in
+		}
+		saved := make(map[Symbol]*Binding, len(v.Names))
+		for i, n := range v.Names {
+			b := st.newLocal(n)
+			v.Binds[i] = b
+			if old, ok := st.vars[n]; ok {
+				saved[n] = old
+			} else {
+				saved[n] = nil
+			}
+			st.vars[n] = b
+		}
+		body, err := r.expr(v.Body, st)
+		if err != nil {
+			return nil, err
+		}
+		v.Body = body
+		for n, old := range saved {
+			if old == nil {
+				delete(st.vars, n)
+			} else {
+				st.vars[n] = old
+			}
+		}
+		return v, nil
+
+	case *Letrec:
+		v.Binds = make([]*Binding, len(v.Names))
+		saved := make(map[Symbol]*Binding, len(v.Names))
+		for i, n := range v.Names {
+			b := st.newLocal(n)
+			// Letrec bindings are reached from inside their own
+			// lambdas, so they are boxed unconditionally.
+			b.Mutated = true
+			v.Binds[i] = b
+			if old, ok := st.vars[n]; ok {
+				saved[n] = old
+			} else {
+				saved[n] = nil
+			}
+			st.vars[n] = b
+		}
+		for i, lam := range v.Inits {
+			resolved, err := r.lambda(lam, st)
+			if err != nil {
+				return nil, err
+			}
+			v.Inits[i] = resolved
+			// Recognize self-recursion for tail-call optimization.
+			resolved.SelfBind = v.Binds[i]
+		}
+		body, err := r.expr(v.Body, st)
+		if err != nil {
+			return nil, err
+		}
+		v.Body = body
+		for n, old := range saved {
+			if old == nil {
+				delete(st.vars, n)
+			} else {
+				st.vars[n] = old
+			}
+		}
+		return v, nil
+
+	case *Lambda:
+		return r.lambda(v, st)
+
+	case *Call:
+		// Builtin in call position?
+		if name, ok := v.Fn.(*Var); ok {
+			if arity, isPrim := builtins[name.Name]; isPrim && r.lookup(st, name.Name) == nil {
+				if arity >= 0 && len(v.Args) != arity {
+					return nil, fmt.Errorf("mult: %s takes %d arguments, got %d", name.Name, arity, len(v.Args))
+				}
+				args := make([]Expr, len(v.Args))
+				for i, a := range v.Args {
+					ra, err := r.expr(a, st)
+					if err != nil {
+						return nil, err
+					}
+					args[i] = ra
+				}
+				return &Prim{Name: name.Name, Args: args}, nil
+			}
+		}
+		fn, err := r.expr(v.Fn, st)
+		if err != nil {
+			return nil, err
+		}
+		v.Fn = fn
+		for i := range v.Args {
+			a, err := r.expr(v.Args[i], st)
+			if err != nil {
+				return nil, err
+			}
+			v.Args[i] = a
+		}
+		// Compile-time arity check for direct calls to global lambdas.
+		if vr, ok := v.Fn.(*Var); ok && vr.Bind != nil && vr.Bind.Kind == BindGlobal && !vr.Bind.Mutated {
+			if lam, known := r.defLams[vr.Bind]; known && len(v.Args) != len(lam.Params) {
+				return nil, fmt.Errorf("mult: %s takes %d arguments, got %d", vr.Name, len(lam.Params), len(v.Args))
+			}
+		}
+		return v, nil
+
+	case *Future:
+		if r.mode.Sequential {
+			return r.expr(v.Body, st)
+		}
+		if r.mode.LazyFutures {
+			// Lazy: the body evaluates inline in the parent's frame.
+			b, err := r.expr(v.Body, st)
+			if err != nil {
+				return nil, err
+			}
+			v.Body = b
+			return v, nil
+		}
+		// Eager: the body becomes a zero-argument thunk executed by a
+		// fresh task.
+		thunk := &Lambda{Body: v.Body, Name: "future-thunk"}
+		resolved, err := r.lambda(thunk, st)
+		if err != nil {
+			return nil, err
+		}
+		return &Future{Thunk: resolved}, nil
+
+	case *Touch:
+		b, err := r.expr(v.Body, st)
+		if err != nil {
+			return nil, err
+		}
+		v.Body = b
+		return v, nil
+
+	case *Prim:
+		return e, nil
+	}
+	return nil, fmt.Errorf("mult: cannot resolve %T", e)
+}
+
+func (r *resolver) lambda(lam *Lambda, parent *lamState) (*Lambda, error) {
+	st := &lamState{lam: lam, vars: map[Symbol]*Binding{}, free: map[Symbol]*Binding{}, parent: parent}
+	lam.ParamBinds = make([]*Binding, len(lam.Params))
+	for i, pn := range lam.Params {
+		b := st.newLocal(pn)
+		lam.ParamBinds[i] = b
+		st.vars[pn] = b
+	}
+	body, err := r.expr(lam.Body, st)
+	if err != nil {
+		return nil, err
+	}
+	lam.Body = body
+	lam.NLocals = st.slots
+	r.lambdas = append(r.lambdas, lam)
+	return lam, nil
+}
+
+// DirectLambda reports the top-level lambda a call through binding b
+// would reach, if that is statically known.
+func (p *Program) DirectLambda(b *Binding) *Lambda {
+	if b == nil || b.Kind != BindGlobal || b.Mutated {
+		return nil
+	}
+	for _, d := range p.Defs {
+		if d.Bind == b {
+			if lam, ok := d.Value.(*Lambda); ok {
+				return lam
+			}
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,641 @@
+package mult
+
+import "fmt"
+
+// The core AST. The parser desugars derived forms (cond, when, unless,
+// and, or, let*, named let, define-procedure) into these nodes.
+type Expr interface{ exprNode() }
+
+// Const is a self-evaluating literal: int32, bool, or string.
+type Const struct{ Value Sexp }
+
+// Quote is quoted structured data, built into the static heap.
+type Quote struct{ Datum Sexp }
+
+// Var is a variable reference; Bind is filled in by resolution.
+type Var struct {
+	Name Symbol
+	Bind *Binding
+}
+
+// Set is (set! name value).
+type Set struct {
+	Name  Symbol
+	Bind  *Binding
+	Value Expr
+}
+
+// If is the conditional; Else may be nil (unspecified).
+type If struct{ Cond, Then, Else Expr }
+
+// Begin is a sequence; value of the last expression.
+type Begin struct{ Body []Expr }
+
+// Let binds in parallel; bindings live in the enclosing lambda's frame.
+type Let struct {
+	Names []Symbol
+	Binds []*Binding
+	Inits []Expr
+	Body  Expr
+}
+
+// Letrec binds mutually recursive procedures (inits must be lambdas).
+type Letrec struct {
+	Names []Symbol
+	Binds []*Binding
+	Inits []*Lambda
+	Body  Expr
+}
+
+// Lambda is a procedure. Resolution fills in the binding and capture
+// information used by the code generator.
+type Lambda struct {
+	Params []Symbol
+	Body   Expr
+
+	// Filled by resolution:
+	ParamBinds []*Binding
+	Free       []*Binding // captured from enclosing scopes, in slot order
+	Name       string     // for diagnostics and symbols ("" = anonymous)
+
+	// Filled by the code generator:
+	SelfBind *Binding // non-nil when the lambda can self-tail-call
+
+	// NLocals is the number of frame slots resolution assigned
+	// (parameters and lets); the code generator allocates spill slots
+	// after them.
+	NLocals int
+}
+
+// Call applies a procedure to arguments.
+type Call struct {
+	Fn   Expr
+	Args []Expr
+}
+
+// Future is (future X): create a task to evaluate X and return a
+// placeholder (Section 2.2). In eager mode resolution moves the body
+// into Thunk, a zero-argument lambda run by the new task; in lazy mode
+// Body stays inline and compiles to a stealable marker.
+type Future struct {
+	Body  Expr
+	Thunk *Lambda
+}
+
+// Touch is (touch X): explicitly force X's value.
+type Touch struct{ Body Expr }
+
+func (*Const) exprNode()  {}
+func (*Quote) exprNode()  {}
+func (*Var) exprNode()    {}
+func (*Set) exprNode()    {}
+func (*If) exprNode()     {}
+func (*Begin) exprNode()  {}
+func (*Let) exprNode()    {}
+func (*Letrec) exprNode() {}
+func (*Lambda) exprNode() {}
+func (*Call) exprNode()   {}
+func (*Future) exprNode() {}
+func (*Touch) exprNode()  {}
+
+// BindKind classifies where a variable lives at run time.
+type BindKind uint8
+
+const (
+	BindGlobal BindKind = iota // static memory slot
+	BindLocal                  // frame slot of the owning lambda
+	BindFree                   // captured slot in the closure record
+)
+
+// Binding is a resolved variable.
+type Binding struct {
+	Name    Symbol
+	Kind    BindKind
+	Slot    int  // frame slot / closure slot / global index
+	Boxed   bool // mutated and captured: lives in a heap cell
+	Mutated bool
+	Lam     *Lambda // owning lambda for locals (nil for globals)
+
+	// For BindFree: the binding in the enclosing scope this one
+	// captures (one level up; chains resolve transitively).
+	Outer *Binding
+}
+
+// Def is one top-level definition.
+type Def struct {
+	Name  Symbol
+	Bind  *Binding
+	Value Expr
+}
+
+// Program is a parsed and resolved compilation unit.
+type Program struct {
+	Defs []*Def
+	Main Expr // a Begin of the non-define top-level forms
+
+	Globals map[Symbol]*Binding
+	Lambdas []*Lambda // every lambda in the program, in compile order
+}
+
+// specialForms lists symbols that cannot be shadowed or used as
+// variables.
+var specialForms = map[Symbol]bool{
+	"define": true, "lambda": true, "if": true, "let": true, "let*": true,
+	"letrec": true, "begin": true, "set!": true, "quote": true,
+	"cond": true, "else": true, "when": true, "unless": true,
+	"and": true, "or": true, "future": true, "touch": true,
+}
+
+// Parse converts top-level s-expressions into an unresolved Program.
+func Parse(forms []Sexp) (*Program, error) {
+	p := &Program{Globals: map[Symbol]*Binding{}}
+	var mainBody []Expr
+	for _, f := range forms {
+		if lst, ok := f.([]Sexp); ok && len(lst) > 0 {
+			if sym, ok := lst[0].(Symbol); ok && sym == "define" {
+				def, err := parseDefine(lst)
+				if err != nil {
+					return nil, err
+				}
+				p.Defs = append(p.Defs, def)
+				continue
+			}
+		}
+		e, err := parseExpr(f)
+		if err != nil {
+			return nil, err
+		}
+		mainBody = append(mainBody, e)
+	}
+	if len(mainBody) == 0 {
+		mainBody = []Expr{&Const{Value: false}}
+	}
+	p.Main = &Begin{Body: mainBody}
+	return p, nil
+}
+
+func parseDefine(lst []Sexp) (*Def, error) {
+	if len(lst) < 3 {
+		return nil, fmt.Errorf("mult: malformed define %s", FormatSexp(lst))
+	}
+	switch head := lst[1].(type) {
+	case Symbol:
+		if len(lst) != 3 {
+			return nil, fmt.Errorf("mult: define %s takes one value", head)
+		}
+		v, err := parseExpr(lst[2])
+		if err != nil {
+			return nil, err
+		}
+		if lam, ok := v.(*Lambda); ok {
+			lam.Name = string(head)
+		}
+		return &Def{Name: head, Value: v}, nil
+	case []Sexp:
+		// (define (f a b) body...)
+		if len(head) == 0 {
+			return nil, fmt.Errorf("mult: malformed define %s", FormatSexp(lst))
+		}
+		name, ok := head[0].(Symbol)
+		if !ok {
+			return nil, fmt.Errorf("mult: procedure name must be a symbol in %s", FormatSexp(lst))
+		}
+		params, err := paramList(head[1:])
+		if err != nil {
+			return nil, err
+		}
+		body, err := parseBody(lst[2:])
+		if err != nil {
+			return nil, err
+		}
+		return &Def{Name: name, Value: &Lambda{Params: params, Body: body, Name: string(name)}}, nil
+	default:
+		return nil, fmt.Errorf("mult: malformed define %s", FormatSexp(lst))
+	}
+}
+
+func paramList(ss []Sexp) ([]Symbol, error) {
+	params := make([]Symbol, len(ss))
+	seen := map[Symbol]bool{}
+	for i, s := range ss {
+		sym, ok := s.(Symbol)
+		if !ok {
+			return nil, fmt.Errorf("mult: parameter %s is not a symbol", FormatSexp(s))
+		}
+		if specialForms[sym] {
+			return nil, fmt.Errorf("mult: %s cannot be a parameter", sym)
+		}
+		if seen[sym] {
+			return nil, fmt.Errorf("mult: duplicate parameter %s", sym)
+		}
+		seen[sym] = true
+		params[i] = sym
+	}
+	return params, nil
+}
+
+func parseBody(forms []Sexp) (Expr, error) {
+	if len(forms) == 0 {
+		return nil, fmt.Errorf("mult: empty body")
+	}
+	if len(forms) == 1 {
+		return parseExpr(forms[0])
+	}
+	body := make([]Expr, len(forms))
+	for i, f := range forms {
+		e, err := parseExpr(f)
+		if err != nil {
+			return nil, err
+		}
+		body[i] = e
+	}
+	return &Begin{Body: body}, nil
+}
+
+func parseExpr(s Sexp) (Expr, error) {
+	switch v := s.(type) {
+	case int32, bool:
+		return &Const{Value: v}, nil
+	case string:
+		return &Const{Value: v}, nil
+	case Symbol:
+		if specialForms[v] {
+			return nil, fmt.Errorf("mult: %s used as a variable", v)
+		}
+		return &Var{Name: v}, nil
+	case []Sexp:
+		return parseForm(v)
+	}
+	return nil, fmt.Errorf("mult: cannot parse %v", s)
+}
+
+func parseForm(lst []Sexp) (Expr, error) {
+	if len(lst) == 0 {
+		return nil, fmt.Errorf("mult: empty application ()")
+	}
+	head, isSym := lst[0].(Symbol)
+	if isSym {
+		switch head {
+		case "quote":
+			if len(lst) != 2 {
+				return nil, fmt.Errorf("mult: malformed quote")
+			}
+			return &Quote{Datum: lst[1]}, nil
+		case "if":
+			if len(lst) != 3 && len(lst) != 4 {
+				return nil, fmt.Errorf("mult: malformed if %s", FormatSexp(lst))
+			}
+			c, err := parseExpr(lst[1])
+			if err != nil {
+				return nil, err
+			}
+			th, err := parseExpr(lst[2])
+			if err != nil {
+				return nil, err
+			}
+			var el Expr
+			if len(lst) == 4 {
+				el, err = parseExpr(lst[3])
+				if err != nil {
+					return nil, err
+				}
+			}
+			return &If{Cond: c, Then: th, Else: el}, nil
+		case "lambda":
+			if len(lst) < 3 {
+				return nil, fmt.Errorf("mult: malformed lambda")
+			}
+			plist, ok := lst[1].([]Sexp)
+			if !ok {
+				return nil, fmt.Errorf("mult: lambda needs a parameter list (no rest args)")
+			}
+			params, err := paramList(plist)
+			if err != nil {
+				return nil, err
+			}
+			body, err := parseBody(lst[2:])
+			if err != nil {
+				return nil, err
+			}
+			return &Lambda{Params: params, Body: body}, nil
+		case "begin":
+			return parseBody(lst[1:])
+		case "set!":
+			if len(lst) != 3 {
+				return nil, fmt.Errorf("mult: malformed set!")
+			}
+			name, ok := lst[1].(Symbol)
+			if !ok || specialForms[name] {
+				return nil, fmt.Errorf("mult: set! target must be a variable")
+			}
+			v, err := parseExpr(lst[2])
+			if err != nil {
+				return nil, err
+			}
+			return &Set{Name: name, Value: v}, nil
+		case "let":
+			return parseLet(lst)
+		case "let*":
+			return parseLetStar(lst)
+		case "letrec":
+			return parseLetrec(lst)
+		case "cond":
+			return parseCond(lst)
+		case "when", "unless":
+			if len(lst) < 3 {
+				return nil, fmt.Errorf("mult: malformed %s", head)
+			}
+			c, err := parseExpr(lst[1])
+			if err != nil {
+				return nil, err
+			}
+			body, err := parseBody(lst[2:])
+			if err != nil {
+				return nil, err
+			}
+			if head == "when" {
+				return &If{Cond: c, Then: body}, nil
+			}
+			return &If{Cond: c, Then: &Const{Value: false}, Else: body}, nil
+		case "and":
+			return parseAndOr(lst[1:], true)
+		case "or":
+			return parseAndOr(lst[1:], false)
+		case "future":
+			if len(lst) != 2 {
+				return nil, fmt.Errorf("mult: future takes one expression")
+			}
+			b, err := parseExpr(lst[1])
+			if err != nil {
+				return nil, err
+			}
+			return &Future{Body: b}, nil
+		case "touch":
+			if len(lst) != 2 {
+				return nil, fmt.Errorf("mult: touch takes one expression")
+			}
+			b, err := parseExpr(lst[1])
+			if err != nil {
+				return nil, err
+			}
+			return &Touch{Body: b}, nil
+		case "define":
+			return nil, fmt.Errorf("mult: define only allowed at top level")
+		}
+	}
+	// Application.
+	fn, err := parseExpr(lst[0])
+	if err != nil {
+		return nil, err
+	}
+	args := make([]Expr, 0, len(lst)-1)
+	for _, a := range lst[1:] {
+		e, err := parseExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+	}
+	return &Call{Fn: fn, Args: args}, nil
+}
+
+func bindingsOf(s Sexp) (names []Symbol, inits []Sexp, err error) {
+	lst, ok := s.([]Sexp)
+	if !ok {
+		return nil, nil, fmt.Errorf("mult: malformed binding list %s", FormatSexp(s))
+	}
+	for _, b := range lst {
+		pair, ok := b.([]Sexp)
+		if !ok || len(pair) != 2 {
+			return nil, nil, fmt.Errorf("mult: malformed binding %s", FormatSexp(b))
+		}
+		name, ok := pair[0].(Symbol)
+		if !ok || specialForms[name] {
+			return nil, nil, fmt.Errorf("mult: bad binding name %s", FormatSexp(pair[0]))
+		}
+		names = append(names, name)
+		inits = append(inits, pair[1])
+	}
+	return names, inits, nil
+}
+
+func parseLet(lst []Sexp) (Expr, error) {
+	if len(lst) < 3 {
+		return nil, fmt.Errorf("mult: malformed let")
+	}
+	// Named let: (let loop ((v init)...) body...)
+	if name, ok := lst[1].(Symbol); ok {
+		if specialForms[name] {
+			return nil, fmt.Errorf("mult: bad loop name %s", name)
+		}
+		if len(lst) < 4 {
+			return nil, fmt.Errorf("mult: malformed named let")
+		}
+		names, inits, err := bindingsOf(lst[2])
+		if err != nil {
+			return nil, err
+		}
+		body, err := parseBody(lst[3:])
+		if err != nil {
+			return nil, err
+		}
+		lam := &Lambda{Params: names, Body: body, Name: string(name)}
+		initExprs := make([]Expr, len(inits))
+		for i, in := range inits {
+			e, err := parseExpr(in)
+			if err != nil {
+				return nil, err
+			}
+			initExprs[i] = e
+		}
+		return &Letrec{
+			Names: []Symbol{name},
+			Inits: []*Lambda{lam},
+			Body:  &Call{Fn: &Var{Name: name}, Args: initExprs},
+		}, nil
+	}
+	names, inits, err := bindingsOf(lst[1])
+	if err != nil {
+		return nil, err
+	}
+	body, err := parseBody(lst[2:])
+	if err != nil {
+		return nil, err
+	}
+	initExprs := make([]Expr, len(inits))
+	for i, in := range inits {
+		e, err := parseExpr(in)
+		if err != nil {
+			return nil, err
+		}
+		initExprs[i] = e
+	}
+	return &Let{Names: names, Inits: initExprs, Body: body}, nil
+}
+
+func parseLetStar(lst []Sexp) (Expr, error) {
+	if len(lst) < 3 {
+		return nil, fmt.Errorf("mult: malformed let*")
+	}
+	names, inits, err := bindingsOf(lst[1])
+	if err != nil {
+		return nil, err
+	}
+	body, err := parseBody(lst[2:])
+	if err != nil {
+		return nil, err
+	}
+	// Nest one let per binding.
+	for i := len(names) - 1; i >= 0; i-- {
+		init, err := parseExpr(inits[i])
+		if err != nil {
+			return nil, err
+		}
+		body = &Let{Names: []Symbol{names[i]}, Inits: []Expr{init}, Body: body}
+	}
+	return body, nil
+}
+
+func parseLetrec(lst []Sexp) (Expr, error) {
+	if len(lst) < 3 {
+		return nil, fmt.Errorf("mult: malformed letrec")
+	}
+	names, inits, err := bindingsOf(lst[1])
+	if err != nil {
+		return nil, err
+	}
+	body, err := parseBody(lst[2:])
+	if err != nil {
+		return nil, err
+	}
+	lams := make([]*Lambda, len(inits))
+	for i, in := range inits {
+		e, err := parseExpr(in)
+		if err != nil {
+			return nil, err
+		}
+		lam, ok := e.(*Lambda)
+		if !ok {
+			return nil, fmt.Errorf("mult: letrec initializers must be lambdas (got %s)", FormatSexp(inits[i]))
+		}
+		lam.Name = string(names[i])
+		lams[i] = lam
+	}
+	return &Letrec{Names: names, Inits: lams, Body: body}, nil
+}
+
+func parseCond(lst []Sexp) (Expr, error) {
+	clauses := lst[1:]
+	if len(clauses) == 0 {
+		return nil, fmt.Errorf("mult: empty cond")
+	}
+	var build func(i int) (Expr, error)
+	build = func(i int) (Expr, error) {
+		if i >= len(clauses) {
+			return &Const{Value: false}, nil
+		}
+		cl, ok := clauses[i].([]Sexp)
+		if !ok || len(cl) < 2 {
+			return nil, fmt.Errorf("mult: malformed cond clause %s", FormatSexp(clauses[i]))
+		}
+		body, err := parseBody(cl[1:])
+		if err != nil {
+			return nil, err
+		}
+		if sym, ok := cl[0].(Symbol); ok && sym == "else" {
+			if i != len(clauses)-1 {
+				return nil, fmt.Errorf("mult: else must be the last cond clause")
+			}
+			return body, nil
+		}
+		cond, err := parseExpr(cl[0])
+		if err != nil {
+			return nil, err
+		}
+		rest, err := build(i + 1)
+		if err != nil {
+			return nil, err
+		}
+		return &If{Cond: cond, Then: body, Else: rest}, nil
+	}
+	return build(0)
+}
+
+func parseAndOr(forms []Sexp, isAnd bool) (Expr, error) {
+	if len(forms) == 0 {
+		return &Const{Value: isAnd}, nil
+	}
+	first, err := parseExpr(forms[0])
+	if err != nil {
+		return nil, err
+	}
+	if len(forms) == 1 {
+		return first, nil
+	}
+	rest, err := parseAndOr(forms[1:], isAnd)
+	if err != nil {
+		return nil, err
+	}
+	if isAnd {
+		return &If{Cond: first, Then: rest, Else: &Const{Value: false}}, nil
+	}
+	// (or a b): evaluate a once. Without the value in hand we accept
+	// the double-evaluation-free form via a hidden let.
+	tmp := Symbol("or-tmp%")
+	return &Let{
+		Names: []Symbol{tmp},
+		Inits: []Expr{first},
+		Body:  &If{Cond: &Var{Name: tmp}, Then: &Var{Name: tmp}, Else: rest},
+	}, nil
+}
+
+// StripFutures rewrites the program replacing (future X) with X and
+// (touch X) with X — the paper's "T seq" configuration: the same
+// program compiled as purely sequential code.
+func StripFutures(e Expr) Expr {
+	switch v := e.(type) {
+	case *Future:
+		return StripFutures(v.Body)
+	case *Touch:
+		return StripFutures(v.Body)
+	case *If:
+		return &If{Cond: StripFutures(v.Cond), Then: StripFutures(v.Then), Else: stripMaybe(v.Else)}
+	case *Begin:
+		out := make([]Expr, len(v.Body))
+		for i, b := range v.Body {
+			out[i] = StripFutures(b)
+		}
+		return &Begin{Body: out}
+	case *Let:
+		inits := make([]Expr, len(v.Inits))
+		for i, in := range v.Inits {
+			inits[i] = StripFutures(in)
+		}
+		return &Let{Names: v.Names, Inits: inits, Body: StripFutures(v.Body)}
+	case *Letrec:
+		lams := make([]*Lambda, len(v.Inits))
+		for i, l := range v.Inits {
+			lams[i] = StripFutures(l).(*Lambda)
+		}
+		return &Letrec{Names: v.Names, Inits: lams, Body: StripFutures(v.Body)}
+	case *Lambda:
+		return &Lambda{Params: v.Params, Body: StripFutures(v.Body), Name: v.Name}
+	case *Call:
+		args := make([]Expr, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = StripFutures(a)
+		}
+		return &Call{Fn: StripFutures(v.Fn), Args: args}
+	case *Set:
+		return &Set{Name: v.Name, Value: StripFutures(v.Value)}
+	default:
+		return e
+	}
+}
+
+func stripMaybe(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	return StripFutures(e)
+}

@@ -1,0 +1,903 @@
+package mult
+
+import (
+	"fmt"
+
+	"april/internal/abi"
+	"april/internal/heap"
+	"april/internal/isa"
+)
+
+// Register roles used by generated code (see package abi for the frame
+// and TCB layouts).
+const (
+	regAcc = isa.RTmp0     // r16: expression accumulator
+	regT1  = isa.RTmp0 + 1 // r17: scratch
+	regT2  = isa.RTmp0 + 2 // r18: scratch (allocation base)
+	regT3  = isa.RTmp0 + 3 // r19: scratch
+)
+
+// fixupKind distinguishes how a label reference patches an immediate.
+type fixupKind uint8
+
+const (
+	fixBranch fixupKind = iota // PC-relative branch offset
+	fixAbs                     // absolute instruction address
+	fixFixnum                  // fixnum-tagged absolute address (movi)
+)
+
+type fixup struct {
+	at    int
+	label int
+	kind  fixupKind
+}
+
+type asmBuilder struct {
+	code   []isa.Inst
+	fixups []fixup
+	labels []int // label id -> pc (-1 = unbound)
+}
+
+func (a *asmBuilder) newLabel() int {
+	a.labels = append(a.labels, -1)
+	return len(a.labels) - 1
+}
+
+func (a *asmBuilder) bind(l int) {
+	a.labels[l] = len(a.code)
+}
+
+func (a *asmBuilder) emit(i isa.Inst) int {
+	a.code = append(a.code, i)
+	return len(a.code) - 1
+}
+
+func (a *asmBuilder) branch(op isa.Opcode, label int) {
+	at := a.emit(isa.Br(op, 0))
+	a.fixups = append(a.fixups, fixup{at: at, label: label, kind: fixBranch})
+}
+
+func (a *asmBuilder) jmplTo(rd uint8, label int) {
+	at := a.emit(isa.Jmpl(rd, isa.RZero, 0))
+	a.fixups = append(a.fixups, fixup{at: at, label: label, kind: fixAbs})
+}
+
+func (a *asmBuilder) moviLabelFixnum(rd uint8, label int) {
+	at := a.emit(isa.MovI(rd, 0))
+	a.fixups = append(a.fixups, fixup{at: at, label: label, kind: fixFixnum})
+}
+
+func (a *asmBuilder) patch() error {
+	for _, f := range a.fixups {
+		pc := a.labels[f.label]
+		if pc < 0 {
+			return fmt.Errorf("mult: unbound label %d", f.label)
+		}
+		switch f.kind {
+		case fixBranch:
+			a.code[f.at].Imm = int32(pc - f.at)
+		case fixAbs:
+			a.code[f.at].Imm = int32(pc)
+		case fixFixnum:
+			a.code[f.at].Imm = int32(isa.MakeFixnum(int32(pc)))
+		}
+	}
+	return nil
+}
+
+// compiler drives code generation for one program.
+type compiler struct {
+	mode        Mode
+	heap        *heap.Heap
+	asm         asmBuilder
+	prog        *Program
+	globalsBase uint32
+	symbols     map[Symbol]isa.Word
+	lamLabels   map[*Lambda]int
+	symtab      map[string]uint32
+}
+
+// CompileResolved generates code for a resolved program into the given
+// static heap.
+func CompileResolved(p *Program, mode Mode, h *heap.Heap) (*isa.Program, error) {
+	c := &compiler{
+		mode:      mode,
+		heap:      h,
+		prog:      p,
+		symbols:   map[Symbol]isa.Word{},
+		lamLabels: map[*Lambda]int{},
+		symtab:    map[string]uint32{},
+	}
+	// Global variable slots in static memory.
+	if n := len(p.Defs); n > 0 {
+		base := h.Arena.Alloc(uint32(4 * n))
+		if base == 0 {
+			return nil, fmt.Errorf("mult: static arena exhausted for %d globals", n)
+		}
+		c.globalsBase = base
+	}
+
+	// Runtime stubs.
+	taskExit := c.asm.newLabel()
+	mainExit := c.asm.newLabel()
+	c.asm.bind(taskExit)
+	c.symtab[abi.SymTaskExit] = uint32(len(c.asm.code))
+	c.asm.emit(isa.Trap(abi.TrapImm(abi.SvcTaskExit, 0, 0)))
+	c.asm.emit(isa.Halt)
+	c.asm.bind(mainExit)
+	c.symtab[abi.SymMainExit] = uint32(len(c.asm.code))
+	c.asm.emit(isa.Trap(abi.TrapImm(abi.SvcMainExit, 0, 0)))
+	c.asm.emit(isa.Halt)
+
+	// Pre-create entry labels so forward calls resolve.
+	for _, lam := range p.Lambdas {
+		c.lamLabels[lam] = c.asm.newLabel()
+	}
+	for _, lam := range p.Lambdas {
+		if err := c.fn(lam); err != nil {
+			name := lam.Name
+			if name == "" {
+				name = "<lambda>"
+			}
+			return nil, fmt.Errorf("mult: compiling %s: %w", name, err)
+		}
+	}
+	if err := c.asm.patch(); err != nil {
+		return nil, err
+	}
+
+	out := &isa.Program{
+		Code:    c.asm.code,
+		Entry:   uint32(c.asm.labels[c.lamLabels[p.Lambdas[0]]]),
+		Symbols: c.symtab,
+	}
+	return out, nil
+}
+
+// Compile parses, resolves and compiles source text (with the prelude)
+// for the given mode, building static data in h.
+func Compile(src string, mode Mode, h *heap.Heap) (*isa.Program, error) {
+	forms, err := ReadAll(Prelude + "\n" + src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := Parse(forms)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := Resolve(prog, mode); err != nil {
+		return nil, err
+	}
+	return CompileResolved(prog, mode, h)
+}
+
+func (c *compiler) globalAddr(b *Binding) int32 {
+	return int32(c.globalsBase + uint32(4*b.Slot))
+}
+
+// fnCtx is per-lambda code generation state.
+type fnCtx struct {
+	c       *compiler
+	lam     *Lambda
+	slots   int   // next free frame slot (monotonic; never reused)
+	body    int   // label of the post-prologue body (self-tail-call target)
+	sizeAts []int // instruction indices needing the final frame size
+}
+
+func slotOff(s int) int32 { return int32(abi.FrameLocalsOff + 4*s) }
+
+func (f *fnCtx) newSlot() int {
+	s := f.slots
+	f.slots++
+	return s
+}
+
+func (c *compiler) fn(lam *Lambda) error {
+	if len(lam.Params) > isa.NumArgRegs {
+		return fmt.Errorf("procedures take at most %d parameters, got %d", isa.NumArgRegs, len(lam.Params))
+	}
+	f := &fnCtx{c: c, lam: lam, slots: lam.NLocals}
+	a := &c.asm
+	a.bind(c.lamLabels[lam])
+	if lam.Name != "" {
+		c.symtab[lam.Name] = uint32(len(a.code))
+	}
+
+	// Prologue: push frame, save fp/link/clos, spill parameters.
+	f.sizeAts = append(f.sizeAts, a.emit(isa.RI(isa.OpRawSub, isa.RSP, isa.RSP, 0)))
+	a.emit(isa.St(isa.OpStnt, isa.RSP, abi.FrameSavedFPOff, isa.RFP))
+	a.emit(isa.St(isa.OpStnt, isa.RSP, abi.FrameSavedLinkOff, isa.RLink))
+	a.emit(isa.St(isa.OpStnt, isa.RSP, abi.FrameSavedClosOff, isa.RClos))
+	a.emit(isa.RI(isa.OpRawAdd, isa.RFP, isa.RSP, 0))
+	for i, pb := range lam.ParamBinds {
+		argReg := uint8(isa.RArg0 + i)
+		if pb.Boxed {
+			f.emitAllocCell(argReg)
+			a.emit(isa.St(isa.OpStnt, isa.RFP, slotOff(pb.Slot), regT2))
+		} else {
+			a.emit(isa.St(isa.OpStnt, isa.RFP, slotOff(pb.Slot), argReg))
+		}
+	}
+
+	f.body = a.newLabel()
+	a.bind(f.body)
+	if err := f.expr(lam.Body, true); err != nil {
+		return err
+	}
+
+	// Epilogue.
+	a.emit(isa.RI(isa.OpRawAdd, isa.RArg0, regAcc, 0))
+	a.emit(isa.Ld(isa.OpLdnt, isa.RLink, isa.RFP, abi.FrameSavedLinkOff))
+	a.emit(isa.Ld(isa.OpLdnt, regT1, isa.RFP, abi.FrameSavedFPOff))
+	f.sizeAts = append(f.sizeAts, a.emit(isa.RI(isa.OpRawAdd, isa.RSP, isa.RFP, 0)))
+	a.emit(isa.RI(isa.OpRawAdd, isa.RFP, regT1, 0))
+	a.emit(isa.Jmpl(isa.RZero, isa.RLink, 0))
+
+	// Patch the frame size now that the slot count is final.
+	frameSize := int32((abi.FrameLocalsOff + 4*f.slots + 7) &^ 7)
+	for _, at := range f.sizeAts {
+		a.code[at].Imm = frameSize
+	}
+	return nil
+}
+
+// emitAllocFixed emits an inline bump allocation of size bytes
+// (rounded to 8); the raw object base lands in regT2. g0 is the
+// allocation pointer, g1 the limit; overflow traps to the runtime for
+// a fresh chunk.
+func (f *fnCtx) emitAllocFixed(size int) {
+	a := &f.c.asm
+	size = (size + 7) &^ 7
+	a.emit(isa.RI(isa.OpRawAdd, regT2, isa.GAllocPtr, 0))
+	a.emit(isa.RI(isa.OpRawAdd, isa.GAllocPtr, isa.GAllocPtr, int32(size)))
+	a.emit(isa.R3(isa.OpSubCC, isa.RZero, isa.GAllocLimit, isa.GAllocPtr))
+	a.emit(isa.Br(isa.OpBcc, 2)) // limit >= alloc pointer: fits
+	a.emit(isa.Trap(abi.TrapImm(abi.SvcAllocRefill, regT2, size)))
+}
+
+// emitAllocCell boxes the value in reg valReg into a fresh cell; the
+// tagged cell pointer lands in regT2.
+func (f *fnCtx) emitAllocCell(valReg uint8) {
+	a := &f.c.asm
+	f.emitAllocFixed(8)
+	a.emit(isa.MovI(regT1, isa.Word(1<<abi.HeaderShift|abi.KindCell)))
+	a.emit(isa.St(isa.OpStnt, regT2, 0, regT1))
+	a.emit(isa.St(isa.OpStnt, regT2, abi.CellValueOff, valReg))
+	a.emit(isa.RI(isa.OpRawAdd, regT2, regT2, int32(isa.OtherTag)))
+}
+
+// emitCheck emits the Encore-style software future check on reg —
+// extract the tag bit, compare, branch around the resolving trap —
+// three cycles on the common non-future path. These compiled-in checks
+// before every strict operation are the source of the Encore's
+// "close to a factor of two loss in performance" on sequential code
+// (Section 7).
+func (f *fnCtx) emitCheck(reg uint8) {
+	if f.c.mode.HardwareFutures {
+		return
+	}
+	a := &f.c.asm
+	a.emit(isa.RI(isa.OpRawAnd, regT3, reg, 1))
+	a.emit(isa.RI(isa.OpSubCC, isa.RZero, regT3, 1))
+	a.emit(isa.Br(isa.OpBne, 2))
+	a.emit(isa.Trap(abi.TrapImm(abi.SvcTouchReg, int(reg), 0)))
+}
+
+// emitTouch forces the value in reg: on APRIL a single strict no-op
+// triggers the hardware future trap; on the Encore it is the software
+// check.
+func (f *fnCtx) emitTouch(reg uint8) {
+	if f.c.mode.HardwareFutures {
+		f.c.asm.emit(isa.R3(isa.OpOr, reg, reg, isa.RZero))
+		return
+	}
+	f.emitCheck(reg)
+}
+
+// isSimple reports whether e can be (re)loaded into any register
+// without disturbing the accumulator or having effects.
+func isSimple(e Expr) bool {
+	switch v := e.(type) {
+	case *Const, *Quote:
+		return true
+	case *Var:
+		// Free-variable loads go through RClos which is always valid;
+		// global and local loads are single instructions.
+		_ = v
+		return true
+	}
+	return false
+}
+
+// loadSimple materializes a simple expression into reg.
+func (f *fnCtx) loadSimple(e Expr, reg uint8) error {
+	a := &f.c.asm
+	switch v := e.(type) {
+	case *Const:
+		w, err := f.c.constWord(v.Value)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.MovI(reg, w))
+	case *Quote:
+		w, err := f.c.quoteWord(v.Datum)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.MovI(reg, w))
+	case *Var:
+		f.loadBinding(v.Bind, reg)
+	default:
+		return fmt.Errorf("loadSimple of non-simple %T", e)
+	}
+	return nil
+}
+
+// loadBinding loads the value of binding b into reg.
+func (f *fnCtx) loadBinding(b *Binding, reg uint8) {
+	a := &f.c.asm
+	switch b.Kind {
+	case BindGlobal:
+		a.emit(isa.Ld(isa.OpLdnt, reg, isa.RZero, f.c.globalAddr(b)))
+	case BindLocal:
+		a.emit(isa.Ld(isa.OpLdnt, reg, isa.RFP, slotOff(b.Slot)))
+		if b.Boxed {
+			a.emit(isa.Ld(isa.OpLdnt, reg, reg, abi.CellValueOff-int32(isa.OtherTag)))
+		}
+	case BindFree:
+		a.emit(isa.Ld(isa.OpLdnt, reg, isa.RClos, int32(abi.ClosCapOff+4*b.Slot)-int32(isa.OtherTag)))
+		if b.Boxed {
+			a.emit(isa.Ld(isa.OpLdnt, reg, reg, abi.CellValueOff-int32(isa.OtherTag)))
+		}
+	}
+}
+
+// storeBinding stores reg into binding b.
+func (f *fnCtx) storeBinding(b *Binding, reg uint8) error {
+	a := &f.c.asm
+	switch b.Kind {
+	case BindGlobal:
+		a.emit(isa.St(isa.OpStnt, isa.RZero, f.c.globalAddr(b), reg))
+	case BindLocal:
+		if b.Boxed {
+			a.emit(isa.Ld(isa.OpLdnt, regT1, isa.RFP, slotOff(b.Slot)))
+			a.emit(isa.St(isa.OpStnt, regT1, abi.CellValueOff-int32(isa.OtherTag), reg))
+		} else {
+			a.emit(isa.St(isa.OpStnt, isa.RFP, slotOff(b.Slot), reg))
+		}
+	case BindFree:
+		if !b.Boxed {
+			return fmt.Errorf("set! of captured unboxed variable %s", b.Name)
+		}
+		a.emit(isa.Ld(isa.OpLdnt, regT1, isa.RClos, int32(abi.ClosCapOff+4*b.Slot)-int32(isa.OtherTag)))
+		a.emit(isa.St(isa.OpStnt, regT1, abi.CellValueOff-int32(isa.OtherTag), reg))
+	}
+	return nil
+}
+
+// constWord converts a literal to its machine word.
+func (c *compiler) constWord(v Sexp) (isa.Word, error) {
+	switch x := v.(type) {
+	case int32:
+		return isa.MakeFixnum(x), nil
+	case bool:
+		return isa.MakeBool(x), nil
+	case string:
+		return c.heap.NewString(x)
+	}
+	return 0, fmt.Errorf("bad literal %v", v)
+}
+
+// quoteWord builds quoted data in the static heap.
+func (c *compiler) quoteWord(d Sexp) (isa.Word, error) {
+	switch x := d.(type) {
+	case int32:
+		return isa.MakeFixnum(x), nil
+	case bool:
+		return isa.MakeBool(x), nil
+	case string:
+		return c.heap.NewString(x)
+	case Symbol:
+		if w, ok := c.symbols[x]; ok {
+			return w, nil
+		}
+		w, err := c.heap.NewSymbol(string(x))
+		if err != nil {
+			return 0, err
+		}
+		c.symbols[x] = w
+		return w, nil
+	case []Sexp:
+		out := isa.Nil
+		for i := len(x) - 1; i >= 0; i-- {
+			cw, err := c.quoteWord(x[i])
+			if err != nil {
+				return 0, err
+			}
+			out, err = c.heap.Cons(cw, out)
+			if err != nil {
+				return 0, err
+			}
+		}
+		return out, nil
+	}
+	return 0, fmt.Errorf("bad quoted datum %v", d)
+}
+
+// expr compiles e; the result lands in regAcc.
+func (f *fnCtx) expr(e Expr, tail bool) error {
+	a := &f.c.asm
+	switch v := e.(type) {
+	case *Const, *Quote:
+		return f.loadSimple(e, regAcc)
+
+	case *Var:
+		f.loadBinding(v.Bind, regAcc)
+		return nil
+
+	case *Set:
+		if err := f.expr(v.Value, false); err != nil {
+			return err
+		}
+		if err := f.storeBinding(v.Bind, regAcc); err != nil {
+			return err
+		}
+		a.emit(isa.MovI(regAcc, isa.Unspec))
+		return nil
+
+	case *Begin:
+		for i, b := range v.Body {
+			if err := f.expr(b, tail && i == len(v.Body)-1); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *If:
+		return f.ifExpr(v, tail)
+
+	case *Let:
+		for i, init := range v.Inits {
+			if err := f.expr(init, false); err != nil {
+				return err
+			}
+			b := v.Binds[i]
+			if b.Boxed {
+				f.emitAllocCell(regAcc)
+				a.emit(isa.St(isa.OpStnt, isa.RFP, slotOff(b.Slot), regT2))
+			} else {
+				a.emit(isa.St(isa.OpStnt, isa.RFP, slotOff(b.Slot), regAcc))
+			}
+		}
+		return f.expr(v.Body, tail)
+
+	case *Letrec:
+		// Allocate empty cells first, then fill them with the closures
+		// so mutual references work.
+		for _, b := range v.Binds {
+			a.emit(isa.MovI(regT1, isa.Unspec))
+			f.emitAllocCell(regT1)
+			a.emit(isa.St(isa.OpStnt, isa.RFP, slotOff(b.Slot), regT2))
+		}
+		for i, lam := range v.Inits {
+			if err := f.makeClosure(lam); err != nil {
+				return err
+			}
+			a.emit(isa.Ld(isa.OpLdnt, regT1, isa.RFP, slotOff(v.Binds[i].Slot)))
+			a.emit(isa.St(isa.OpStnt, regT1, abi.CellValueOff-int32(isa.OtherTag), regAcc))
+		}
+		return f.expr(v.Body, tail)
+
+	case *Lambda:
+		return f.makeClosure(v)
+
+	case *Call:
+		return f.call(v, tail)
+
+	case *Prim:
+		return f.prim(v)
+
+	case *Future:
+		if v.Thunk != nil {
+			return f.eagerFuture(v)
+		}
+		return f.lazyFuture(v)
+
+	case *Touch:
+		if err := f.expr(v.Body, false); err != nil {
+			return err
+		}
+		f.emitTouch(regAcc)
+		return nil
+	}
+	return fmt.Errorf("cannot compile %T", e)
+}
+
+// makeClosure allocates a closure for lam, capturing its free
+// variables; the tagged closure lands in regAcc.
+func (f *fnCtx) makeClosure(lam *Lambda) error {
+	a := &f.c.asm
+	n := len(lam.Free)
+	f.emitAllocFixed(abi.ClosCapOff + 4*n)
+	a.emit(isa.MovI(regT1, isa.Word(uint32(n)<<abi.HeaderShift|abi.KindClosure)))
+	a.emit(isa.St(isa.OpStnt, regT2, abi.ClosHeaderOff, regT1))
+	a.moviLabelFixnum(regT1, f.c.lamLabels[lam])
+	a.emit(isa.St(isa.OpStnt, regT2, abi.ClosEntryOff, regT1))
+	for i, fb := range lam.Free {
+		if fb.Outer == nil {
+			return fmt.Errorf("free binding %s has no outer binding", fb.Name)
+		}
+		f.loadCaptured(fb.Outer, regT1)
+		a.emit(isa.St(isa.OpStnt, regT2, int32(abi.ClosCapOff+4*i), regT1))
+	}
+	a.emit(isa.RI(isa.OpRawAdd, regAcc, regT2, int32(isa.OtherTag)))
+	return nil
+}
+
+// loadCaptured loads the raw slot content of binding b (the cell
+// pointer for boxed bindings, the value otherwise) into reg.
+func (f *fnCtx) loadCaptured(b *Binding, reg uint8) {
+	a := &f.c.asm
+	switch b.Kind {
+	case BindLocal:
+		a.emit(isa.Ld(isa.OpLdnt, reg, isa.RFP, slotOff(b.Slot)))
+	case BindFree:
+		a.emit(isa.Ld(isa.OpLdnt, reg, isa.RClos, int32(abi.ClosCapOff+4*b.Slot)-int32(isa.OtherTag)))
+	case BindGlobal:
+		a.emit(isa.Ld(isa.OpLdnt, reg, isa.RZero, f.c.globalAddr(b)))
+	}
+}
+
+// reloadClos refreshes RClos from the frame after a call if this
+// function needs it.
+func (f *fnCtx) reloadClos() {
+	if len(f.lam.Free) > 0 {
+		f.c.asm.emit(isa.Ld(isa.OpLdnt, isa.RClos, isa.RFP, abi.FrameSavedClosOff))
+	}
+}
+
+// selfTarget reports whether binding b (following capture chains)
+// denotes this function for self-tail-calls.
+func (f *fnCtx) selfTarget(b *Binding) bool {
+	if f.lam.SelfBind == nil {
+		return false
+	}
+	root := b
+	for root != nil && root.Outer != nil {
+		root = root.Outer
+	}
+	return root == f.lam.SelfBind
+}
+
+func (f *fnCtx) call(v *Call, tail bool) error {
+	a := &f.c.asm
+
+	// Direct call to a known top-level procedure?
+	var direct *Lambda
+	if vr, ok := v.Fn.(*Var); ok {
+		direct = f.c.prog.DirectLambda(vr.Bind)
+		// Self tail call (either via a letrec self binding or direct
+		// recursion on a global): jump back to the body.
+		isSelf := (direct == f.lam) || f.selfTarget(vr.Bind)
+		if tail && isSelf && len(v.Args) == len(f.lam.Params) && !f.anyBoxedParam() {
+			return f.selfTailCall(v.Args)
+		}
+	}
+
+	// Evaluate non-simple arguments left to right into fresh slots.
+	type argLoc struct {
+		slot   int // -1 = simple, reload directly
+		simple Expr
+	}
+	locs := make([]argLoc, len(v.Args))
+	for i, arg := range v.Args {
+		if isSimple(arg) {
+			locs[i] = argLoc{slot: -1, simple: arg}
+			continue
+		}
+		if err := f.expr(arg, false); err != nil {
+			return err
+		}
+		s := f.newSlot()
+		a.emit(isa.St(isa.OpStnt, isa.RFP, slotOff(s), regAcc))
+		locs[i] = argLoc{slot: s}
+	}
+
+	var fnSlot = -1
+	if direct == nil {
+		if err := f.expr(v.Fn, false); err != nil {
+			return err
+		}
+		fnSlot = f.newSlot()
+		a.emit(isa.St(isa.OpStnt, isa.RFP, slotOff(fnSlot), regAcc))
+	}
+
+	// Marshal arguments.
+	if len(v.Args) > isa.NumArgRegs {
+		return fmt.Errorf("calls take at most %d arguments, got %d", isa.NumArgRegs, len(v.Args))
+	}
+	for i, loc := range locs {
+		argReg := uint8(isa.RArg0 + i)
+		if loc.slot >= 0 {
+			a.emit(isa.Ld(isa.OpLdnt, argReg, isa.RFP, slotOff(loc.slot)))
+		} else if err := f.loadSimple(loc.simple, argReg); err != nil {
+			return err
+		}
+	}
+
+	if direct != nil {
+		a.jmplTo(isa.RLink, f.c.lamLabels[direct])
+	} else {
+		a.emit(isa.Ld(isa.OpLdnt, isa.RClos, isa.RFP, slotOff(fnSlot)))
+		// A closure is "other"-tagged; dereferencing a future here
+		// triggers the address trap (implicit touch); a non-procedure
+		// gives an alignment trap or garbage — compiled unchecked, as
+		// discussed in DESIGN.md.
+		f.emitCheck(isa.RClos)
+		a.emit(isa.Ld(isa.OpLdnt, regT1, isa.RClos, abi.ClosEntryOff-int32(isa.OtherTag)))
+		a.emit(isa.Jmpl(isa.RLink, regT1, 0))
+	}
+	a.emit(isa.RI(isa.OpRawAdd, regAcc, isa.RArg0, 0))
+	f.reloadClos()
+	return nil
+}
+
+func (f *fnCtx) anyBoxedParam() bool {
+	for _, pb := range f.lam.ParamBinds {
+		if pb.Boxed {
+			return true
+		}
+	}
+	return false
+}
+
+// selfTailCall updates the parameter slots and jumps to the body.
+func (f *fnCtx) selfTailCall(args []Expr) error {
+	a := &f.c.asm
+	// Evaluate all arguments before overwriting any parameter (they
+	// may reference the old parameters).
+	tmp := make([]int, len(args))
+	for i, arg := range args {
+		if err := f.expr(arg, false); err != nil {
+			return err
+		}
+		tmp[i] = f.newSlot()
+		a.emit(isa.St(isa.OpStnt, isa.RFP, slotOff(tmp[i]), regAcc))
+	}
+	for i, pb := range f.lam.ParamBinds {
+		a.emit(isa.Ld(isa.OpLdnt, regT1, isa.RFP, slotOff(tmp[i])))
+		a.emit(isa.St(isa.OpStnt, isa.RFP, slotOff(pb.Slot), regT1))
+	}
+	a.branch(isa.OpBa, f.body)
+	return nil
+}
+
+// eagerFuture compiles (future X) as thunk creation plus the
+// task-creation syscall (the paper's "normal task creation").
+func (f *fnCtx) eagerFuture(v *Future) error {
+	a := &f.c.asm
+	if err := f.makeClosure(v.Thunk); err != nil {
+		return err
+	}
+	a.emit(isa.RI(isa.OpRawAdd, isa.RArg0, regAcc, 0))
+	a.emit(isa.Trap(abi.TrapImm(abi.SvcFutureNew, 0, 0)))
+	a.emit(isa.RI(isa.OpRawAdd, regAcc, isa.RArg0, 0))
+	f.reloadClos()
+	return nil
+}
+
+// lazyFuture compiles (future X) as lazy task creation (Section 3.2,
+// [17]): push a stealable marker, evaluate X inline, pop the marker.
+// If the marker was stolen, an idle processor owns the continuation:
+// resolve its future with X's value and retire this thread.
+//
+// Each future site reserves a status slot in the frame. A thief stamps
+// the future it creates into that slot, which makes the pop check work
+// even for a continuation thread that inherits the pop of an ancestor
+// marker it never pushed (its copied frame carries the stamp): the
+// deque index comparison routes it to the stolen path and the slot
+// supplies the future.
+func (f *fnCtx) lazyFuture(v *Future) error {
+	a := &f.c.asm
+	cont := a.newLabel()
+	status := f.newSlot()
+
+	// Push the marker {resume PC, sp, status slot address}.
+	a.emit(isa.Ld(isa.OpLdnt, regT1, isa.RTP, abi.TCBTopOff))
+	a.emit(isa.RI(isa.OpRawAdd, regT2, isa.RTP, abi.TCBBytes)) // deque end
+	a.emit(isa.R3(isa.OpSubCC, isa.RZero, regT1, regT2))
+	a.emit(isa.Br(isa.OpBcs, 2)) // top < end: fits
+	a.emit(isa.Trap(abi.TrapImm(abi.SvcError, abi.ErrDequeFull, 0)))
+	a.moviLabelFixnum(regT2, cont)
+	a.emit(isa.St(isa.OpStnt, regT1, abi.MarkerPCOff, regT2))
+	a.emit(isa.St(isa.OpStnt, regT1, abi.MarkerSPOff, isa.RSP))
+	a.emit(isa.RI(isa.OpRawAdd, regT3, isa.RFP, slotOff(status)))
+	a.emit(isa.St(isa.OpStnt, regT1, abi.MarkerStatusOff, regT3))
+	a.emit(isa.RI(isa.OpRawAdd, regT1, regT1, abi.MarkerBytes))
+	a.emit(isa.St(isa.OpStnt, isa.RTP, abi.TCBTopOff, regT1))
+
+	// Evaluate the body inline in this frame.
+	if err := f.expr(v.Body, false); err != nil {
+		return err
+	}
+
+	// Pop: remove the newest entry, then compare against bot. top >= bot
+	// means the entry removed was ours (a thief takes the OLDEST entry
+	// and advances bot, so a stolen marker leaves top < bot — including
+	// the inherited-pop case, where top underflows an empty deque just
+	// before this thread retires).
+	a.emit(isa.Ld(isa.OpLdnt, regT1, isa.RTP, abi.TCBTopOff))
+	a.emit(isa.RI(isa.OpRawSub, regT1, regT1, abi.MarkerBytes))
+	a.emit(isa.St(isa.OpStnt, isa.RTP, abi.TCBTopOff, regT1))
+	a.emit(isa.Ld(isa.OpLdnt, regT2, isa.RTP, abi.TCBBotOff))
+	a.emit(isa.R3(isa.OpSubCC, isa.RZero, regT1, regT2))
+	a.branch(isa.OpBcc, cont) // top >= bot: ours; value stays in regAcc
+	// Stolen: the status slot holds the future; resolve it and retire.
+	a.emit(isa.Ld(isa.OpLdnt, isa.RArg0, isa.RFP, slotOff(status)))
+	a.emit(isa.RI(isa.OpRawAdd, isa.RArg0+1, regAcc, 0))
+	a.emit(isa.Trap(abi.TrapImm(abi.SvcStolen, 0, 0)))
+	a.bind(cont)
+	// A thief enters here with the future in regAcc and registers
+	// rebuilt from the marker; refresh RClos in either case.
+	f.reloadClos()
+	return nil
+}
+
+func (f *fnCtx) ifExpr(v *If, tail bool) error {
+	a := &f.c.asm
+	lElse := a.newLabel()
+	lEnd := a.newLabel()
+	if err := f.condBranchFalse(v.Cond, lElse); err != nil {
+		return err
+	}
+	if err := f.expr(v.Then, tail); err != nil {
+		return err
+	}
+	a.branch(isa.OpBa, lEnd)
+	a.bind(lElse)
+	if v.Else != nil {
+		if err := f.expr(v.Else, tail); err != nil {
+			return err
+		}
+	} else {
+		a.emit(isa.MovI(regAcc, isa.Unspec))
+	}
+	a.bind(lEnd)
+	return nil
+}
+
+// invCond maps a comparison primitive to the branch taken when the
+// comparison is FALSE.
+var invCond = map[Symbol]isa.Opcode{
+	"=": isa.OpBne, "<": isa.OpBge, ">": isa.OpBle, "<=": isa.OpBg, ">=": isa.OpBl,
+}
+
+// condBranchFalse compiles cond and branches to target when it is
+// false, fusing comparisons into the branch.
+func (f *fnCtx) condBranchFalse(cond Expr, target int) error {
+	a := &f.c.asm
+	if p, ok := cond.(*Prim); ok {
+		if inv, isCmp := invCond[p.Name]; isCmp {
+			ra, rb, imm, useImm, err := f.binaryOperands(p.Args[0], p.Args[1])
+			if err != nil {
+				return err
+			}
+			if useImm {
+				a.emit(isa.RI(isa.OpSubCC, isa.RZero, ra, imm))
+			} else {
+				a.emit(isa.R3(isa.OpSubCC, isa.RZero, ra, rb))
+			}
+			a.branch(inv, target)
+			return nil
+		}
+		switch p.Name {
+		case "zero?":
+			if err := f.unaryOperand(p.Args[0]); err != nil {
+				return err
+			}
+			a.emit(isa.RI(isa.OpSubCC, isa.RZero, regAcc, 0))
+			a.branch(isa.OpBne, target)
+			return nil
+		case "null?":
+			if err := f.unaryOperand(p.Args[0]); err != nil {
+				return err
+			}
+			a.emit(isa.RI(isa.OpSubCC, isa.RZero, regAcc, int32(isa.Nil)))
+			a.branch(isa.OpBne, target)
+			return nil
+		case "not":
+			// (if (not x) a b) == (if x b a): branch to target when x
+			// is TRUE.
+			inner := f.c.asm.newLabel()
+			if err := f.condBranchFalse(p.Args[0], inner); err != nil {
+				return err
+			}
+			a.branch(isa.OpBa, target)
+			a.bind(inner)
+			return nil
+		case "eq?":
+			ra, rb, imm, useImm, err := f.binaryOperands(p.Args[0], p.Args[1])
+			if err != nil {
+				return err
+			}
+			if useImm {
+				a.emit(isa.RI(isa.OpSubCC, isa.RZero, ra, imm))
+			} else {
+				a.emit(isa.R3(isa.OpSubCC, isa.RZero, ra, rb))
+			}
+			a.branch(isa.OpBne, target)
+			return nil
+		}
+	}
+	// Generic: false iff the value is #f.
+	if err := f.expr(cond, false); err != nil {
+		return err
+	}
+	f.emitCheck(regAcc)
+	a.emit(isa.RI(isa.OpSubCC, isa.RZero, regAcc, int32(isa.False)))
+	a.branch(isa.OpBe, target)
+	return nil
+}
+
+// unaryOperand compiles a prim's single operand into regAcc with a
+// software check when needed.
+func (f *fnCtx) unaryOperand(e Expr) error {
+	if err := f.expr(e, false); err != nil {
+		return err
+	}
+	f.emitCheck(regAcc)
+	return nil
+}
+
+// binaryOperands compiles two operands left to right. It returns the
+// register holding the first operand and either a register or an
+// immediate for the second. Software future checks are emitted on
+// register operands.
+func (f *fnCtx) binaryOperands(x, y Expr) (ra, rb uint8, imm int32, useImm bool, err error) {
+	a := &f.c.asm
+	// Immediate fast path for fixnum/boolean/nil literals on the right.
+	if c, ok := y.(*Const); ok {
+		if w, werr := immWord(c.Value); werr == nil {
+			if err := f.expr(x, false); err != nil {
+				return 0, 0, 0, false, err
+			}
+			f.emitCheck(regAcc)
+			return regAcc, 0, int32(w), true, nil
+		}
+	}
+	if isSimple(y) {
+		if err := f.expr(x, false); err != nil {
+			return 0, 0, 0, false, err
+		}
+		f.emitCheck(regAcc)
+		if err := f.loadSimple(y, regT1); err != nil {
+			return 0, 0, 0, false, err
+		}
+		f.emitCheck(regT1)
+		return regAcc, regT1, 0, false, nil
+	}
+	// General case: spill the first operand across the second.
+	if err := f.expr(x, false); err != nil {
+		return 0, 0, 0, false, err
+	}
+	s := f.newSlot()
+	a.emit(isa.St(isa.OpStnt, isa.RFP, slotOff(s), regAcc))
+	if err := f.expr(y, false); err != nil {
+		return 0, 0, 0, false, err
+	}
+	a.emit(isa.Ld(isa.OpLdnt, regT1, isa.RFP, slotOff(s)))
+	f.emitCheck(regT1)
+	f.emitCheck(regAcc)
+	return regT1, regAcc, 0, false, nil
+}
+
+// immWord converts a literal usable as an instruction immediate.
+func immWord(v Sexp) (isa.Word, error) {
+	switch x := v.(type) {
+	case int32:
+		return isa.MakeFixnum(x), nil
+	case bool:
+		return isa.MakeBool(x), nil
+	}
+	return 0, fmt.Errorf("not an immediate")
+}

@@ -1,0 +1,259 @@
+package mult
+
+import (
+	"strings"
+	"testing"
+
+	"april/internal/abi"
+	"april/internal/heap"
+	"april/internal/isa"
+	"april/internal/mem"
+)
+
+func compileFor(t *testing.T, src string, mode Mode) *isa.Program {
+	t.Helper()
+	m := mem.New(8 << 20)
+	h := heap.New(m, mem.NewArena(isa.HeapBase, 4<<20))
+	prog, err := Compile(src, mode, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// listingOf returns the instructions of the named function.
+func listingOf(t *testing.T, prog *isa.Program, name string) []isa.Inst {
+	t.Helper()
+	start, ok := prog.Symbols[name]
+	if !ok {
+		t.Fatalf("no symbol %q", name)
+	}
+	// The function extends to the next symbol (or the end).
+	end := uint32(len(prog.Code))
+	for _, addr := range prog.Symbols {
+		if addr > start && addr < end {
+			end = addr
+		}
+	}
+	return prog.Code[start:end]
+}
+
+func countOps(code []isa.Inst, op isa.Opcode) int {
+	n := 0
+	for _, in := range code {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSelfTailCallCompilesToBranch(t *testing.T) {
+	// A self-recursive tail call must not grow the stack: the loop
+	// compiles to a backward branch, not jmpl.
+	prog := compileFor(t, `
+(define (count n acc)
+  (if (= n 0) acc (count (- n 1) (+ acc 1))))
+(count 10 0)`, Mode{HardwareFutures: true})
+	code := listingOf(t, prog, "count")
+	if n := countOps(code, isa.OpJmpl); n != 1 {
+		// Exactly one jmpl: the epilogue return.
+		t.Errorf("count has %d jmpl instructions, want 1 (tail call must be a branch)", n)
+	}
+	if countOps(code, isa.OpBa) == 0 {
+		t.Error("no unconditional branch for the self tail call")
+	}
+}
+
+func TestNonTailSelfCallUsesJmpl(t *testing.T) {
+	prog := compileFor(t, `
+(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))
+(fact 5)`, Mode{HardwareFutures: true})
+	code := listingOf(t, prog, "fact")
+	if n := countOps(code, isa.OpJmpl); n != 2 {
+		t.Errorf("fact has %d jmpl instructions, want 2 (recursive call + return)", n)
+	}
+}
+
+func TestLazyFutureEmitsMarkerSequence(t *testing.T) {
+	prog := compileFor(t, `
+(define (f n) (+ (future (f n)) 1))
+(f 1)`, Mode{HardwareFutures: true, LazyFutures: true})
+	code := listingOf(t, prog, "f")
+	// The push/pop sequences address the TCB through RTP.
+	tcbOps := 0
+	for _, in := range code {
+		if (in.Op == isa.OpLdnt || in.Op == isa.OpStnt) && in.Rs1 == isa.RTP {
+			tcbOps++
+		}
+	}
+	if tcbOps < 5 {
+		t.Errorf("only %d TCB accesses; expected a marker push and pop", tcbOps)
+	}
+	// The stolen path traps SvcStolen.
+	foundStolen := false
+	for _, in := range code {
+		if in.Op == isa.OpTrap && abi.TrapService(in.Imm) == abi.SvcStolen {
+			foundStolen = true
+		}
+	}
+	if !foundStolen {
+		t.Error("no SvcStolen trap in the lazy future")
+	}
+	// And no eager task creation.
+	for _, in := range code {
+		if in.Op == isa.OpTrap && abi.TrapService(in.Imm) == abi.SvcFutureNew {
+			t.Error("lazy compile emitted an eager task creation")
+		}
+	}
+}
+
+func TestEagerFutureEmitsTaskCreation(t *testing.T) {
+	prog := compileFor(t, `
+(define (f n) (+ (future (f n)) 1))
+(f 1)`, Mode{HardwareFutures: true})
+	foundNew := false
+	for _, in := range prog.Code {
+		if in.Op == isa.OpTrap && abi.TrapService(in.Imm) == abi.SvcFutureNew {
+			foundNew = true
+		}
+	}
+	if !foundNew {
+		t.Error("no SvcFutureNew trap in eager mode")
+	}
+}
+
+func TestEncoreModeEmitsSoftwareChecks(t *testing.T) {
+	src := `(define (f a b) (+ a b)) (f 1 2)`
+	hw := compileFor(t, src, Mode{HardwareFutures: true})
+	sw := compileFor(t, src, Mode{HardwareFutures: false})
+	countTouch := func(p *isa.Program) int {
+		n := 0
+		for _, in := range p.Code {
+			if in.Op == isa.OpTrap && abi.TrapService(in.Imm) == abi.SvcTouchReg {
+				n++
+			}
+		}
+		return n
+	}
+	if countTouch(hw) != 0 {
+		t.Error("hardware mode emitted software checks")
+	}
+	if countTouch(sw) == 0 {
+		t.Error("Encore mode emitted no software checks")
+	}
+	if len(sw.Code) <= len(hw.Code) {
+		t.Error("software checks should grow the code")
+	}
+}
+
+func TestSequentialModeHasNoFutureTraps(t *testing.T) {
+	prog := compileFor(t, `
+(define (f n) (+ (future (f n)) 1))
+(f 1)`, Mode{HardwareFutures: true, Sequential: true})
+	for _, in := range prog.Code {
+		if in.Op == isa.OpTrap {
+			svc := abi.TrapService(in.Imm)
+			if svc == abi.SvcFutureNew || svc == abi.SvcStolen {
+				t.Errorf("sequential compile emitted future machinery (service %d)", svc)
+			}
+		}
+	}
+}
+
+func TestDirectCallVsClosureCall(t *testing.T) {
+	// A call to a known top-level procedure goes straight to its label;
+	// calling a parameter goes through the closure's entry slot.
+	prog := compileFor(t, `
+(define (known x) x)
+(define (caller f x) (f (known x)))
+(caller known 1)`, Mode{HardwareFutures: true})
+	code := listingOf(t, prog, "caller")
+	absolute, indirect := 0, 0
+	for _, in := range code {
+		if in.Op == isa.OpJmpl && in.Rd == isa.RLink {
+			if in.Rs1 == isa.RZero {
+				absolute++
+			} else {
+				indirect++
+			}
+		}
+	}
+	if absolute != 1 || indirect != 1 {
+		t.Errorf("caller: %d direct + %d indirect calls, want 1 + 1", absolute, indirect)
+	}
+}
+
+func TestStubsAndEntry(t *testing.T) {
+	prog := compileFor(t, `42`, Mode{HardwareFutures: true})
+	te, ok1 := prog.Symbols[abi.SymTaskExit]
+	me, ok2 := prog.Symbols[abi.SymMainExit]
+	if !ok1 || !ok2 {
+		t.Fatal("runtime stubs missing")
+	}
+	if prog.Code[te].Op != isa.OpTrap || abi.TrapService(prog.Code[te].Imm) != abi.SvcTaskExit {
+		t.Error("task-exit stub wrong")
+	}
+	if prog.Code[me].Op != isa.OpTrap || abi.TrapService(prog.Code[me].Imm) != abi.SvcMainExit {
+		t.Error("main-exit stub wrong")
+	}
+	if prog.Entry == 0 {
+		t.Error("entry not set")
+	}
+	// The listing mentions main.
+	if !strings.Contains(prog.Disassemble(), "main:") {
+		t.Error("main symbol missing from listing")
+	}
+}
+
+func TestQuotedDataInStaticHeap(t *testing.T) {
+	m := mem.New(8 << 20)
+	h := heap.New(m, mem.NewArena(isa.HeapBase, 4<<20))
+	prog, err := Compile(`(car '(7 8 9))`, Mode{HardwareFutures: true}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some movi in the program must reference a cons-tagged pointer to
+	// the static list.
+	found := false
+	for _, in := range prog.Code {
+		if in.Op == isa.OpMovI && isa.IsCons(isa.Word(in.Imm)) {
+			if car, err := h.Car(isa.Word(in.Imm)); err == nil && isa.FixnumValue(car) == 7 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("quoted list not materialized in the static heap")
+	}
+}
+
+func TestSymbolInterning(t *testing.T) {
+	m := mem.New(8 << 20)
+	h := heap.New(m, mem.NewArena(isa.HeapBase, 4<<20))
+	prog, err := Compile(`(eq? 'sym 'sym)`, Mode{HardwareFutures: true}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both quotes must load the SAME interned pointer.
+	var ptrs []isa.Word
+	for _, in := range prog.Code {
+		if in.Op == isa.OpMovI && isa.IsOther(isa.Word(in.Imm)) && isa.IsPointer(isa.Word(in.Imm)) {
+			if s, err := h.BytesOf(isa.Word(in.Imm)); err == nil && s == "sym" {
+				ptrs = append(ptrs, isa.Word(in.Imm))
+			}
+		}
+	}
+	if len(ptrs) != 2 || ptrs[0] != ptrs[1] {
+		t.Errorf("symbol not interned: %v", ptrs)
+	}
+}
+
+func TestTooManyParamsRejected(t *testing.T) {
+	m := mem.New(8 << 20)
+	h := heap.New(m, mem.NewArena(isa.HeapBase, 4<<20))
+	if _, err := Compile(`(define (f a b c d e g h) a) (f 1 2 3 4 5 6 7)`,
+		Mode{HardwareFutures: true}, h); err == nil {
+		t.Error("7-parameter procedure accepted (limit is 6 argument registers)")
+	}
+}

@@ -1,0 +1,68 @@
+package mult_test
+
+import (
+	"strings"
+	"testing"
+
+	"april/internal/mult"
+	"april/internal/rts"
+	"april/internal/sim"
+)
+
+// runCompiled compiles src for the given mode and executes it.
+func runCompiled(t *testing.T, src string, mode mult.Mode, prof rts.Profile, lazy bool, nodes int) (string, uint64) {
+	t.Helper()
+	var out strings.Builder
+	m, err := sim.New(sim.Config{Nodes: nodes, Profile: prof, Lazy: lazy, Out: &out})
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	prog, err := mult.Compile(src, mode, m.StaticHeap())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := m.Load(prog); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("Run: %v\noutput so far: %s", err, out.String())
+	}
+	if out.Len() > 0 {
+		return out.String() + "=> " + res.Formatted, res.Cycles
+	}
+	return "=> " + res.Formatted, res.Cycles
+}
+
+// runInterp evaluates src with the reference interpreter.
+func runInterp(t *testing.T, src string) string {
+	t.Helper()
+	var out strings.Builder
+	in := mult.NewInterp(&out, 0)
+	v, err := in.RunSource(src)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	if out.Len() > 0 {
+		return out.String() + "=> " + mult.FormatValue(v)
+	}
+	return "=> " + mult.FormatValue(v)
+}
+
+func TestSmokeArithmetic(t *testing.T) {
+	src := `(+ 1 (* 6 7))`
+	got, _ := runCompiled(t, src, mult.Mode{HardwareFutures: true, Sequential: true}, rts.APRIL, false, 1)
+	if got != "=> 43" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSmokeFibSequential(t *testing.T) {
+	src := `
+(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(fib 10)`
+	got, _ := runCompiled(t, src, mult.Mode{HardwareFutures: true, Sequential: true}, rts.APRIL, false, 1)
+	if got != "=> 55" {
+		t.Errorf("got %q", got)
+	}
+}

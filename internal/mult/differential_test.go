@@ -1,0 +1,177 @@
+package mult_test
+
+import (
+	"fmt"
+	"testing"
+
+	"april/internal/mult"
+	"april/internal/rts"
+)
+
+// corpus programs must be deterministic (same result sequential and
+// parallel) so the interpreter's sequential elaboration is the oracle.
+var corpus = []struct {
+	name string
+	src  string
+}{
+	{"arith", `(print (+ 3 4)) (print (- 3 4)) (print (* 35 -4)) (print (quotient 17 5))
+	           (print (quotient -17 5)) (print (remainder 17 5)) (print (remainder -17 5))
+	           (print (modulo -17 5)) (print (modulo 17 -5)) (+ 1 2)`},
+	{"compare", `(print (< 1 2)) (print (< 2 1)) (print (<= 2 2)) (print (> 5 -5))
+	             (print (>= -1 0)) (print (= 4 4)) (print (zero? 0)) (print (zero? 3))
+	             (print (eq? 'a 'a)) (print (eq? 'a 'b)) #t`},
+	{"bits", `(print (bit-and 12 10)) (print (bit-or 12 10)) (print (bit-xor 12 10))
+	          (print (shift-left 3 4)) (print (shift-right -16 2)) 0`},
+	{"bools", `(print (not #f)) (print (not 3)) (print (and 1 2 3)) (print (and 1 #f 3))
+	           (print (or #f #f 7)) (print (or #f #f)) (if 0 'zero-is-true 'no)`},
+	{"lists", `(define l (cons 1 (cons 2 (cons 3 '()))))
+	           (print (car l)) (print (car (cdr l))) (print (length l))
+	           (print (null? '())) (print (null? l)) (print (pair? l)) (print (pair? 5))
+	           (print (reverse l)) (print (append l '(9 8)))
+	           (print (map (lambda (x) (* x x)) l))
+	           (print (list-ref l 2)) (print (iota 5)) 'done`},
+	{"quote", `(print 'sym) (print '(1 2 (3 4) #t)) (print (car '(a b c))) (cdr '(1 2))`},
+	{"strings", `(print "hello world") "result string"`},
+	{"let-forms", `(let ((x 2) (y 3)) (print (+ x y)))
+	               (let* ((x 2) (y (* x x))) (print y))
+	               (let ((x 1)) (let ((x 2) (y x)) (print y)))
+	               (let loop ((i 0) (acc 0)) (if (= i 5) acc (loop (+ i 1) (+ acc i))))`},
+	{"set", `(define counter 0)
+	         (define (bump!) (set! counter (+ counter 1)) counter)
+	         (bump!) (bump!) (print (bump!))
+	         (let ((x 1)) (set! x 42) (print x)) counter`},
+	{"closures", `(define (make-adder n) (lambda (x) (+ x n)))
+	              (define add3 (make-adder 3))
+	              (print (add3 4))
+	              (define (make-counter)
+	                (let ((n 0)) (lambda () (set! n (+ n 1)) n)))
+	              (define c1 (make-counter))
+	              (define c2 (make-counter))
+	              (c1) (c1) (c2)
+	              (print (c1))
+	              (print (c2))
+	              ((lambda (f) (f (f 10))) (lambda (x) (* x 2)))`},
+	{"higher-order", `(define (compose f g) (lambda (x) (f (g x))))
+	                  (define (inc x) (+ x 1))
+	                  (define (dbl x) (* x 2))
+	                  (print ((compose inc dbl) 10))
+	                  (print ((compose dbl inc) 10))
+	                  (for-each (lambda (x) (print x)) '(1 2 3))
+	                  (procedure? inc)`},
+	{"cond", `(define (classify n)
+	            (cond ((< n 0) 'negative) ((= n 0) 'zero) ((< n 10) 'small) (else 'big)))
+	          (print (classify -5)) (print (classify 0)) (print (classify 3))
+	          (print (classify 99)) (when (= 1 1) (print 'when-works))
+	          (unless (= 1 2) (print 'unless-works)) 'ok`},
+	{"vectors", `(define v (make-vector 5 0))
+	             (let fill ((i 0)) (when (< i 5) (vector-set! v i (* i i)) (fill (+ i 1))))
+	             (print (vector-ref v 3)) (print (vector-length v)) (print v)
+	             (vector-set! v 0 'sym) (print (vector-ref v 0)) (vector-ref v 4)`},
+	{"vector-sync", `(define v (make-ivector 3))
+	                 (print (vector-full? v 0))
+	                 (vector-set-sync! v 0 11)
+	                 (print (vector-full? v 0))
+	                 (print (vector-ref-sync v 0))
+	                 (vector-empty! v 0)
+	                 (print (vector-full? v 0))
+	                 (vector-set-sync! v 0 22)
+	                 (vector-ref-sync v 0)`},
+	{"recursion", `(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))
+	               (print (fact 10))
+	               (define (even? n) (if (= n 0) #t (odd? (- n 1))))
+	               (define (odd? n) (if (= n 0) #f (even? (- n 1))))
+	               (print (even? 10)) (print (odd? 7))
+	               (fact 12)`},
+	{"deep-loop", `(let loop ((i 0) (sum 0))
+	                 (if (= i 10000) sum (loop (+ i 1) (+ sum i))))`},
+	{"letrec", `(letrec ((e? (lambda (n) (if (= n 0) #t (o? (- n 1)))))
+	                     (o? (lambda (n) (if (= n 0) #f (e? (- n 1))))))
+	              (print (e? 6)) (o? 9))`},
+	{"mutual-capture", `(define (twice f x) (f (f x)))
+	                    (let ((base 100))
+	                      (twice (lambda (x) (+ x base)) 5))`},
+	{"fib-futures", `(define (fib n)
+	                   (if (< n 2) n
+	                       (+ (future (fib (- n 1))) (future (fib (- n 2))))))
+	                 (print (fib 12)) (fib 10)`},
+	{"future-chain", `(define (work n) (future (+ n 1)))
+	                  (print (touch (work 1)))
+	                  (let ((a (future (* 3 3))) (b (future (* 4 4))))
+	                    (+ (touch a) b))`},
+	{"future-list", `(define (par-map f l)
+	                   (if (null? l) '() (cons (future (f (car l))) (par-map f (cdr l)))))
+	                 (define (sum l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))
+	                 (sum (par-map (lambda (x) (* x x)) (iota 10)))`},
+	{"future-pred", `(let ((f (future (cons 1 2))))
+	                   (print (pair? f))
+	                   (print (null? f))
+	                   (car f))`},
+	{"nested-futures", `(define (tree n)
+	                      (if (= n 0) 1
+	                          (+ (future (tree (- n 1))) (future (tree (- n 1))))))
+	                    (tree 6)`},
+	{"future-in-vector", `(define v (make-vector 4 0))
+	                      (let go ((i 0))
+	                        (when (< i 4) (vector-set! v i (future (* i 10))) (go (+ i 1))))
+	                      (+ (vector-ref v 1) (+ (vector-ref v 2) (vector-ref v 3)))`},
+	{"min-max-abs", `(print (min 3 5)) (print (max 3 5)) (print (abs -7)) (abs 7)`},
+}
+
+type modeCase struct {
+	name  string
+	mode  mult.Mode
+	prof  rts.Profile
+	lazy  bool
+	nodes int
+}
+
+func modeCases() []modeCase {
+	hw := mult.Mode{HardwareFutures: true}
+	sw := mult.Mode{HardwareFutures: false}
+	return []modeCase{
+		{"seq-april", mult.Mode{HardwareFutures: true, Sequential: true}, rts.APRIL, false, 1},
+		{"seq-encore", mult.Mode{HardwareFutures: false, Sequential: true}, rts.Encore, false, 1},
+		{"eager-april-1p", hw, rts.APRIL, false, 1},
+		{"eager-april-4p", hw, rts.APRIL, false, 4},
+		{"eager-encore-2p", sw, rts.Encore, false, 2},
+		{"lazy-april-1p", mult.Mode{HardwareFutures: true, LazyFutures: true}, rts.APRIL, true, 1},
+		{"lazy-april-4p", mult.Mode{HardwareFutures: true, LazyFutures: true}, rts.APRIL, true, 4},
+		{"lazy-custom-3p", mult.Mode{HardwareFutures: true, LazyFutures: true}, rts.APRILCustom, true, 3},
+	}
+}
+
+// TestDifferential compares every corpus program under every
+// compilation mode and machine configuration against the reference
+// interpreter.
+func TestDifferential(t *testing.T) {
+	for _, prog := range corpus {
+		want := runInterp(t, prog.src)
+		for _, mc := range modeCases() {
+			t.Run(fmt.Sprintf("%s/%s", prog.name, mc.name), func(t *testing.T) {
+				got, _ := runCompiled(t, prog.src, mc.mode, mc.prof, mc.lazy, mc.nodes)
+				if got != want {
+					t.Errorf("compiled output differs\n got: %q\nwant: %q", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialParallelDeterminism: parallel runs of deterministic
+// future programs must match sequential results at every machine size.
+func TestDifferentialParallelDeterminism(t *testing.T) {
+	src := `
+(define (fib n)
+  (if (< n 2) n (+ (future (fib (- n 1))) (future (fib (- n 2))))))
+(fib 13)`
+	want := runInterp(t, src)
+	for _, nodes := range []int{1, 2, 4, 8, 16} {
+		for _, lazy := range []bool{false, true} {
+			mode := mult.Mode{HardwareFutures: true, LazyFutures: lazy}
+			got, _ := runCompiled(t, src, mode, rts.APRIL, lazy, nodes)
+			if got != want {
+				t.Errorf("nodes=%d lazy=%v: got %q want %q", nodes, lazy, got, want)
+			}
+		}
+	}
+}

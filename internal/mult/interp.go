@@ -1,0 +1,602 @@
+package mult
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The reference interpreter: a sequential tree-walking evaluator over
+// the parsed (unresolved) AST. It defines the semantics the compiler
+// is tested against differentially — every program must produce the
+// same result interpreted and compiled. Futures evaluate inline
+// (sequential Scheme semantics), which is the correct sequential
+// elaboration of a deterministic Mul-T program.
+
+// Interpreter values: int32, bool, string, Symbol, *Pair, *IVector,
+// *IClosure, nilVal, unspecVal.
+type Value interface{}
+
+type nilType struct{}
+type unspecType struct{}
+
+// NilVal and UnspecVal are the interpreter's '() and unspecified value.
+var (
+	NilVal    = nilType{}
+	UnspecVal = unspecType{}
+)
+
+// Pair is a mutable cons cell.
+type Pair struct{ Car, Cdr Value }
+
+// IVector is a vector with per-slot full/empty bits.
+type IVector struct {
+	Items []Value
+	Full  []bool
+}
+
+// IClosure is an interpreted procedure.
+type IClosure struct {
+	Params []Symbol
+	Body   Expr
+	Env    *IEnv
+	Name   string
+}
+
+// IEnv is a lexical environment frame.
+type IEnv struct {
+	vars   map[Symbol]*Value
+	parent *IEnv
+}
+
+func newEnv(parent *IEnv) *IEnv { return &IEnv{vars: map[Symbol]*Value{}, parent: parent} }
+
+func (e *IEnv) lookup(n Symbol) *Value {
+	for env := e; env != nil; env = env.parent {
+		if v, ok := env.vars[n]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func (e *IEnv) define(n Symbol, v Value) {
+	val := v
+	e.vars[n] = &val
+}
+
+// ErrFuel is returned when evaluation exceeds its step budget.
+var ErrFuel = errors.New("mult: interpreter out of fuel")
+
+// Interp evaluates programs.
+type Interp struct {
+	Out  io.Writer
+	fuel int64
+}
+
+// NewInterp creates an interpreter with the given output sink and step
+// budget (0 means a generous default).
+func NewInterp(out io.Writer, fuel int64) *Interp {
+	if out == nil {
+		out = io.Discard
+	}
+	if fuel <= 0 {
+		fuel = 200_000_000
+	}
+	return &Interp{Out: out, fuel: fuel}
+}
+
+// RunSource parses and evaluates src (with the prelude), returning the
+// value of the last top-level expression.
+func (in *Interp) RunSource(src string) (Value, error) {
+	forms, err := ReadAll(Prelude + "\n" + src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := Parse(forms)
+	if err != nil {
+		return nil, err
+	}
+	return in.RunProgram(prog)
+}
+
+// RunProgram evaluates a parsed (unresolved) program.
+func (in *Interp) RunProgram(p *Program) (Value, error) {
+	global := newEnv(nil)
+	for _, d := range p.Defs {
+		v, err := in.eval(d.Value, global)
+		if err != nil {
+			return nil, fmt.Errorf("in (define %s ...): %w", d.Name, err)
+		}
+		global.define(d.Name, v)
+	}
+	return in.eval(p.Main, global)
+}
+
+func truthy(v Value) bool {
+	b, isBool := v.(bool)
+	return !isBool || b
+}
+
+func (in *Interp) eval(e Expr, env *IEnv) (Value, error) {
+	in.fuel--
+	if in.fuel < 0 {
+		return nil, ErrFuel
+	}
+	switch v := e.(type) {
+	case *Const:
+		switch c := v.Value.(type) {
+		case int32:
+			return c, nil
+		case bool:
+			return c, nil
+		case string:
+			return c, nil
+		}
+		return nil, fmt.Errorf("mult: bad constant %v", v.Value)
+
+	case *Quote:
+		return quoteValue(v.Datum), nil
+
+	case *Var:
+		slot := env.lookup(v.Name)
+		if slot == nil {
+			return nil, fmt.Errorf("mult: unbound variable %s", v.Name)
+		}
+		return *slot, nil
+
+	case *Set:
+		slot := env.lookup(v.Name)
+		if slot == nil {
+			return nil, fmt.Errorf("mult: set! of unbound variable %s", v.Name)
+		}
+		val, err := in.eval(v.Value, env)
+		if err != nil {
+			return nil, err
+		}
+		*slot = val
+		return UnspecVal, nil
+
+	case *If:
+		c, err := in.eval(v.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		if truthy(c) {
+			return in.eval(v.Then, env)
+		}
+		if v.Else == nil {
+			return UnspecVal, nil
+		}
+		return in.eval(v.Else, env)
+
+	case *Begin:
+		var out Value = UnspecVal
+		for _, b := range v.Body {
+			var err error
+			out, err = in.eval(b, env)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+
+	case *Let:
+		inner := newEnv(env)
+		for i, init := range v.Inits {
+			val, err := in.eval(init, env)
+			if err != nil {
+				return nil, err
+			}
+			inner.define(v.Names[i], val)
+		}
+		return in.eval(v.Body, inner)
+
+	case *Letrec:
+		inner := newEnv(env)
+		for _, n := range v.Names {
+			inner.define(n, UnspecVal)
+		}
+		for i, lam := range v.Inits {
+			val, err := in.eval(lam, inner)
+			if err != nil {
+				return nil, err
+			}
+			*inner.lookup(v.Names[i]) = val
+		}
+		return in.eval(v.Body, inner)
+
+	case *Lambda:
+		return &IClosure{Params: v.Params, Body: v.Body, Env: env, Name: v.Name}, nil
+
+	case *Future:
+		// Sequential elaboration: evaluate now.
+		if v.Thunk != nil {
+			return in.eval(v.Thunk.Body, env)
+		}
+		return in.eval(v.Body, env)
+
+	case *Touch:
+		return in.eval(v.Body, env)
+
+	case *Prim:
+		return in.evalPrimNode(v, env)
+
+	case *Call:
+		// Builtin in call position (unresolved tree): a name that is
+		// not lexically bound and matches the builtin table.
+		if name, ok := v.Fn.(*Var); ok {
+			if _, isPrim := builtins[name.Name]; isPrim && env.lookup(name.Name) == nil {
+				return in.evalPrim(name.Name, v.Args, env)
+			}
+		}
+		fnv, err := in.eval(v.Fn, env)
+		if err != nil {
+			return nil, err
+		}
+		clos, ok := fnv.(*IClosure)
+		if !ok {
+			return nil, fmt.Errorf("mult: calling non-procedure %s", FormatValue(fnv))
+		}
+		if len(v.Args) != len(clos.Params) {
+			return nil, fmt.Errorf("mult: %s takes %d args, got %d", clos.Name, len(clos.Params), len(v.Args))
+		}
+		inner := newEnv(clos.Env)
+		for i, a := range v.Args {
+			av, err := in.eval(a, env)
+			if err != nil {
+				return nil, err
+			}
+			inner.define(clos.Params[i], av)
+		}
+		return in.eval(clos.Body, inner)
+	}
+	return nil, fmt.Errorf("mult: cannot evaluate %T", e)
+}
+
+func quoteValue(d Sexp) Value {
+	switch v := d.(type) {
+	case int32, bool:
+		return v
+	case string:
+		return v
+	case Symbol:
+		return v
+	case []Sexp:
+		var out Value = NilVal
+		for i := len(v) - 1; i >= 0; i-- {
+			out = &Pair{Car: quoteValue(v[i]), Cdr: out}
+		}
+		return out
+	}
+	return UnspecVal
+}
+
+func (in *Interp) evalPrimNode(p *Prim, env *IEnv) (Value, error) {
+	return in.evalPrim(p.Name, p.Args, env)
+}
+
+func (in *Interp) evalPrim(name Symbol, argExprs []Expr, env *IEnv) (Value, error) {
+	if arity := builtins[name]; arity >= 0 && len(argExprs) != arity {
+		return nil, fmt.Errorf("mult: %s takes %d arguments, got %d", name, builtins[name], len(argExprs))
+	}
+	args := make([]Value, len(argExprs))
+	for i, a := range argExprs {
+		v, err := in.eval(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	fix := func(i int) (int32, error) {
+		n, ok := args[i].(int32)
+		if !ok {
+			return 0, fmt.Errorf("mult: %s: argument %d is not a fixnum: %s", name, i+1, FormatValue(args[i]))
+		}
+		return n, nil
+	}
+	pair := func(i int) (*Pair, error) {
+		p, ok := args[i].(*Pair)
+		if !ok {
+			return nil, fmt.Errorf("mult: %s: argument %d is not a pair: %s", name, i+1, FormatValue(args[i]))
+		}
+		return p, nil
+	}
+	vec := func(i int) (*IVector, error) {
+		v, ok := args[i].(*IVector)
+		if !ok {
+			return nil, fmt.Errorf("mult: %s: argument %d is not a vector", name, i+1)
+		}
+		return v, nil
+	}
+	vecSlot := func() (*IVector, int32, error) {
+		v, err := vec(0)
+		if err != nil {
+			return nil, 0, err
+		}
+		i, err := fix(1)
+		if err != nil {
+			return nil, 0, err
+		}
+		if i < 0 || int(i) >= len(v.Items) {
+			return nil, 0, fmt.Errorf("mult: %s: index %d out of range [0,%d)", name, i, len(v.Items))
+		}
+		return v, i, nil
+	}
+	arith := func(f func(a, b int32) (int32, error)) (Value, error) {
+		a, err := fix(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := fix(1)
+		if err != nil {
+			return nil, err
+		}
+		n, err := f(a, b)
+		if err != nil {
+			return nil, err
+		}
+		return n << 2 >> 2, nil // 30-bit fixnum wraparound, as on APRIL
+	}
+	cmp := func(f func(a, b int32) bool) (Value, error) {
+		a, err := fix(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := fix(1)
+		if err != nil {
+			return nil, err
+		}
+		return f(a, b), nil
+	}
+
+	switch name {
+	case "+":
+		return arith(func(a, b int32) (int32, error) { return a + b, nil })
+	case "-":
+		return arith(func(a, b int32) (int32, error) { return a - b, nil })
+	case "*":
+		return arith(func(a, b int32) (int32, error) { return a * b, nil })
+	case "quotient":
+		return arith(func(a, b int32) (int32, error) {
+			if b == 0 {
+				return 0, errors.New("mult: division by zero")
+			}
+			return a / b, nil
+		})
+	case "remainder", "modulo":
+		return arith(func(a, b int32) (int32, error) {
+			if b == 0 {
+				return 0, errors.New("mult: modulo by zero")
+			}
+			r := a % b
+			if name == "modulo" && r != 0 && (r < 0) != (b < 0) {
+				r += b
+			}
+			return r, nil
+		})
+	case "=":
+		return cmp(func(a, b int32) bool { return a == b })
+	case "<":
+		return cmp(func(a, b int32) bool { return a < b })
+	case ">":
+		return cmp(func(a, b int32) bool { return a > b })
+	case "<=":
+		return cmp(func(a, b int32) bool { return a <= b })
+	case ">=":
+		return cmp(func(a, b int32) bool { return a >= b })
+	case "zero?":
+		n, err := fix(0)
+		if err != nil {
+			return nil, err
+		}
+		return n == 0, nil
+	case "bit-and":
+		return arith(func(a, b int32) (int32, error) { return a & b, nil })
+	case "bit-or":
+		return arith(func(a, b int32) (int32, error) { return a | b, nil })
+	case "bit-xor":
+		return arith(func(a, b int32) (int32, error) { return a ^ b, nil })
+	case "shift-left":
+		return arith(func(a, b int32) (int32, error) { return a << (uint32(b) & 31), nil })
+	case "shift-right":
+		return arith(func(a, b int32) (int32, error) { return a >> (uint32(b) & 31), nil })
+	case "not":
+		return !truthy(args[0]), nil
+	case "eq?":
+		return eqv(args[0], args[1]), nil
+	case "cons":
+		return &Pair{Car: args[0], Cdr: args[1]}, nil
+	case "car":
+		p, err := pair(0)
+		if err != nil {
+			return nil, err
+		}
+		return p.Car, nil
+	case "cdr":
+		p, err := pair(0)
+		if err != nil {
+			return nil, err
+		}
+		return p.Cdr, nil
+	case "set-car!":
+		p, err := pair(0)
+		if err != nil {
+			return nil, err
+		}
+		p.Car = args[1]
+		return UnspecVal, nil
+	case "set-cdr!":
+		p, err := pair(0)
+		if err != nil {
+			return nil, err
+		}
+		p.Cdr = args[1]
+		return UnspecVal, nil
+	case "pair?":
+		_, ok := args[0].(*Pair)
+		return ok, nil
+	case "null?":
+		_, ok := args[0].(nilType)
+		return ok, nil
+	case "fixnum?":
+		_, ok := args[0].(int32)
+		return ok, nil
+	case "future?":
+		return false, nil // sequential semantics: futures are resolved
+	case "procedure?":
+		_, ok := args[0].(*IClosure)
+		return ok, nil
+	case "make-vector":
+		n, err := fix(0)
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("mult: make-vector of negative length %d", n)
+		}
+		v := &IVector{Items: make([]Value, n), Full: make([]bool, n)}
+		for i := range v.Items {
+			v.Items[i] = args[1]
+			v.Full[i] = true
+		}
+		return v, nil
+	case "vector-length":
+		v, err := vec(0)
+		if err != nil {
+			return nil, err
+		}
+		return int32(len(v.Items)), nil
+	case "vector-ref":
+		v, i, err := vecSlot()
+		if err != nil {
+			return nil, err
+		}
+		return v.Items[i], nil
+	case "vector-set!":
+		v, i, err := vecSlot()
+		if err != nil {
+			return nil, err
+		}
+		v.Items[i] = args[2]
+		return UnspecVal, nil
+	case "vector-ref-sync":
+		v, i, err := vecSlot()
+		if err != nil {
+			return nil, err
+		}
+		if !v.Full[i] {
+			return nil, fmt.Errorf("mult: vector-ref-sync of empty slot %d (sequential deadlock)", i)
+		}
+		return v.Items[i], nil
+	case "vector-set-sync!":
+		v, i, err := vecSlot()
+		if err != nil {
+			return nil, err
+		}
+		if v.Full[i] {
+			return nil, fmt.Errorf("mult: vector-set-sync! of full slot %d (sequential deadlock)", i)
+		}
+		v.Items[i] = args[2]
+		v.Full[i] = true
+		return UnspecVal, nil
+	case "vector-empty!":
+		v, i, err := vecSlot()
+		if err != nil {
+			return nil, err
+		}
+		v.Full[i] = false
+		return UnspecVal, nil
+	case "vector-full?":
+		v, i, err := vecSlot()
+		if err != nil {
+			return nil, err
+		}
+		return v.Full[i], nil
+	case "print":
+		fmt.Fprintln(in.Out, FormatValue(args[0]))
+		return UnspecVal, nil
+	}
+	return nil, fmt.Errorf("mult: unknown primitive %s", name)
+}
+
+func eqv(a, b Value) bool {
+	switch av := a.(type) {
+	case int32:
+		bv, ok := b.(int32)
+		return ok && av == bv
+	case bool:
+		bv, ok := b.(bool)
+		return ok && av == bv
+	case Symbol:
+		bv, ok := b.(Symbol)
+		return ok && av == bv
+	case nilType:
+		_, ok := b.(nilType)
+		return ok
+	case unspecType:
+		_, ok := b.(unspecType)
+		return ok
+	default:
+		return a == b // pointer identity for pairs, vectors, closures
+	}
+}
+
+// FormatValue renders an interpreter value like the machine's printer.
+func FormatValue(v Value) string {
+	switch x := v.(type) {
+	case int32:
+		return fmt.Sprintf("%d", x)
+	case bool:
+		if x {
+			return "#t"
+		}
+		return "#f"
+	case string:
+		return fmt.Sprintf("%q", x)
+	case Symbol:
+		return string(x)
+	case nilType:
+		return "()"
+	case unspecType:
+		return "#!unspecific"
+	case *Pair:
+		var b strings.Builder
+		b.WriteByte('(')
+		var cur Value = x
+		first := true
+		for {
+			p, ok := cur.(*Pair)
+			if !ok {
+				break
+			}
+			if !first {
+				b.WriteByte(' ')
+			}
+			first = false
+			b.WriteString(FormatValue(p.Car))
+			cur = p.Cdr
+		}
+		if _, isNil := cur.(nilType); !isNil {
+			b.WriteString(" . ")
+			b.WriteString(FormatValue(cur))
+		}
+		b.WriteByte(')')
+		return b.String()
+	case *IVector:
+		var b strings.Builder
+		b.WriteString("#(")
+		for i, e := range x.Items {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(FormatValue(e))
+		}
+		b.WriteByte(')')
+		return b.String()
+	case *IClosure:
+		return "#[procedure]"
+	}
+	return fmt.Sprintf("#[?%v]", v)
+}

@@ -1,0 +1,273 @@
+package mult
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReaderBasics(t *testing.T) {
+	forms, err := ReadAll(`(a 1 -2 #t #f "str" (nested ()))  ; comment
+	'quoted`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forms) != 2 {
+		t.Fatalf("forms: %d", len(forms))
+	}
+	got := FormatSexp(forms[0])
+	if got != `(a 1 -2 #t #f "str" (nested ()))` {
+		t.Errorf("reread: %s", got)
+	}
+	if FormatSexp(forms[1]) != "(quote quoted)" {
+		t.Errorf("quote sugar: %s", FormatSexp(forms[1]))
+	}
+}
+
+func TestReaderBrackets(t *testing.T) {
+	forms, err := ReadAll(`(let ([x 1] [y 2]) x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forms) != 1 {
+		t.Fatal("bracket form lost")
+	}
+	if _, err := ReadAll(`(a [b)`); err == nil {
+		t.Error("mismatched brackets accepted")
+	}
+}
+
+func TestReaderStringEscapes(t *testing.T) {
+	forms, err := ReadAll(`"a\nb\t\"q\"\\"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forms[0].(string) != "a\nb\t\"q\"\\" {
+		t.Errorf("escapes: %q", forms[0])
+	}
+	for _, bad := range []string{`"unterminated`, `"bad \x escape"`, "\"newline\nin string\""} {
+		if _, err := ReadAll(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	bad := []string{
+		"(unclosed",
+		")",
+		"(a . b)",     // no dotted pairs: '.' reads as a symbol, fine — skip
+		"1073741824",  // fixnum overflow (2^30)
+		"-1073741825", // fixnum underflow
+		"#q",          // unknown hash
+		"'",           // quote with nothing
+	}
+	for _, src := range bad {
+		if src == "(a . b)" {
+			continue
+		}
+		if _, err := ReadAll(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+	// Line numbers in errors.
+	_, err := ReadAll("(ok)\n(broken")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error lacks line number: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`(if)`,
+		`(if 1 2 3 4)`,
+		`(lambda x x)`, // rest args unsupported
+		`(lambda (x x) x)`,
+		`(set! 3 4)`,
+		`(let ((x)) x)`,
+		`(let loop 3)`,
+		`(letrec ((f 3)) f)`, // non-lambda letrec init
+		`(cond)`,
+		`(cond (else 1) (#t 2))`, // else not last
+		`(future 1 2)`,
+		`(touch)`,
+		`(begin)`,
+		`(define x 1)(define x 2)`,
+		`(f (define y 1))`, // define not at top level
+		`()`,
+		`(quote)`,
+		`(set! if 3)`,
+		`(lambda (if) 1)`,
+	}
+	for _, src := range bad {
+		forms, err := ReadAll(src)
+		if err != nil {
+			continue // reader rejected: also fine
+		}
+		p, err := Parse(forms)
+		if err != nil {
+			continue
+		}
+		if _, err := Resolve(p, Mode{HardwareFutures: true}); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	bad := []string{
+		`(undefined-var)`,
+		`(+ 1 2 3)`,                // arity of builtin
+		`car`,                      // builtin as value
+		`(define (f a b) a) (f 1)`, // known-call arity
+	}
+	for _, src := range bad {
+		forms, err := ReadAll(src)
+		if err != nil {
+			t.Fatalf("read %q: %v", src, err)
+		}
+		p, err := Parse(forms)
+		if err != nil {
+			continue
+		}
+		if _, err := Resolve(p, Mode{HardwareFutures: true}); err == nil {
+			t.Errorf("resolved %q", src)
+		}
+	}
+}
+
+func TestStripFutures(t *testing.T) {
+	forms, err := ReadAll(`(define (f n) (+ (future (f n)) (touch n))) (f 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(forms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := StripFutures(p.Defs[0].Value)
+	var found bool
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *Future, *Touch:
+			found = true
+		case *Lambda:
+			walk(v.Body)
+		case *Call:
+			walk(v.Fn)
+			for _, a := range v.Args {
+				walk(a)
+			}
+		case *If:
+			walk(v.Cond)
+			walk(v.Then)
+			if v.Else != nil {
+				walk(v.Else)
+			}
+		case *Begin:
+			for _, b := range v.Body {
+				walk(b)
+			}
+		}
+	}
+	walk(stripped)
+	if found {
+		t.Error("StripFutures left future/touch nodes")
+	}
+}
+
+func TestResolveCaptures(t *testing.T) {
+	forms, _ := ReadAll(`
+(define (outer a)
+  (lambda (b)
+    (lambda (c) (+ a (+ b c)))))
+(outer 1)`)
+	p, err := Parse(forms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resolve(p, Mode{HardwareFutures: true}); err != nil {
+		t.Fatal(err)
+	}
+	// outer's lambda captures a; the innermost captures a (through the
+	// middle) and b.
+	var inner *Lambda
+	for _, lam := range p.Lambdas {
+		if len(lam.Params) == 1 && lam.Params[0] == "c" {
+			inner = lam
+		}
+	}
+	if inner == nil {
+		t.Fatal("inner lambda not found")
+	}
+	if len(inner.Free) != 2 {
+		t.Fatalf("inner free vars: %d, want 2 (a, b)", len(inner.Free))
+	}
+	for _, fb := range inner.Free {
+		if fb.Outer == nil {
+			t.Errorf("capture %s lacks outer chain", fb.Name)
+		}
+	}
+}
+
+func TestResolveBoxing(t *testing.T) {
+	forms, _ := ReadAll(`
+(define (counter)
+  (let ((n 0))
+    (lambda () (set! n (+ n 1)) n)))
+(counter)`)
+	p, err := Parse(forms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resolve(p, Mode{HardwareFutures: true}); err != nil {
+		t.Fatal(err)
+	}
+	boxed := 0
+	for _, lam := range p.Lambdas {
+		for _, fb := range lam.Free {
+			if fb.Boxed {
+				boxed++
+			}
+		}
+	}
+	if boxed == 0 {
+		t.Error("mutated captured variable not boxed")
+	}
+}
+
+func TestModeSpecificFutureResolution(t *testing.T) {
+	src := `(future (+ 1 2))`
+	build := func(mode Mode) *Program {
+		forms, _ := ReadAll(src)
+		p, err := Parse(forms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Resolve(p, mode); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Eager: the future body becomes a thunk lambda.
+	eager := build(Mode{HardwareFutures: true})
+	foundThunk := false
+	for _, lam := range eager.Lambdas {
+		if lam.Name == "future-thunk" {
+			foundThunk = true
+		}
+	}
+	if !foundThunk {
+		t.Error("eager mode did not create a thunk")
+	}
+	// Lazy: no thunk lambda.
+	lazy := build(Mode{HardwareFutures: true, LazyFutures: true})
+	for _, lam := range lazy.Lambdas {
+		if lam.Name == "future-thunk" {
+			t.Error("lazy mode created a thunk")
+		}
+	}
+	// Sequential: no Future nodes at all (checked via compile running
+	// in the differential suite).
+	_ = build(Mode{HardwareFutures: true, Sequential: true})
+}

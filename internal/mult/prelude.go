@@ -1,0 +1,34 @@
+package mult
+
+// Prelude is a small standard library written in Mul-T mini itself,
+// prepended to every compiled or interpreted program. Keeping it in the
+// source language (rather than as primitives) exercises the compiler
+// the way the paper's T-based runtime did.
+const Prelude = `
+(define (abs n) (if (< n 0) (- 0 n) n))
+(define (min a b) (if (< a b) a b))
+(define (max a b) (if (> a b) a b))
+(define (length l)
+  (let len-loop ((l l) (n 0))
+    (if (null? l) n (len-loop (cdr l) (+ n 1)))))
+(define (append a b)
+  (if (null? a) b (cons (car a) (append (cdr a) b))))
+(define (reverse l)
+  (let rev-loop ((l l) (acc '()))
+    (if (null? l) acc (rev-loop (cdr l) (cons (car l) acc)))))
+(define (map f l)
+  (if (null? l) '() (cons (f (car l)) (map f (cdr l)))))
+(define (for-each f l)
+  (if (null? l) #f (begin (f (car l)) (for-each f (cdr l)))))
+(define (iota n)
+  (let iota-loop ((i (- n 1)) (acc '()))
+    (if (< i 0) acc (iota-loop (- i 1) (cons i acc)))))
+(define (list-ref l i)
+  (if (= i 0) (car l) (list-ref (cdr l) (- i 1))))
+(define (make-ivector n)
+  (let ((v (make-vector n 0)))
+    (let iv-loop ((i 0))
+      (if (< i n)
+          (begin (vector-empty! v i) (iv-loop (+ i 1)))
+          v))))
+`

@@ -1,0 +1,420 @@
+package mult
+
+import (
+	"fmt"
+
+	"april/internal/abi"
+	"april/internal/isa"
+)
+
+// boolFromCond materializes #t/#f in regAcc from the current condition
+// codes: op is the branch taken when the answer is true.
+func (f *fnCtx) boolFromCond(op isa.Opcode) {
+	a := &f.c.asm
+	lTrue := a.newLabel()
+	lEnd := a.newLabel()
+	a.branch(op, lTrue)
+	a.emit(isa.MovI(regAcc, isa.False))
+	a.branch(isa.OpBa, lEnd)
+	a.bind(lTrue)
+	a.emit(isa.MovI(regAcc, isa.True))
+	a.bind(lEnd)
+}
+
+// touchRaw forces the tagged value in reg before a non-strict
+// shift/mul/div sequence: one strict no-op on APRIL (the Encore path
+// already emitted its software check in binaryOperands).
+func (f *fnCtx) touchRaw(reg uint8) {
+	if f.c.mode.HardwareFutures {
+		f.c.asm.emit(isa.R3(isa.OpOr, reg, reg, isa.RZero))
+	}
+}
+
+// binaryRegs compiles two operands into registers (no immediate path).
+func (f *fnCtx) binaryRegs(x, y Expr) (ra, rb uint8, err error) {
+	ra, rb, imm, useImm, err := f.binaryOperands(x, y)
+	if err != nil {
+		return 0, 0, err
+	}
+	if useImm {
+		f.c.asm.emit(isa.MovI(regT1, isa.Word(imm)))
+		return ra, regT1, nil
+	}
+	return ra, rb, nil
+}
+
+// ternaryOperands compiles three operands left to right, yielding the
+// first two in regT1/regT2 and the third in regAcc.
+func (f *fnCtx) ternaryOperands(x, y, z Expr) error {
+	a := &f.c.asm
+	var sx, sy = -1, -1
+	if !isSimple(x) {
+		if err := f.expr(x, false); err != nil {
+			return err
+		}
+		sx = f.newSlot()
+		a.emit(isa.St(isa.OpStnt, isa.RFP, slotOff(sx), regAcc))
+	}
+	if !isSimple(y) {
+		if err := f.expr(y, false); err != nil {
+			return err
+		}
+		sy = f.newSlot()
+		a.emit(isa.St(isa.OpStnt, isa.RFP, slotOff(sy), regAcc))
+	}
+	if err := f.expr(z, false); err != nil {
+		return err
+	}
+	if sx >= 0 {
+		a.emit(isa.Ld(isa.OpLdnt, regT1, isa.RFP, slotOff(sx)))
+	} else if err := f.loadSimple(x, regT1); err != nil {
+		return err
+	}
+	if sy >= 0 {
+		a.emit(isa.Ld(isa.OpLdnt, regT2, isa.RFP, slotOff(sy)))
+	} else if err := f.loadSimple(y, regT2); err != nil {
+		return err
+	}
+	f.emitCheck(regT1)
+	f.emitCheck(regT2)
+	return nil
+}
+
+// vecEA returns the instruction pieces for addressing a vector slot:
+// the element offset relative to the tagged pointer.
+const vecElemDisp = int32(abi.VecElemOff) - int32(isa.OtherTag)
+
+func (f *fnCtx) prim(v *Prim) error {
+	a := &f.c.asm
+	emitBin := func(op isa.Opcode) error {
+		ra, rb, imm, useImm, err := f.binaryOperands(v.Args[0], v.Args[1])
+		if err != nil {
+			return err
+		}
+		if useImm {
+			a.emit(isa.RI(op, regAcc, ra, imm))
+		} else {
+			a.emit(isa.R3(op, regAcc, ra, rb))
+		}
+		return nil
+	}
+	emitCmp := func(trueBr isa.Opcode) error {
+		ra, rb, imm, useImm, err := f.binaryOperands(v.Args[0], v.Args[1])
+		if err != nil {
+			return err
+		}
+		if useImm {
+			a.emit(isa.RI(isa.OpSubCC, isa.RZero, ra, imm))
+		} else {
+			a.emit(isa.R3(isa.OpSubCC, isa.RZero, ra, rb))
+		}
+		f.boolFromCond(trueBr)
+		return nil
+	}
+	touchUnary := func() error {
+		if err := f.expr(v.Args[0], false); err != nil {
+			return err
+		}
+		f.emitTouch(regAcc)
+		return nil
+	}
+
+	switch v.Name {
+	case "+":
+		return emitBin(isa.OpAdd)
+	case "-":
+		return emitBin(isa.OpSub)
+	case "bit-and":
+		return emitBin(isa.OpAnd)
+	case "bit-or":
+		return emitBin(isa.OpOr)
+	case "bit-xor":
+		return emitBin(isa.OpXor)
+
+	case "*":
+		ra, rb, err := f.binaryRegs(v.Args[0], v.Args[1])
+		if err != nil {
+			return err
+		}
+		f.touchRaw(ra)
+		f.touchRaw(rb)
+		a.emit(isa.RI(isa.OpSra, regT3, ra, 2)) // untag one factor
+		a.emit(isa.R3(isa.OpMul, regAcc, regT3, rb))
+		return nil
+
+	case "quotient":
+		ra, rb, err := f.binaryRegs(v.Args[0], v.Args[1])
+		if err != nil {
+			return err
+		}
+		f.touchRaw(ra)
+		f.touchRaw(rb)
+		a.emit(isa.R3(isa.OpDiv, regAcc, ra, rb)) // (4a)/(4b) = a/b
+		a.emit(isa.RI(isa.OpSll, regAcc, regAcc, 2))
+		return nil
+
+	case "remainder":
+		ra, rb, err := f.binaryRegs(v.Args[0], v.Args[1])
+		if err != nil {
+			return err
+		}
+		f.touchRaw(ra)
+		f.touchRaw(rb)
+		a.emit(isa.R3(isa.OpMod, regAcc, ra, rb)) // (4a)%(4b) = 4(a%b)
+		return nil
+
+	case "modulo":
+		ra, rb, err := f.binaryRegs(v.Args[0], v.Args[1])
+		if err != nil {
+			return err
+		}
+		f.touchRaw(ra)
+		f.touchRaw(rb)
+		done := a.newLabel()
+		a.emit(isa.R3(isa.OpMod, regAcc, ra, rb))
+		a.emit(isa.R3(isa.OpOrCC, regT3, regAcc, isa.RZero)) // Z from remainder
+		a.branch(isa.OpBe, done)
+		a.emit(isa.R3(isa.OpXorCC, regT3, regAcc, rb)) // N iff signs differ
+		a.branch(isa.OpBge, done)
+		a.emit(isa.R3(isa.OpAdd, regAcc, regAcc, rb))
+		a.bind(done)
+		return nil
+
+	case "shift-left":
+		ra, rb, err := f.binaryRegs(v.Args[0], v.Args[1])
+		if err != nil {
+			return err
+		}
+		f.touchRaw(ra)
+		f.touchRaw(rb)
+		a.emit(isa.RI(isa.OpSra, regT3, rb, 2))
+		a.emit(isa.R3(isa.OpSll, regAcc, ra, regT3))
+		return nil
+
+	case "shift-right":
+		ra, rb, err := f.binaryRegs(v.Args[0], v.Args[1])
+		if err != nil {
+			return err
+		}
+		f.touchRaw(ra)
+		f.touchRaw(rb)
+		a.emit(isa.RI(isa.OpSra, regT3, rb, 2))
+		a.emit(isa.R3(isa.OpSra, regAcc, ra, regT3))
+		a.emit(isa.RI(isa.OpRawAnd, regAcc, regAcc, -4)) // clear tag bits
+		return nil
+
+	case "=":
+		return emitCmp(isa.OpBe)
+	case "<":
+		return emitCmp(isa.OpBl)
+	case ">":
+		return emitCmp(isa.OpBg)
+	case "<=":
+		return emitCmp(isa.OpBle)
+	case ">=":
+		return emitCmp(isa.OpBge)
+	case "eq?":
+		return emitCmp(isa.OpBe)
+
+	case "zero?":
+		if err := touchUnary(); err != nil {
+			return err
+		}
+		a.emit(isa.RI(isa.OpSubCC, isa.RZero, regAcc, 0))
+		f.boolFromCond(isa.OpBe)
+		return nil
+
+	case "not":
+		if err := touchUnary(); err != nil {
+			return err
+		}
+		a.emit(isa.RI(isa.OpSubCC, isa.RZero, regAcc, int32(isa.False)))
+		f.boolFromCond(isa.OpBe)
+		return nil
+
+	case "null?":
+		if err := touchUnary(); err != nil {
+			return err
+		}
+		a.emit(isa.RI(isa.OpSubCC, isa.RZero, regAcc, int32(isa.Nil)))
+		f.boolFromCond(isa.OpBe)
+		return nil
+
+	case "pair?":
+		if err := touchUnary(); err != nil {
+			return err
+		}
+		a.emit(isa.RI(isa.OpTagCmp, isa.RZero, regAcc, int32(isa.ConsTag)))
+		f.boolFromCond(isa.OpBe)
+		return nil
+
+	case "fixnum?":
+		if err := touchUnary(); err != nil {
+			return err
+		}
+		a.emit(isa.RI(isa.OpTagCmp, isa.RZero, regAcc, int32(isa.FixnumTag)))
+		f.boolFromCond(isa.OpBe)
+		return nil
+
+	case "future?":
+		// The one predicate that must NOT touch.
+		if err := f.expr(v.Args[0], false); err != nil {
+			return err
+		}
+		a.emit(isa.RI(isa.OpTagCmp, isa.RZero, regAcc, int32(isa.FutureTag)))
+		f.boolFromCond(isa.OpBe)
+		return nil
+
+	case "procedure?":
+		if err := touchUnary(); err != nil {
+			return err
+		}
+		lFalse := a.newLabel()
+		lEnd := a.newLabel()
+		a.emit(isa.RI(isa.OpTagCmp, isa.RZero, regAcc, int32(isa.OtherTag)))
+		a.branch(isa.OpBne, lFalse)
+		a.emit(isa.RI(isa.OpSubCC, isa.RZero, regAcc, int32(isa.HeapBase)))
+		a.branch(isa.OpBcs, lFalse) // below the heap: an immediate
+		a.emit(isa.Ld(isa.OpLdnt, regT1, regAcc, -int32(isa.OtherTag)))
+		a.emit(isa.RI(isa.OpRawAnd, regT1, regT1, abi.HeaderKindMask))
+		a.emit(isa.RI(isa.OpSubCC, isa.RZero, regT1, abi.KindClosure))
+		a.branch(isa.OpBne, lFalse)
+		a.emit(isa.MovI(regAcc, isa.True))
+		a.branch(isa.OpBa, lEnd)
+		a.bind(lFalse)
+		a.emit(isa.MovI(regAcc, isa.False))
+		a.bind(lEnd)
+		return nil
+
+	case "cons":
+		var carSlot = -1
+		if !isSimple(v.Args[0]) {
+			if err := f.expr(v.Args[0], false); err != nil {
+				return err
+			}
+			carSlot = f.newSlot()
+			a.emit(isa.St(isa.OpStnt, isa.RFP, slotOff(carSlot), regAcc))
+		}
+		if err := f.expr(v.Args[1], false); err != nil {
+			return err
+		}
+		f.emitAllocFixed(abi.ConsBytes)
+		if carSlot >= 0 {
+			a.emit(isa.Ld(isa.OpLdnt, regT1, isa.RFP, slotOff(carSlot)))
+		} else if err := f.loadSimple(v.Args[0], regT1); err != nil {
+			return err
+		}
+		a.emit(isa.St(isa.OpStnt, regT2, abi.ConsCarOff, regT1))
+		a.emit(isa.St(isa.OpStnt, regT2, abi.ConsCdrOff, regAcc))
+		a.emit(isa.RI(isa.OpRawAdd, regAcc, regT2, int32(isa.ConsTag)))
+		return nil
+
+	case "car", "cdr":
+		if err := f.expr(v.Args[0], false); err != nil {
+			return err
+		}
+		f.emitCheck(regAcc) // software mode; hardware traps on the address
+		off := int32(abi.ConsCarOff) - int32(isa.ConsTag)
+		if v.Name == "cdr" {
+			off = int32(abi.ConsCdrOff) - int32(isa.ConsTag)
+		}
+		a.emit(isa.Ld(isa.OpLdnt, regAcc, regAcc, off))
+		return nil
+
+	case "set-car!", "set-cdr!":
+		ra, rb, err := f.binaryRegs(v.Args[0], v.Args[1])
+		if err != nil {
+			return err
+		}
+		off := int32(abi.ConsCarOff) - int32(isa.ConsTag)
+		if v.Name == "set-cdr!" {
+			off = int32(abi.ConsCdrOff) - int32(isa.ConsTag)
+		}
+		a.emit(isa.St(isa.OpStnt, ra, off, rb))
+		a.emit(isa.MovI(regAcc, isa.Unspec))
+		return nil
+
+	case "make-vector":
+		ra, rb, err := f.binaryRegs(v.Args[0], v.Args[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.RI(isa.OpRawAdd, isa.RArg0, ra, 0))
+		a.emit(isa.RI(isa.OpRawAdd, isa.RArg0+1, rb, 0))
+		a.emit(isa.Trap(abi.TrapImm(abi.SvcMakeVector, 0, 0)))
+		a.emit(isa.RI(isa.OpRawAdd, regAcc, isa.RArg0, 0))
+		return nil
+
+	case "vector-length":
+		if err := touchUnary(); err != nil {
+			return err
+		}
+		a.emit(isa.Ld(isa.OpLdnt, regT1, regAcc, -int32(isa.OtherTag)))
+		a.emit(isa.RI(isa.OpSrl, regT1, regT1, abi.HeaderShift))
+		a.emit(isa.RI(isa.OpSll, regAcc, regT1, 2))
+		return nil
+
+	case "vector-ref", "vector-ref-sync":
+		op := isa.OpLdnt
+		if v.Name == "vector-ref-sync" {
+			// Trap on an empty slot (the handler switch-spins until a
+			// producer fills it); wait on a local miss.
+			op = isa.OpLdtw
+		}
+		ra, rb, imm, useImm, err := f.binaryOperands(v.Args[0], v.Args[1])
+		if err != nil {
+			return err
+		}
+		if useImm {
+			// The fixnum index is already the byte offset (i<<2).
+			a.emit(isa.Ld(op, regAcc, ra, imm+vecElemDisp))
+		} else {
+			a.emit(isa.Inst{Op: op, Rd: regAcc, Rs1: ra, Rs2: rb, Imm: vecElemDisp})
+		}
+		return nil
+
+	case "vector-set!", "vector-set-sync!":
+		op := isa.OpStnt
+		if v.Name == "vector-set-sync!" {
+			// Fill the slot; trap if it is already full (the producer
+			// must wait for a consumer to empty it).
+			op = isa.OpStftw
+		}
+		if err := f.ternaryOperands(v.Args[0], v.Args[1], v.Args[2]); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op, Rd: regAcc, Rs1: regT1, Rs2: regT2, Imm: vecElemDisp})
+		a.emit(isa.MovI(regAcc, isa.Unspec))
+		return nil
+
+	case "vector-empty!":
+		ra, rb, err := f.binaryRegs(v.Args[0], v.Args[1])
+		if err != nil {
+			return err
+		}
+		// Load-and-empty, discarding the value.
+		a.emit(isa.Inst{Op: isa.OpLdenw, Rd: regT3, Rs1: ra, Rs2: rb, Imm: vecElemDisp})
+		a.emit(isa.MovI(regAcc, isa.Unspec))
+		return nil
+
+	case "vector-full?":
+		ra, rb, err := f.binaryRegs(v.Args[0], v.Args[1])
+		if err != nil {
+			return err
+		}
+		// A non-trapping probe sets the full/empty condition bit.
+		a.emit(isa.Inst{Op: isa.OpLdnw, Rd: regT3, Rs1: ra, Rs2: rb, Imm: vecElemDisp})
+		f.boolFromCond(isa.OpJfull)
+		return nil
+
+	case "print":
+		if err := f.expr(v.Args[0], false); err != nil {
+			return err
+		}
+		a.emit(isa.RI(isa.OpRawAdd, isa.RArg0, regAcc, 0))
+		a.emit(isa.Trap(abi.TrapImm(abi.SvcPrint, 0, 0)))
+		a.emit(isa.MovI(regAcc, isa.Unspec))
+		return nil
+	}
+	return fmt.Errorf("unimplemented primitive %s", v.Name)
+}

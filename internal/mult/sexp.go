@@ -1,0 +1,227 @@
+// Package mult implements "Mul-T mini": a compiler and reference
+// interpreter for the subset of Mul-T (the paper's extended Scheme,
+// [16]) that the paper's benchmarks need — fixnums, booleans, pairs,
+// vectors, strings, first-class procedures, and the future/touch
+// constructs of Section 2.2. The compiler targets the APRIL instruction
+// set; futures compile to eager task creation, lazy task creation
+// markers, or (on the Encore baseline) software-checked sequences,
+// depending on the compilation mode.
+package mult
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Sexp is a parsed s-expression: one of Symbol, int32 (fixnum literal),
+// bool, string (string literal), or []Sexp (a proper list). The reader
+// has no dotted-pair syntax; quoted data is built from proper lists.
+type Sexp interface{}
+
+// Symbol is an identifier.
+type Symbol string
+
+// SrcError is a reader or parser error with a line number.
+type SrcError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SrcError) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+type reader struct {
+	src  string
+	pos  int
+	line int
+}
+
+// ReadAll parses all top-level s-expressions in src.
+func ReadAll(src string) ([]Sexp, error) {
+	r := &reader{src: src, line: 1}
+	var out []Sexp
+	for {
+		r.skipSpace()
+		if r.pos >= len(r.src) {
+			return out, nil
+		}
+		s, err := r.read()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (r *reader) errf(format string, args ...interface{}) error {
+	return &SrcError{Line: r.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (r *reader) skipSpace() {
+	for r.pos < len(r.src) {
+		c := r.src[r.pos]
+		switch {
+		case c == ';':
+			for r.pos < len(r.src) && r.src[r.pos] != '\n' {
+				r.pos++
+			}
+		case c == '\n':
+			r.line++
+			r.pos++
+		case unicode.IsSpace(rune(c)):
+			r.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (r *reader) read() (Sexp, error) {
+	r.skipSpace()
+	if r.pos >= len(r.src) {
+		return nil, r.errf("unexpected end of input")
+	}
+	c := r.src[r.pos]
+	switch {
+	case c == '(' || c == '[':
+		close := byte(')')
+		if c == '[' {
+			close = ']'
+		}
+		r.pos++
+		var list []Sexp
+		for {
+			r.skipSpace()
+			if r.pos >= len(r.src) {
+				return nil, r.errf("unterminated list")
+			}
+			if r.src[r.pos] == close {
+				r.pos++
+				return list, nil
+			}
+			if r.src[r.pos] == ')' || r.src[r.pos] == ']' {
+				return nil, r.errf("mismatched close paren")
+			}
+			item, err := r.read()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, item)
+		}
+	case c == ')' || c == ']':
+		return nil, r.errf("unexpected close paren")
+	case c == '\'':
+		r.pos++
+		q, err := r.read()
+		if err != nil {
+			return nil, err
+		}
+		return []Sexp{Symbol("quote"), q}, nil
+	case c == '"':
+		return r.readString()
+	case c == '#':
+		return r.readHash()
+	default:
+		return r.readAtom()
+	}
+}
+
+func (r *reader) readString() (Sexp, error) {
+	r.pos++ // opening quote
+	var b strings.Builder
+	for r.pos < len(r.src) {
+		c := r.src[r.pos]
+		switch c {
+		case '"':
+			r.pos++
+			return b.String(), nil
+		case '\\':
+			r.pos++
+			if r.pos >= len(r.src) {
+				return nil, r.errf("unterminated string escape")
+			}
+			switch r.src[r.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"':
+				b.WriteByte(r.src[r.pos])
+			default:
+				return nil, r.errf("unknown string escape \\%c", r.src[r.pos])
+			}
+			r.pos++
+		case '\n':
+			return nil, r.errf("newline in string literal")
+		default:
+			b.WriteByte(c)
+			r.pos++
+		}
+	}
+	return nil, r.errf("unterminated string")
+}
+
+func (r *reader) readHash() (Sexp, error) {
+	if strings.HasPrefix(r.src[r.pos:], "#t") {
+		r.pos += 2
+		return true, nil
+	}
+	if strings.HasPrefix(r.src[r.pos:], "#f") {
+		r.pos += 2
+		return false, nil
+	}
+	return nil, r.errf("unknown # syntax")
+}
+
+func isDelim(c byte) bool {
+	return c == '(' || c == ')' || c == '[' || c == ']' || c == ';' || c == '"' ||
+		c == '\'' || unicode.IsSpace(rune(c))
+}
+
+func (r *reader) readAtom() (Sexp, error) {
+	start := r.pos
+	for r.pos < len(r.src) && !isDelim(r.src[r.pos]) {
+		r.pos++
+	}
+	tok := r.src[start:r.pos]
+	if tok == "" {
+		return nil, r.errf("empty token")
+	}
+	// A fixnum literal?
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		if n < -(1<<29) || n >= 1<<29 {
+			return nil, r.errf("fixnum literal %s out of 30-bit range", tok)
+		}
+		return int32(n), nil
+	}
+	if (tok[0] == '-' || tok[0] == '+') && len(tok) > 1 && tok[1] >= '0' && tok[1] <= '9' {
+		return nil, r.errf("malformed number %q", tok)
+	}
+	return Symbol(tok), nil
+}
+
+// FormatSexp renders an s-expression back to source form (for error
+// messages and tests).
+func FormatSexp(s Sexp) string {
+	switch v := s.(type) {
+	case Symbol:
+		return string(v)
+	case int32:
+		return strconv.FormatInt(int64(v), 10)
+	case bool:
+		if v {
+			return "#t"
+		}
+		return "#f"
+	case string:
+		return strconv.Quote(v)
+	case []Sexp:
+		parts := make([]string, len(v))
+		for i, e := range v {
+			parts[i] = FormatSexp(e)
+		}
+		return "(" + strings.Join(parts, " ") + ")"
+	}
+	return fmt.Sprintf("#[?%v]", s)
+}

@@ -1,0 +1,207 @@
+// Package network implements ALEWIFE's interconnect: a low-dimension
+// direct network (k-ary n-cube) with packet-switched, dimension-order
+// routing (Section 2.1). Two backends share one interface:
+//
+//   - Torus: a cycle-driven packet-level model with per-channel FIFO
+//     queues (store-and-forward, one flit per cycle per channel), used
+//     for machine simulation and the latency-versus-load experiments.
+//   - Ideal: constant-latency delivery, for configurations where only
+//     the end-to-end delay matters.
+package network
+
+import "fmt"
+
+// Message is one network packet.
+type Message struct {
+	Src, Dst int
+	Size     int // flits
+	Payload  interface{}
+
+	sentAt uint64
+	route  []int // remaining channel hops (channel ids)
+}
+
+// Network moves messages between nodes, one Tick per machine cycle.
+type Network interface {
+	// Send injects a message (takes effect during subsequent Ticks).
+	Send(m *Message)
+	// Tick advances one cycle and returns the messages delivered this
+	// cycle, grouped by destination via Deliveries.
+	Tick()
+	// Deliveries drains the messages that have arrived at node.
+	Deliveries(node int) []*Message
+	// Nodes reports the node count.
+	Nodes() int
+	// Stats reports aggregate behavior.
+	Stats() Stats
+}
+
+// Stats aggregates network behavior.
+type Stats struct {
+	Messages     uint64
+	FlitsSent    uint64
+	TotalLatency uint64 // sum over delivered messages, cycles
+	Delivered    uint64
+	MaxLatency   uint64
+}
+
+// AvgLatency is the mean end-to-end latency of delivered messages.
+func (s Stats) AvgLatency() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Delivered)
+}
+
+// Geometry describes a k-ary n-cube.
+type Geometry struct {
+	Dim   int // n
+	Radix int // k
+}
+
+// Nodes is k^n.
+func (g Geometry) Nodes() int {
+	n := 1
+	for i := 0; i < g.Dim; i++ {
+		n *= g.Radix
+	}
+	return n
+}
+
+// Coords converts a node id to its n-dimensional coordinates.
+func (g Geometry) Coords(node int) []int {
+	c := make([]int, g.Dim)
+	for i := 0; i < g.Dim; i++ {
+		c[i] = node % g.Radix
+		node /= g.Radix
+	}
+	return c
+}
+
+// Node converts coordinates back to a node id.
+func (g Geometry) Node(c []int) int {
+	id := 0
+	for i := g.Dim - 1; i >= 0; i-- {
+		id = id*g.Radix + c[i]
+	}
+	return id
+}
+
+// Hops is the dimension-order (torus, shortest-direction) hop count.
+func (g Geometry) Hops(src, dst int) int {
+	cs, cd := g.Coords(src), g.Coords(dst)
+	h := 0
+	for i := 0; i < g.Dim; i++ {
+		d := cd[i] - cs[i]
+		if d < 0 {
+			d += g.Radix
+		}
+		if d > g.Radix-d {
+			d = g.Radix - d
+		}
+		h += d
+	}
+	return h
+}
+
+// FitGeometry picks a roughly cubic (n up to 3) geometry with at least
+// nodes nodes, for machine configurations that specify only a node
+// count.
+func FitGeometry(nodes int) Geometry {
+	if nodes <= 1 {
+		return Geometry{Dim: 1, Radix: 1}
+	}
+	// Prefer 3 dimensions like ALEWIFE; shrink for tiny machines.
+	for _, dim := range []int{3, 2, 1} {
+		k := 1
+		for pow(k, dim) < nodes {
+			k++
+		}
+		if pow(k, dim) == nodes {
+			return Geometry{Dim: dim, Radix: k}
+		}
+	}
+	// No exact fit: use a 1-D ring.
+	return Geometry{Dim: 1, Radix: nodes}
+}
+
+func pow(k, n int) int {
+	out := 1
+	for i := 0; i < n; i++ {
+		out *= k
+	}
+	return out
+}
+
+// Ideal is the constant-latency backend.
+type Ideal struct {
+	nodes   int
+	latency uint64
+	now     uint64
+	inbox   [][]*Message // per node
+	pending []*Message
+	stats   Stats
+}
+
+// NewIdeal creates an ideal network with the given one-way latency.
+func NewIdeal(nodes int, latency int) *Ideal {
+	if latency < 1 {
+		latency = 1
+	}
+	return &Ideal{nodes: nodes, latency: uint64(latency), inbox: make([][]*Message, nodes)}
+}
+
+// Send implements Network.
+func (n *Ideal) Send(m *Message) {
+	m.sentAt = n.now
+	n.pending = append(n.pending, m)
+	n.stats.Messages++
+	n.stats.FlitsSent += uint64(m.Size)
+}
+
+// Tick implements Network.
+func (n *Ideal) Tick() {
+	n.now++
+	rest := n.pending[:0]
+	for _, m := range n.pending {
+		if n.now-m.sentAt >= n.latency {
+			n.inbox[m.Dst] = append(n.inbox[m.Dst], m)
+			n.account(m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	n.pending = rest
+}
+
+func (n *Ideal) account(m *Message) {
+	lat := n.now - m.sentAt
+	n.stats.Delivered++
+	n.stats.TotalLatency += lat
+	if lat > n.stats.MaxLatency {
+		n.stats.MaxLatency = lat
+	}
+}
+
+// Deliveries implements Network.
+func (n *Ideal) Deliveries(node int) []*Message {
+	out := n.inbox[node]
+	n.inbox[node] = nil
+	return out
+}
+
+// Nodes implements Network.
+func (n *Ideal) Nodes() int { return n.nodes }
+
+// Stats implements Network.
+func (n *Ideal) Stats() Stats { return n.stats }
+
+var _ Network = (*Ideal)(nil)
+
+// sanity-check helper used by tests.
+func (g Geometry) validate() error {
+	if g.Dim < 1 || g.Radix < 1 {
+		return fmt.Errorf("network: bad geometry %+v", g)
+	}
+	return nil
+}

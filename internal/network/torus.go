@@ -1,0 +1,165 @@
+package network
+
+import "fmt"
+
+// Torus is the packet-level k-ary n-cube. Each node has 2n output
+// channels (one per dimension and direction). Packets follow
+// dimension-order routes, advancing store-and-forward: a channel
+// transmits one packet at a time at one flit per cycle, and packets
+// queue FIFO at busy channels — queueing is where contention latency
+// comes from, as in the open network model of Section 8.
+type Torus struct {
+	geo      Geometry
+	channels []channel
+	inbox    [][]*Message
+	now      uint64
+	stats    Stats
+}
+
+type channel struct {
+	queue []*Message
+	busy  int // cycles left transmitting the head packet
+}
+
+// channel ids: node*2n + dim*2 + dir (dir 0 = +, 1 = -).
+func (t *Torus) channelID(node, dim, dir int) int {
+	return node*2*t.geo.Dim + dim*2 + dir
+}
+
+// NewTorus builds the packet-level network.
+func NewTorus(g Geometry) (*Torus, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	n := g.Nodes()
+	return &Torus{
+		geo:      g,
+		channels: make([]channel, n*2*g.Dim),
+		inbox:    make([][]*Message, n),
+	}, nil
+}
+
+// Geometry returns the torus shape.
+func (t *Torus) Geometry() Geometry { return t.geo }
+
+// route computes the dimension-order channel sequence from src to dst.
+func (t *Torus) route(src, dst int) []int {
+	var hops []int
+	cur := t.geo.Coords(src)
+	dstC := t.geo.Coords(dst)
+	k := t.geo.Radix
+	node := src
+	for dim := 0; dim < t.geo.Dim; dim++ {
+		for cur[dim] != dstC[dim] {
+			fwd := dstC[dim] - cur[dim]
+			if fwd < 0 {
+				fwd += k
+			}
+			dir := 0
+			step := 1
+			if fwd > k-fwd {
+				dir, step = 1, k-1 // go the short way around, negative
+			}
+			hops = append(hops, t.channelID(node, dim, dir))
+			cur[dim] = (cur[dim] + step) % k
+			node = t.geo.Node(cur)
+		}
+	}
+	return hops
+}
+
+// Send implements Network.
+func (t *Torus) Send(m *Message) {
+	if m.Size < 1 {
+		m.Size = 1
+	}
+	m.sentAt = t.now
+	t.stats.Messages++
+	t.stats.FlitsSent += uint64(m.Size)
+	if m.Src == m.Dst {
+		// Loopback: delivered next tick without using the network.
+		m.route = nil
+		t.inbox[m.Dst] = append(t.inbox[m.Dst], m)
+		t.account(m)
+		return
+	}
+	m.route = t.route(m.Src, m.Dst)
+	first := m.route[0]
+	m.route = m.route[1:]
+	t.channels[first].queue = append(t.channels[first].queue, m)
+}
+
+// Tick implements Network: every channel pushes its current packet one
+// flit-time forward; completed packets hop to the next channel's queue
+// or are delivered. Moves apply after all channels have been processed
+// so that a hop always costs exactly Size cycles regardless of channel
+// numbering.
+func (t *Torus) Tick() {
+	t.now++
+	var moved []*Message
+	for i := range t.channels {
+		c := &t.channels[i]
+		if c.busy == 0 && len(c.queue) > 0 {
+			c.busy = c.queue[0].Size
+		}
+		if c.busy > 0 {
+			c.busy--
+			if c.busy == 0 {
+				m := c.queue[0]
+				c.queue = c.queue[1:]
+				moved = append(moved, m)
+			}
+		}
+	}
+	for _, m := range moved {
+		if len(m.route) == 0 {
+			t.inbox[m.Dst] = append(t.inbox[m.Dst], m)
+			t.account(m)
+		} else {
+			next := m.route[0]
+			m.route = m.route[1:]
+			t.channels[next].queue = append(t.channels[next].queue, m)
+		}
+	}
+}
+
+func (t *Torus) account(m *Message) {
+	lat := t.now - m.sentAt
+	if lat == 0 {
+		lat = 1
+	}
+	t.stats.Delivered++
+	t.stats.TotalLatency += lat
+	if lat > t.stats.MaxLatency {
+		t.stats.MaxLatency = lat
+	}
+}
+
+// Deliveries implements Network.
+func (t *Torus) Deliveries(node int) []*Message {
+	out := t.inbox[node]
+	t.inbox[node] = nil
+	return out
+}
+
+// Nodes implements Network.
+func (t *Torus) Nodes() int { return t.geo.Nodes() }
+
+// Stats implements Network.
+func (t *Torus) Stats() Stats { return t.stats }
+
+// InFlight counts undelivered packets (for draining in tests).
+func (t *Torus) InFlight() int {
+	n := 0
+	for i := range t.channels {
+		n += len(t.channels[i].queue)
+	}
+	return n
+}
+
+var _ Network = (*Torus)(nil)
+
+// String describes the torus.
+func (t *Torus) String() string {
+	return fmt.Sprintf("%d-ary %d-cube (%d nodes)", t.geo.Radix, t.geo.Dim, t.geo.Nodes())
+}

@@ -1,0 +1,459 @@
+package proc
+
+import (
+	"errors"
+	"fmt"
+
+	"april/internal/core"
+	"april/internal/isa"
+)
+
+// Handler is the software side of the trap mechanism: the run-time
+// system. When the processor traps, the pipeline empties and control
+// passes to the handler, which executes in the same task frame as the
+// trapped thread (so it can access the thread's registers through the
+// engine). The handler returns the cycles it consumed; all trap-path
+// cycle charging (the 5-cycle trap entry, the 6-cycle switch handler,
+// the 23-cycle future-touch handler, ...) is the handler's
+// responsibility, since it depends on the machine profile.
+//
+// PC contract: for a syscall trap the processor advances the PC past
+// the trap instruction before invoking the handler (the service
+// completes the instruction); for every other trap the PC still
+// addresses the trapping instruction, so the default outcome is to
+// retry it — the paper's "immediately return from the trap and retry
+// the trapping instruction".
+type Handler interface {
+	HandleTrap(p *Processor, t core.Trap) (cycles int, err error)
+
+	// Idle is invoked when the active task frame holds no thread. The
+	// handler may load a thread (from its ready queue or by stealing
+	// work) or report how many cycles the processor idles.
+	Idle(p *Processor) (cycles int, err error)
+}
+
+// Common execution errors.
+var (
+	ErrHalted    = errors.New("proc: processor halted")
+	ErrNoHandler = errors.New("proc: trap with no handler installed")
+)
+
+// Stats aggregates the cycle breakdown needed for the utilization
+// analyses of Section 8: useful work, memory wait, trap/switch
+// overhead, and idle time.
+type Stats struct {
+	Instructions uint64
+	UsefulCycles uint64 // instruction execution
+	WaitCycles   uint64 // processor held for memory (MHOLD)
+	TrapCycles   uint64 // trap entry + handler + context switches
+	IdleCycles   uint64 // no loaded thread could run
+	Traps        [16]uint64
+	LoadCount    uint64
+	StoreCount   uint64
+}
+
+// TotalCycles is the sum of all categories.
+func (s *Stats) TotalCycles() uint64 {
+	return s.UsefulCycles + s.WaitCycles + s.TrapCycles + s.IdleCycles
+}
+
+// Utilization is the fraction of cycles doing useful work.
+func (s *Stats) Utilization() float64 {
+	t := s.TotalCycles()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.UsefulCycles) / float64(t)
+}
+
+// Processor is one APRIL CPU: the core multithreading engine driven by
+// the instruction interpreter, attached to a memory port and a trap
+// handler.
+type Processor struct {
+	ID      int
+	Engine  *core.Engine
+	Prog    *isa.Program
+	Mem     MemPort
+	IO      IOPort
+	Handler Handler
+
+	Halted bool
+	Stats  Stats
+
+	pendingIPI []isa.Word
+}
+
+// New creates a processor over the given engine and program.
+func New(id int, e *core.Engine, prog *isa.Program, memPort MemPort) *Processor {
+	return &Processor{ID: id, Engine: e, Prog: prog, Mem: memPort}
+}
+
+// PostIPI queues an interprocessor interrupt; it is delivered as an
+// asynchronous trap before the next instruction of whatever thread is
+// running (Section 3.4).
+func (p *Processor) PostIPI(payload isa.Word) {
+	p.pendingIPI = append(p.pendingIPI, payload)
+}
+
+// PendingIPIs reports queued, undelivered IPIs.
+func (p *Processor) PendingIPIs() int { return len(p.pendingIPI) }
+
+func (p *Processor) trap(t core.Trap) (int, error) {
+	p.Stats.Traps[t.Kind]++
+	if p.Handler == nil {
+		return 0, fmt.Errorf("%w: %v", ErrNoHandler, t)
+	}
+	cycles, err := p.Handler.HandleTrap(p, t)
+	p.Stats.TrapCycles += uint64(cycles)
+	return cycles, err
+}
+
+// Step executes at most one instruction of the active task frame and
+// returns the cycles consumed (instruction time, memory wait, trap
+// handling, or idling). The caller (the node's cycle loop) advances
+// simulated time by the return value.
+func (p *Processor) Step() (int, error) {
+	if p.Halted {
+		return 0, ErrHalted
+	}
+
+	// Deliver one pending asynchronous trap first.
+	if len(p.pendingIPI) > 0 {
+		payload := p.pendingIPI[0]
+		p.pendingIPI = p.pendingIPI[1:]
+		f := p.Engine.Active()
+		return p.trap(core.Trap{Kind: core.TrapIPI, PC: f.PC, Value: payload})
+	}
+
+	// An empty frame means the scheduler must find work.
+	if p.Engine.Active().ThreadID < 0 {
+		if p.Handler == nil {
+			return 0, fmt.Errorf("%w: idle with no handler", ErrNoHandler)
+		}
+		cycles, err := p.Handler.Idle(p)
+		p.Stats.IdleCycles += uint64(cycles)
+		return cycles, err
+	}
+
+	f := p.Engine.Active()
+	inst, err := p.Prog.Fetch(f.PC)
+	if err != nil {
+		return 0, fmt.Errorf("proc %d frame %d thread %d: %w", p.ID, p.Engine.FP(), f.ThreadID, err)
+	}
+	return p.execute(f, inst)
+}
+
+// advance moves the active frame's PC chain past the current
+// instruction.
+func (p *Processor) advance(f *core.Frame) {
+	f.PC++
+	f.NPC = f.PC + 1
+}
+
+func (p *Processor) execute(f *core.Frame, inst isa.Inst) (int, error) {
+	e := p.Engine
+	switch inst.Op.Class() {
+	case isa.ClassNop:
+		p.advance(f)
+		p.Stats.Instructions++
+		p.Stats.UsefulCycles++
+		return 1, nil
+
+	case isa.ClassCompute:
+		return p.execCompute(f, inst)
+
+	case isa.ClassLoad, isa.ClassStore:
+		return p.execMemory(f, inst)
+
+	case isa.ClassBranch:
+		p.Stats.Instructions++
+		p.Stats.UsefulCycles++
+		if f.PSR.CondHolds(inst.Op.Cond()) {
+			f.PC = uint32(int32(f.PC) + inst.Imm)
+		} else {
+			f.PC++
+		}
+		f.NPC = f.PC + 1
+		return 1, nil
+
+	case isa.ClassJmpl:
+		p.Stats.Instructions++
+		p.Stats.UsefulCycles++
+		target := inst.Imm
+		if inst.Rs1 != isa.RZero {
+			base := e.Reg(inst.Rs1)
+			if !isa.IsFixnum(base) {
+				return 1, fmt.Errorf("proc %d: jmpl through non-fixnum %#x at pc=%d", p.ID, base, f.PC)
+			}
+			target += isa.FixnumValue(base)
+		}
+		link := isa.MakeFixnum(int32(f.PC + 1))
+		e.SetReg(inst.Rd, link)
+		f.PC = uint32(target)
+		f.NPC = f.PC + 1
+		return 1, nil
+
+	case isa.ClassFrame:
+		p.Stats.Instructions++
+		p.Stats.UsefulCycles++
+		switch inst.Op {
+		case isa.OpIncFP:
+			p.advance(f)
+			e.IncFP()
+		case isa.OpDecFP:
+			p.advance(f)
+			e.DecFP()
+		case isa.OpRdFP:
+			e.SetReg(inst.Rd, isa.MakeFixnum(int32(e.FP())))
+			p.advance(f)
+		case isa.OpStFP:
+			p.advance(f)
+			e.SetFP(int(isa.FixnumValue(e.Reg(inst.Rs1))))
+		case isa.OpRdPSR:
+			e.SetReg(inst.Rd, isa.Word(f.PSR))
+			p.advance(f)
+		case isa.OpWrPSR:
+			f.PSR = core.PSR(e.Reg(inst.Rs1))
+			p.advance(f)
+		}
+		return 1, nil
+
+	case isa.ClassCacheOp:
+		p.Stats.Instructions++
+		p.Stats.UsefulCycles++
+		addr := uint32(int32(uint32(e.Reg(inst.Rs1))) + inst.Imm)
+		stall := p.Mem.Flush(addr)
+		p.Stats.WaitCycles += uint64(stall)
+		p.advance(f)
+		return 1 + stall, nil
+
+	case isa.ClassIO:
+		return p.execIO(f, inst)
+
+	case isa.ClassTrap:
+		p.Stats.Instructions++
+		p.Stats.UsefulCycles++
+		pc := f.PC
+		p.advance(f) // the service completes the instruction
+		cycles, err := p.trap(core.Trap{Kind: core.TrapSyscall, PC: pc, Inst: inst, Service: inst.Imm})
+		return 1 + cycles, err
+
+	case isa.ClassHalt:
+		p.Stats.Instructions++
+		p.Stats.UsefulCycles++
+		p.Halted = true
+		return 1, nil
+	}
+	return 0, fmt.Errorf("proc %d: unimplemented opcode %v at pc=%d", p.ID, inst.Op, f.PC)
+}
+
+func (p *Processor) execCompute(f *core.Frame, inst isa.Inst) (int, error) {
+	e := p.Engine
+	a := e.Reg(inst.Rs1)
+	var b isa.Word
+	if inst.UseImm {
+		b = isa.Word(inst.Imm)
+	} else {
+		b = e.Reg(inst.Rs2)
+	}
+
+	// Hardware future detection (Section 4): strict operations trap if
+	// an operand has its LSB set.
+	if inst.Op.Strict() && f.PSR&core.PSRFutureTrap != 0 {
+		if isa.IsFuture(a) {
+			return p.trap(core.Trap{Kind: core.TrapFuture, PC: f.PC, Inst: inst, Value: a, Reg: inst.Rs1})
+		}
+		if !inst.UseImm && isa.IsFuture(b) {
+			return p.trap(core.Trap{Kind: core.TrapFuture, PC: f.PC, Inst: inst, Value: b, Reg: inst.Rs2})
+		}
+	}
+
+	var (
+		r          isa.Word
+		carry, ovf bool
+	)
+	switch inst.Op {
+	case isa.OpAdd, isa.OpAddCC, isa.OpRawAdd:
+		sum := uint64(a) + uint64(b)
+		r = isa.Word(sum)
+		carry = sum>>32 != 0
+		ovf = (a>>31 == b>>31) && (r>>31 != a>>31)
+	case isa.OpSub, isa.OpSubCC, isa.OpRawSub:
+		r = a - b
+		carry = a < b
+		ovf = (a>>31 != b>>31) && (r>>31 != a>>31)
+	case isa.OpAnd, isa.OpAndCC, isa.OpRawAnd:
+		r = a & b
+	case isa.OpOr, isa.OpOrCC:
+		r = a | b
+	case isa.OpXor, isa.OpXorCC:
+		r = a ^ b
+	case isa.OpSll:
+		r = a << (uint32(b) & 31)
+	case isa.OpSrl:
+		r = a >> (uint32(b) & 31)
+	case isa.OpSra:
+		r = isa.Word(int32(a) >> (uint32(b) & 31))
+	case isa.OpMul:
+		r = isa.Word(int32(a) * int32(b))
+	case isa.OpDiv:
+		if b == 0 {
+			return 1, fmt.Errorf("proc %d: division by zero at pc=%d", p.ID, f.PC)
+		}
+		r = isa.Word(int32(a) / int32(b))
+	case isa.OpMod:
+		if b == 0 {
+			return 1, fmt.Errorf("proc %d: modulo by zero at pc=%d", p.ID, f.PC)
+		}
+		r = isa.Word(int32(a) % int32(b))
+	case isa.OpTagCmp:
+		// Z <- (tag of rs1 == imm). Fixnums use the two-bit tag.
+		var match bool
+		if b&isa.TagMask3 == isa.FixnumTag {
+			match = a&isa.TagMask2 == isa.FixnumTag
+		} else {
+			match = a&isa.TagMask3 == b&isa.TagMask3
+		}
+		f.PSR = f.PSR.WithCC(false, match, false, false)
+		p.advance(f)
+		p.Stats.Instructions++
+		p.Stats.UsefulCycles++
+		return 1, nil
+	case isa.OpMovI:
+		r = isa.Word(inst.Imm)
+	default:
+		return 0, fmt.Errorf("proc %d: unimplemented compute op %v", p.ID, inst.Op)
+	}
+
+	if inst.Op.SetsCC() {
+		f.PSR = f.PSR.WithCC(int32(r) < 0, r == 0, ovf, carry)
+	}
+	e.SetReg(inst.Rd, r)
+	p.advance(f)
+	p.Stats.Instructions++
+	p.Stats.UsefulCycles++
+	return 1, nil
+}
+
+func (p *Processor) execMemory(f *core.Frame, inst isa.Inst) (int, error) {
+	e := p.Engine
+	base := e.Reg(inst.Rs1)
+	offset := inst.Imm
+	var index isa.Word
+	if !inst.UseImm {
+		index = e.Reg(inst.Rs2)
+	}
+
+	// Address-operand future detection: "memory instructions also trap
+	// if the least significant bit of either of their address operands
+	// are non-zero", providing implicit touches for car/cdr (Section 4).
+	if f.PSR&core.PSRFutureTrap != 0 {
+		if isa.IsFuture(base) {
+			return p.trap(core.Trap{Kind: core.TrapAddrFuture, PC: f.PC, Inst: inst, Value: base, Reg: inst.Rs1})
+		}
+		if !inst.UseImm && isa.IsFuture(index) {
+			return p.trap(core.Trap{Kind: core.TrapAddrFuture, PC: f.PC, Inst: inst, Value: index, Reg: inst.Rs2})
+		}
+	}
+
+	ea := uint32(int32(uint32(base)) + int32(uint32(index)) + offset)
+	if ea%4 != 0 {
+		return p.trap(core.Trap{Kind: core.TrapAlign, PC: f.PC, Inst: inst, Addr: ea})
+	}
+
+	store := inst.Op.IsStore()
+	flavor := inst.Op.Flavor()
+	var value isa.Word
+	if store {
+		value = e.Reg(inst.Rd)
+	}
+
+	res, err := p.Mem.Access(ea, flavor, store, value)
+	if err != nil {
+		return 0, fmt.Errorf("proc %d pc=%d: %w", p.ID, f.PC, err)
+	}
+	if res.Retry {
+		// Wait-on-miss flavor with the data still in flight: hold the
+		// processor (MHOLD) and re-execute.
+		stall := res.Stall
+		if stall < 1 {
+			stall = 1
+		}
+		p.Stats.WaitCycles += uint64(stall)
+		return stall, nil
+	}
+	switch res.Outcome {
+	case SyncFault:
+		kind := core.TrapEmpty
+		if store {
+			kind = core.TrapFullStore
+		}
+		return p.trap(core.Trap{Kind: kind, PC: f.PC, Inst: inst, Addr: ea, Store: store})
+	case RemoteMiss:
+		return p.trap(core.Trap{Kind: core.TrapCacheMiss, PC: f.PC, Inst: inst, Addr: ea, Store: store})
+	}
+
+	// Completed. Non-trapping flavors expose the prior full/empty state
+	// through the condition bit for Jfull/Jempty.
+	f.PSR = f.PSR.WithFull(res.Full)
+	if store {
+		p.Stats.StoreCount++
+	} else {
+		e.SetReg(inst.Rd, res.Value)
+		p.Stats.LoadCount++
+	}
+	p.advance(f)
+	p.Stats.Instructions++
+	p.Stats.UsefulCycles++
+	p.Stats.WaitCycles += uint64(res.Stall)
+	return 1 + res.Stall, nil
+}
+
+func (p *Processor) execIO(f *core.Frame, inst isa.Inst) (int, error) {
+	if p.IO == nil {
+		return 0, fmt.Errorf("proc %d: %v with no I/O port at pc=%d", p.ID, inst.Op, f.PC)
+	}
+	e := p.Engine
+	addr := uint32(int32(uint32(e.Reg(inst.Rs1))) + inst.Imm)
+	p.Stats.Instructions++
+	p.Stats.UsefulCycles++
+	if inst.Op == isa.OpLdio {
+		w, stall, err := p.IO.LoadIO(addr)
+		if err != nil {
+			return 0, err
+		}
+		e.SetReg(inst.Rd, w)
+		p.advance(f)
+		p.Stats.WaitCycles += uint64(stall)
+		return 1 + stall, nil
+	}
+	stall, err := p.IO.StoreIO(addr, e.Reg(inst.Rd))
+	if err != nil {
+		return 0, err
+	}
+	p.advance(f)
+	p.Stats.WaitCycles += uint64(stall)
+	return 1 + stall, nil
+}
+
+// Run steps the processor until it halts, errs, or exceeds maxCycles.
+// It returns the simulated cycle count. Intended for single-processor
+// programs and tests; multiprocessor configurations are driven in
+// lockstep by package sim.
+func (p *Processor) Run(maxCycles uint64) (uint64, error) {
+	var now uint64
+	for !p.Halted {
+		c, err := p.Step()
+		if err != nil {
+			return now, err
+		}
+		if c <= 0 {
+			c = 1
+		}
+		now += uint64(c)
+		if now > maxCycles {
+			return now, fmt.Errorf("proc %d: exceeded cycle budget %d", p.ID, maxCycles)
+		}
+	}
+	return now, nil
+}

@@ -1,0 +1,151 @@
+// Package rts is the APRIL run-time system: the software half of the
+// paper's systems-level design. It implements the trap handlers
+// (context switching, future touches, full/empty synchronization
+// faults), the virtual-thread scheduler with its ready and suspended
+// queues (Figure 2), eager task creation, lazy task creation with
+// marker stealing [17], and the machine cost profiles used for the
+// Table 3 comparison (APRIL on SPARC, a custom APRIL, and the Encore
+// Multimax baseline).
+package rts
+
+import "april/internal/core"
+
+// Profile is a machine cost model. All costs are in processor cycles
+// and are charged by the trap handlers, matching how the paper accounts
+// for its run-time system (Section 6).
+type Profile struct {
+	Name string
+
+	// Frames is the number of hardware task frames (4 on the
+	// SPARC-based APRIL; 1 on the Encore, a conventional processor).
+	Frames int
+
+	// HardwareFutures: tag-trap future detection (false for Encore).
+	HardwareFutures bool
+
+	// TrapEntry is the hardware trap overhead (pipeline squash + vector),
+	// 5 cycles on SPARC (Section 6.1).
+	TrapEntry int
+
+	// SwitchCycles is the full context-switch cost including its trap
+	// entry: 11 on the SPARC implementation, 4 on a custom APRIL.
+	SwitchCycles int
+
+	// TouchResolvedHandler is the future-touch handler cost when the
+	// future is resolved: 23 cycles (Section 6.2), plus TrapEntry.
+	TouchResolvedHandler int
+
+	// TouchDecide is the handler cost to decide what to do with an
+	// unresolved future before switch-spinning or blocking.
+	TouchDecide int
+
+	// FutureNew is the eager task-creation service: allocate the
+	// future and task descriptor and enqueue it.
+	FutureNew int
+
+	// TaskExit is the task-exit service: resolve the future and wake
+	// waiters.
+	TaskExit int
+
+	// ThreadLoad/ThreadUnload move a thread's register state between
+	// memory and a hardware task frame (Section 6.2 calls these
+	// "expensive operations": roughly a store/load per register).
+	ThreadLoad   int
+	ThreadUnload int
+
+	// Steal is the cost of claiming a lazy marker, creating the future
+	// and building the continuation thread (plus StealPerWord for each
+	// word of parent stack copied).
+	Steal        int
+	StealPerWord int
+
+	// StolenResolve is the victim-side cost of SvcStolen.
+	StolenResolve int
+
+	// Enqueue/Dequeue cover ready-queue operations within other
+	// services; Idle is one idle poll of the queues.
+	Enqueue int
+	Dequeue int
+	Idle    int
+
+	// MakeVectorBase/PerWord and Print cost the remaining services.
+	MakeVectorBase    int
+	MakeVectorPerWord int
+	Print             int
+
+	// AllocRefill is the arena-refill service.
+	AllocRefill int
+
+	// BlockRounds is how many consecutive fruitless switch-spin rounds
+	// (times Frames) the runtime tolerates before blocking the thread —
+	// the paper's guard against the spin-starvation problem of
+	// Section 3.1.
+	BlockRounds int
+}
+
+// APRIL is the SPARC-based APRIL implementation of Section 5/6:
+// 4 task frames, 11-cycle context switch, hardware future detection.
+var APRIL = Profile{
+	Name:                 "APRIL",
+	Frames:               core.DefaultFrames,
+	HardwareFutures:      true,
+	TrapEntry:            core.TrapEntryCycles,
+	SwitchCycles:         core.TrapEntryCycles + core.SwitchHandlerCyclesSPARC,
+	TouchResolvedHandler: 23,
+	TouchDecide:          6,
+	FutureNew:            100,
+	TaskExit:             30,
+	ThreadLoad:           40,
+	ThreadUnload:         40,
+	Steal:                60,
+	StealPerWord:         2,
+	StolenResolve:        30,
+	Enqueue:              8,
+	Dequeue:              8,
+	Idle:                 4,
+	MakeVectorBase:       20,
+	MakeVectorPerWord:    1,
+	Print:                20,
+	AllocRefill:          20,
+	BlockRounds:          2,
+}
+
+// APRILCustom is the hypothetical custom implementation of Section 6.1:
+// a four-cycle context switch with no trap-entry overhead on switches.
+var APRILCustom = func() Profile {
+	p := APRIL
+	p.Name = "APRIL-custom"
+	p.SwitchCycles = core.SwitchCyclesCustom
+	return p
+}()
+
+// Encore models the Encore Multimax baseline of Section 7: a
+// conventional single-context processor with software future detection
+// (compiled-in tag checks), test&set-based synchronization, and
+// heavyweight task management. Costs are roughly double APRIL's, which
+// reproduces the paper's observation that APRIL's trap-based mechanisms
+// cut task overhead by about 2x.
+var Encore = Profile{
+	Name:                 "Encore",
+	Frames:               1,
+	HardwareFutures:      false,
+	TrapEntry:            5,
+	SwitchCycles:         120, // software thread switch, no register frames
+	TouchResolvedHandler: 40,  // software decode + test&set on the lock
+	TouchDecide:          12,
+	FutureNew:            220,
+	TaskExit:             60,
+	ThreadLoad:           120,
+	ThreadUnload:         120,
+	Steal:                150,
+	StealPerWord:         3,
+	StolenResolve:        60,
+	Enqueue:              20,
+	Dequeue:              20,
+	Idle:                 8,
+	MakeVectorBase:       20,
+	MakeVectorPerWord:    1,
+	Print:                20,
+	AllocRefill:          20,
+	BlockRounds:          1,
+}

@@ -1,0 +1,99 @@
+package rts
+
+import (
+	"fmt"
+
+	"april/internal/abi"
+	"april/internal/core"
+	"april/internal/isa"
+	"april/internal/mem"
+)
+
+// ThreadState tracks a virtual thread through its life. Threads are
+// "virtual and unlimited" (Section 3): only a few are loaded in task
+// frames; the rest wait on queues in memory.
+type ThreadState uint8
+
+const (
+	ThreadReady ThreadState = iota
+	ThreadLoaded
+	ThreadBlocked // waiting on an unresolved future
+	ThreadDead
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case ThreadReady:
+		return "ready"
+	case ThreadLoaded:
+		return "loaded"
+	case ThreadBlocked:
+		return "blocked"
+	case ThreadDead:
+		return "dead"
+	}
+	return "?"
+}
+
+// Thread is a virtual thread: the register image plus runtime
+// bookkeeping. The register image lives here (Go-side) when unloaded;
+// stacks, TCBs, markers and all synchronization state live in simulated
+// memory so the full/empty machinery works exactly as in the paper.
+type Thread struct {
+	ID    int
+	State ThreadState
+
+	Regs [isa.NumFrameRegs]isa.Word
+	PC   uint32
+	NPC  uint32
+	PSR  core.PSR
+
+	// TCB and stack in simulated memory (0 = not yet assigned; stacks
+	// and TCBs are allocated lazily when the thread first runs so that
+	// queued-but-never-started tasks cost nothing).
+	TCB      uint32
+	StackLow uint32 // lowest usable stack address
+	StackTop uint32 // initial SP (stack grows down from here)
+
+	// Future is the future object this thread resolves when its thunk
+	// returns (eager task creation). Zero for the main thread and for
+	// stolen continuations, which resolve futures through markers.
+	Future isa.Word
+
+	// Home is the node whose ready queue the thread prefers.
+	Home int
+}
+
+// HasStack reports whether the thread has been given its stack and TCB.
+func (t *Thread) HasStack() bool { return t.StackTop != 0 }
+
+// InitTCB writes a fresh thread control block at addr.
+func InitTCB(m *mem.Memory, addr uint32, id int) {
+	m.MustStore(addr+abi.TCBLockOff, 0)
+	m.MustSetFE(addr+abi.TCBLockOff, true)
+	deque := addr + abi.TCBDequeOff
+	m.MustStore(addr+abi.TCBTopOff, isa.Word(deque))
+	m.MustStore(addr+abi.TCBBotOff, isa.Word(deque))
+	m.MustStore(addr+abi.TCBIDOff, isa.MakeFixnum(int32(id)))
+}
+
+// DequeBounds reads a thread's marker deque pointers from memory.
+func DequeBounds(m *mem.Memory, tcb uint32) (bot, top uint32) {
+	return uint32(m.MustLoad(tcb + abi.TCBBotOff)), uint32(m.MustLoad(tcb + abi.TCBTopOff))
+}
+
+// chunkAlloc hands out chunks of simulated memory from a region. It is
+// shared by all nodes (the simulator runs nodes in lockstep, so no
+// locking is needed).
+type chunkAlloc struct {
+	arena *mem.Arena
+	what  string
+}
+
+func (c *chunkAlloc) alloc(n uint32) (uint32, error) {
+	addr := c.arena.Alloc(n)
+	if addr == 0 {
+		return 0, fmt.Errorf("rts: out of %s memory (requested %d bytes, %d left); raise Config.MemoryBytes", c.what, n, c.arena.Remaining())
+	}
+	return addr, nil
+}

@@ -1,0 +1,620 @@
+package sim
+
+import (
+	"fmt"
+
+	"april/internal/cache"
+	"april/internal/directory"
+	"april/internal/isa"
+	"april/internal/mem"
+	"april/internal/network"
+	"april/internal/proc"
+)
+
+// AlewifeConfig enables the full ALEWIFE memory system: per-node
+// caches kept strongly coherent by full-map directories over the
+// packet-switched network. Remote misses trap the processor (forcing a
+// context switch); local misses hold it for the memory latency
+// (Section 2.1).
+type AlewifeConfig struct {
+	Cache      cache.Config     // zero value -> Table 4 default (64 KB, 16 B blocks)
+	MemLatency int              // DRAM access, default 10 cycles (Table 4)
+	Geometry   network.Geometry // zero -> fitted to the node count
+	IdealNet   bool             // constant-latency network instead of the torus
+	IdealLat   int              // one-way latency for IdealNet
+
+	// PollCycles is the MHOLD retry interval for wait-on-miss flavors.
+	PollCycles int
+}
+
+func (a *AlewifeConfig) fill(nodes int) error {
+	if a.Cache == (cache.Config{}) {
+		a.Cache = cache.DefaultConfig()
+	}
+	if err := a.Cache.Validate(); err != nil {
+		return err
+	}
+	if a.MemLatency <= 0 {
+		a.MemLatency = 10
+	}
+	if a.Geometry == (network.Geometry{}) {
+		a.Geometry = network.FitGeometry(nodes)
+	}
+	if a.Geometry.Nodes() < nodes {
+		return fmt.Errorf("sim: geometry %+v covers %d nodes, need %d", a.Geometry, a.Geometry.Nodes(), nodes)
+	}
+	if a.IdealLat <= 0 {
+		a.IdealLat = 10
+	}
+	if a.PollCycles <= 0 {
+		a.PollCycles = 4
+	}
+	return nil
+}
+
+// netFabric owns the interconnect and the per-node cache controllers.
+type netFabric struct {
+	m    *Machine
+	cfg  *AlewifeConfig
+	net  network.Network
+	ctls []*cacheCtl
+	dist mem.Distribution
+	now  uint64
+}
+
+func (m *Machine) initAlewife() error {
+	cfg := m.Cfg.Alewife
+	if err := cfg.fill(m.Cfg.Nodes); err != nil {
+		return err
+	}
+	var net network.Network
+	if cfg.IdealNet {
+		net = network.NewIdeal(cfg.Geometry.Nodes(), cfg.IdealLat)
+	} else {
+		t, err := network.NewTorus(cfg.Geometry)
+		if err != nil {
+			return err
+		}
+		net = t
+	}
+	m.net = &netFabric{
+		m:    m,
+		cfg:  cfg,
+		net:  net,
+		dist: mem.Distribution{Nodes: m.Cfg.Nodes, BlockSize: cfg.Cache.BlockBytes},
+	}
+	return nil
+}
+
+func (m *Machine) newCachePort(node int) proc.MemPort {
+	f := m.net
+	c, err := cache.New(f.cfg.Cache)
+	if err != nil {
+		panic(err) // config validated in initAlewife
+	}
+	prof := m.Cfg.Profile
+	ctl := &cacheCtl{
+		node:       node,
+		fabric:     f,
+		cache:      c,
+		dir:        directory.New(),
+		pending:    map[uint32]*missState{},
+		homeTx:     map[uint32]*homeTx{},
+		locked:     map[uint32]uint64{},
+		lockWindow: uint64(4*prof.Frames*(prof.SwitchCycles+prof.TrapEntry) + 64),
+	}
+	f.ctls = append(f.ctls, ctl)
+	return ctl
+}
+
+// tick advances the interconnect one cycle and runs the controllers'
+// message handling.
+func (f *netFabric) tick() {
+	f.now++
+	f.net.Tick()
+	for node, ctl := range f.ctls {
+		for _, nm := range f.net.Deliveries(node) {
+			msg := nm.Payload.(directory.Msg)
+			ctl.handle(msg)
+		}
+	}
+	for _, ctl := range f.ctls {
+		ctl.processRecalls()
+		ctl.flushOutbox()
+	}
+}
+
+// missState tracks a requester-side outstanding transaction.
+type missState struct {
+	write bool
+	start uint64
+
+	// poisoned marks that a recall (Inv/Fetch) arrived while this miss
+	// was outstanding. The recall may have crossed our grant in the
+	// network, so the arriving Data/DataEx is stale and must be
+	// dropped (the access re-requests). Without this a crossing recall
+	// leaves two exclusive copies; acknowledging it immediately (rather
+	// than deferring) avoids deadlock when our own request is still
+	// queued at the home behind the recalling transaction.
+	poisoned bool
+}
+
+// homeTx tracks a home-side multi-party transaction.
+type homeTx struct {
+	write     bool
+	requester int
+	acksLeft  int
+	queued    []directory.Msg
+}
+
+// CtlStats aggregates one controller's behavior.
+type CtlStats struct {
+	LocalMisses   uint64
+	RemoteMisses  uint64
+	RemoteLatency uint64 // summed cycles from request to data arrival
+	Upgrades      uint64
+}
+
+// cacheCtl is the per-node cache and directory controller; it
+// implements proc.MemPort.
+type cacheCtl struct {
+	node   int
+	fabric *netFabric
+	cache  *cache.Cache
+	dir    *directory.Directory
+
+	pending map[uint32]*missState
+	homeTx  map[uint32]*homeTx
+	outbox  []outMsg
+	fence   int // outstanding flush writebacks (Section 3.4)
+
+	// locked implements the anti-"cache tag" interlock of Section 3.1:
+	// a freshly installed line is protected from recalls until the
+	// local processor completes one access to it (or lockWindow cycles
+	// pass), guaranteeing forward progress when nodes ping-pong a
+	// block. The window must exceed a switch-spinning thread's retry
+	// period — all resident frames rotating through context switches —
+	// or every line is stolen before its requester returns.
+	locked     map[uint32]uint64 // block -> protection expiry cycle
+	lockWindow uint64
+	recallQ    []pendingRecall // recalls deferred by the interlock or a miss
+
+	Stats CtlStats
+}
+
+// pendingRecall is a recall waiting for the interlock to release or
+// for an in-flight grant to land (bounded by deadline).
+type pendingRecall struct {
+	msg      directory.Msg
+	deadline uint64
+}
+
+// recallWait bounds how long a recall waits for a crossing grant
+// before assuming the request is merely queued at the home.
+const recallWait = 160
+
+type outMsg struct {
+	msg     directory.Msg
+	dst     int
+	readyAt uint64
+}
+
+func (c *cacheCtl) send(dst int, msg directory.Msg, delay int) {
+	msg.From = c.node
+	c.outbox = append(c.outbox, outMsg{msg: msg, dst: dst, readyAt: c.fabric.now + uint64(delay)})
+}
+
+func (c *cacheCtl) flushOutbox() {
+	// Handling a local delivery may append fresh messages to c.outbox;
+	// take ownership of the current batch first so they are not lost
+	// (they go out on the next cycle, like a real controller pipeline).
+	box := c.outbox
+	c.outbox = nil
+	var keep []outMsg
+	for _, om := range box {
+		if om.readyAt > c.fabric.now {
+			keep = append(keep, om)
+			continue
+		}
+		if om.dst == c.node {
+			// Local delivery (home == requester side-channel).
+			c.handle(om.msg)
+			continue
+		}
+		c.fabric.net.Send(&network.Message{
+			Src:     c.node,
+			Dst:     om.dst,
+			Size:    om.msg.Size(c.fabric.cfg.Cache.BlockBytes),
+			Payload: om.msg,
+		})
+	}
+	c.outbox = append(c.outbox, keep...)
+}
+
+func (c *cacheCtl) mem() *mem.Memory { return c.fabric.m.Mem }
+
+func (c *cacheCtl) blockOf(addr uint32) uint32 { return addr / c.fabric.cfg.Cache.BlockBytes }
+
+// Access implements proc.MemPort.
+func (c *cacheCtl) Access(addr uint32, f isa.MemFlavor, store bool, value isa.Word) (proc.MemResult, error) {
+	needWrite := store || f.ResetFE || f.SetFE
+	block := c.blockOf(addr)
+
+	if st, hit := c.cache.Lookup(block); hit && (st == cache.Exclusive || !needWrite) {
+		res, err := proc.FEAccess(c.mem(), addr, f, store, value)
+		if err == nil && res.Outcome == proc.OK && needWrite {
+			c.cache.MarkDirty(block)
+		}
+		if err == nil {
+			// One access completed: release the interlock.
+			delete(c.locked, block)
+		}
+		return res, err
+	}
+
+	// Miss (or upgrade). An outstanding transaction for this block?
+	if _, busy := c.pending[block]; busy {
+		return c.missResult(f), nil
+	}
+
+	home := c.fabric.dist.Home(addr)
+	if home == c.node {
+		if stall, ok := c.tryLocal(block, needWrite); ok {
+			res, err := proc.FEAccess(c.mem(), addr, f, store, value)
+			res.Stall += stall
+			if err == nil && res.Outcome == proc.OK && needWrite {
+				c.cache.MarkDirty(block)
+			}
+			c.Stats.LocalMisses++
+			return res, err
+		}
+		// Home here, but third parties hold the block: run the home
+		// transaction against ourselves as requester.
+		c.pending[block] = &missState{write: needWrite, start: c.fabric.now}
+		kind := directory.ReadReq
+		if needWrite {
+			kind = directory.WriteReq
+		}
+		c.homeRequest(directory.Msg{Kind: kind, Block: block, From: c.node})
+		return c.missResult(f), nil
+	}
+
+	// Remote home: issue the request.
+	c.pending[block] = &missState{write: needWrite, start: c.fabric.now}
+	kind := directory.ReadReq
+	if needWrite {
+		kind = directory.WriteReq
+	}
+	c.send(home, directory.Msg{Kind: kind, Block: block}, 0)
+	return c.missResult(f), nil
+}
+
+// missResult is the reply while a transaction is outstanding: trap
+// flavors force a context switch; wait flavors hold the processor.
+func (c *cacheCtl) missResult(f isa.MemFlavor) proc.MemResult {
+	if f.WaitOnMiss {
+		return proc.MemResult{Outcome: proc.OK, Retry: true, Stall: c.fabric.cfg.PollCycles}
+	}
+	return proc.MemResult{Outcome: proc.RemoteMiss}
+}
+
+// tryLocal satisfies a home-node miss without the network when the
+// directory permits: nobody else holds the block (or only we do).
+func (c *cacheCtl) tryLocal(block uint32, write bool) (stall int, ok bool) {
+	if _, busy := c.homeTx[block]; busy {
+		return 0, false
+	}
+	e := c.dir.Entry(block)
+	self := c.node
+	switch e.State {
+	case directory.Uncached:
+	case directory.Shared:
+		if write {
+			others := 0
+			e.Sharers.ForEach(func(n int) {
+				if n != self {
+					others++
+				}
+			})
+			if others > 0 {
+				return 0, false
+			}
+		}
+	case directory.Exclusive:
+		if e.Owner != self {
+			return 0, false
+		}
+	}
+	if write {
+		e.State = directory.Exclusive
+		e.Owner = self
+		e.Sharers.Clear()
+	} else {
+		if e.State != directory.Shared {
+			e.State = directory.Shared
+			e.Owner = -1
+		}
+		e.Sharers.Add(self)
+	}
+	c.install(block, write)
+	return c.fabric.cfg.MemLatency, true
+}
+
+// install puts the block in the cache, handling the victim's protocol
+// obligations.
+func (c *cacheCtl) install(block uint32, write bool) {
+	st := cache.Shared
+	if write {
+		st = cache.Exclusive
+	}
+	victim, evicted := c.cache.Insert(block, st)
+	if !evicted {
+		return
+	}
+	if victim.State == cache.Exclusive {
+		// Notify the victim's home so the directory drops ownership.
+		vhome := c.fabric.dist.Home(victim.Block * c.fabric.cfg.Cache.BlockBytes)
+		c.send(vhome, directory.Msg{Kind: directory.WBNotify, Block: victim.Block}, 0)
+	}
+	// Shared victims are dropped silently; a later Inv to a non-holder
+	// is acknowledged harmlessly.
+}
+
+// handle processes one protocol message at this controller.
+func (c *cacheCtl) handle(msg directory.Msg) {
+	switch msg.Kind {
+	case directory.ReadReq, directory.WriteReq:
+		c.homeRequest(msg)
+
+	case directory.WBNotify, directory.FlushWB:
+		if tx, busy := c.homeTx[msg.Block]; busy {
+			_ = tx // a Fetch is in flight; the FetchAck path completes the tx
+		} else {
+			e := c.dir.Entry(msg.Block)
+			if e.State == directory.Exclusive && e.Owner == msg.From {
+				e.State = directory.Uncached
+				e.Owner = -1
+			}
+		}
+		c.dir.Writebacks++
+		if msg.Kind == directory.FlushWB {
+			c.send(msg.From, directory.Msg{Kind: directory.FlushAck, Block: msg.Block}, 0)
+		}
+
+	case directory.FlushAck:
+		if c.fence > 0 {
+			c.fence--
+		}
+
+	case directory.Inv, directory.Fetch:
+		c.handleRecall(msg)
+
+	case directory.InvAck, directory.FetchAck:
+		c.homeAck(msg)
+
+	case directory.Data, directory.DataEx:
+		ms := c.pending[msg.Block]
+		if ms == nil {
+			return // stale duplicate; drop
+		}
+		delete(c.pending, msg.Block)
+		c.Stats.RemoteMisses++
+		c.Stats.RemoteLatency += c.fabric.now - ms.start
+		if ms.poisoned {
+			// A recall crossed this grant: the copy is already claimed
+			// by a newer transaction. Drop it; the access re-requests
+			// when retried — the "cache tag" interaction of Section 3.1.
+			return
+		}
+		c.install(msg.Block, msg.Kind == directory.DataEx)
+		c.locked[msg.Block] = c.fabric.now + c.lockWindow
+		// Recalls that were waiting for this grant now queue behind the
+		// first-use interlock (processRecalls applies them).
+	}
+}
+
+// handleRecall routes an incoming Inv/Fetch:
+//
+//   - if a grant for the block may be in flight (miss pending, nothing
+//     cached), wait for it — bounded by recallWait in case the request
+//     is merely queued at the home — so the grant is not silently
+//     orphaned into a second exclusive copy;
+//   - if we still hold a copy, the recall applies to it now; a pending
+//     upgrade's grant is then stale, so poison it;
+//   - if the line is interlock-protected, wait for its first use
+//     (Section 3.1's forward-progress interlock).
+func (c *cacheCtl) handleRecall(msg directory.Msg) {
+	_, cached := c.cache.Probe(msg.Block)
+	if ms, busy := c.pending[msg.Block]; busy {
+		if !cached {
+			c.recallQ = append(c.recallQ, pendingRecall{msg: msg, deadline: c.fabric.now + recallWait})
+			return
+		}
+		ms.poisoned = true
+	}
+	if exp, held := c.locked[msg.Block]; held && c.fabric.now < exp {
+		c.recallQ = append(c.recallQ, pendingRecall{msg: msg, deadline: c.fabric.now + recallWait})
+		return
+	}
+	c.recall(msg)
+}
+
+// processRecalls retries deferred recalls once their reason to wait has
+// passed: the interlock released, the awaited grant arrived (the line
+// is now present and, once used, surrendered), or the deadline expired
+// (the "grant" was actually a queued request — ack now and poison).
+func (c *cacheCtl) processRecalls() {
+	if len(c.recallQ) == 0 {
+		return
+	}
+	q := c.recallQ
+	c.recallQ = nil
+	for _, pr := range q {
+		block := pr.msg.Block
+		if exp, held := c.locked[block]; held && c.fabric.now < exp {
+			c.recallQ = append(c.recallQ, pr)
+			continue
+		}
+		ms, busy := c.pending[block]
+		_, cached := c.cache.Probe(block)
+		if busy && !cached && c.fabric.now < pr.deadline {
+			c.recallQ = append(c.recallQ, pr)
+			continue
+		}
+		if busy {
+			ms.poisoned = true
+		}
+		c.recall(pr.msg)
+	}
+}
+
+// recall services an Inv or Fetch against the local cache and
+// acknowledges the home.
+func (c *cacheCtl) recall(msg directory.Msg) {
+	switch msg.Kind {
+	case directory.Inv:
+		c.cache.Invalidate(msg.Block)
+		c.send(msg.From, directory.Msg{Kind: directory.InvAck, Block: msg.Block, Requester: msg.Requester}, 0)
+	case directory.Fetch:
+		if msg.Write {
+			c.cache.Invalidate(msg.Block)
+		} else {
+			c.cache.SetState(msg.Block, cache.Shared)
+		}
+		c.send(msg.From, directory.Msg{Kind: directory.FetchAck, Block: msg.Block, Requester: msg.Requester}, 0)
+	}
+}
+
+// homeRequest runs the directory state machine for a request arriving
+// at this (home) node.
+func (c *cacheCtl) homeRequest(req directory.Msg) {
+	if tx, busy := c.homeTx[req.Block]; busy {
+		tx.queued = append(tx.queued, req)
+		return
+	}
+	e := c.dir.Entry(req.Block)
+	lat := c.fabric.cfg.MemLatency
+	write := req.Kind == directory.WriteReq
+
+	if !write {
+		c.dir.ReadMisses++
+		switch e.State {
+		case directory.Uncached, directory.Shared:
+			e.State = directory.Shared
+			e.Sharers.Add(req.From)
+			c.send(req.From, directory.Msg{Kind: directory.Data, Block: req.Block}, lat)
+		case directory.Exclusive:
+			if e.Owner == req.From {
+				// Owner lost its copy (silent race); re-grant.
+				c.send(req.From, directory.Msg{Kind: directory.DataEx, Block: req.Block}, lat)
+				return
+			}
+			c.dir.Fetches++
+			c.homeTx[req.Block] = &homeTx{write: false, requester: req.From, acksLeft: 1}
+			c.send(e.Owner, directory.Msg{Kind: directory.Fetch, Block: req.Block, Requester: req.From, Write: false}, 0)
+		}
+		return
+	}
+
+	c.dir.WriteMisses++
+	switch e.State {
+	case directory.Uncached:
+		e.State = directory.Exclusive
+		e.Owner = req.From
+		c.send(req.From, directory.Msg{Kind: directory.DataEx, Block: req.Block}, lat)
+	case directory.Shared:
+		var targets []int
+		e.Sharers.ForEach(func(n int) {
+			if n != req.From {
+				targets = append(targets, n)
+			}
+		})
+		if len(targets) == 0 {
+			e.State = directory.Exclusive
+			e.Owner = req.From
+			e.Sharers.Clear()
+			c.send(req.From, directory.Msg{Kind: directory.DataEx, Block: req.Block}, lat)
+			return
+		}
+		c.dir.InvalsSent += uint64(len(targets))
+		c.homeTx[req.Block] = &homeTx{write: true, requester: req.From, acksLeft: len(targets)}
+		for _, t := range targets {
+			c.send(t, directory.Msg{Kind: directory.Inv, Block: req.Block, Requester: req.From}, 0)
+		}
+	case directory.Exclusive:
+		if e.Owner == req.From {
+			c.send(req.From, directory.Msg{Kind: directory.DataEx, Block: req.Block}, lat)
+			return
+		}
+		c.dir.Fetches++
+		c.homeTx[req.Block] = &homeTx{write: true, requester: req.From, acksLeft: 1}
+		c.send(e.Owner, directory.Msg{Kind: directory.Fetch, Block: req.Block, Requester: req.From, Write: true}, 0)
+	}
+}
+
+// homeAck retires one acknowledgment of a pending home transaction and
+// completes it when all are in.
+func (c *cacheCtl) homeAck(msg directory.Msg) {
+	tx, busy := c.homeTx[msg.Block]
+	if !busy {
+		return
+	}
+	tx.acksLeft--
+	if tx.acksLeft > 0 {
+		return
+	}
+	delete(c.homeTx, msg.Block)
+	e := c.dir.Entry(msg.Block)
+	lat := c.fabric.cfg.MemLatency
+	if tx.write {
+		e.State = directory.Exclusive
+		e.Owner = tx.requester
+		e.Sharers.Clear()
+		c.send(tx.requester, directory.Msg{Kind: directory.DataEx, Block: msg.Block}, lat)
+	} else {
+		prevOwner := e.Owner
+		e.State = directory.Shared
+		e.Owner = -1
+		if prevOwner >= 0 {
+			e.Sharers.Add(prevOwner) // downgraded, keeps a read copy
+		}
+		e.Sharers.Add(tx.requester)
+		c.send(tx.requester, directory.Msg{Kind: directory.Data, Block: msg.Block}, lat)
+	}
+	// Serve queued requests in arrival order.
+	queued := tx.queued
+	for _, q := range queued {
+		c.homeRequest(q)
+	}
+}
+
+// Flush implements proc.MemPort: software-enforced writeback and
+// invalidation (Section 3.4). Dirty lines raise the fence counter
+// until the home acknowledges.
+func (c *cacheCtl) Flush(addr uint32) int {
+	block := c.blockOf(addr)
+	dirty, present := c.cache.Invalidate(block)
+	if !present {
+		return 1
+	}
+	home := c.fabric.dist.Home(addr)
+	if dirty {
+		c.fence++
+		if home == c.node {
+			e := c.dir.Entry(block)
+			if e.State == directory.Exclusive && e.Owner == c.node {
+				e.State = directory.Uncached
+				e.Owner = -1
+			}
+			c.fence--
+			return c.fabric.cfg.MemLatency
+		}
+		c.send(home, directory.Msg{Kind: directory.FlushWB, Block: block}, 0)
+	}
+	return 1
+}
+
+// Fence reports the outstanding flush count (read through LDIO).
+func (c *cacheCtl) Fence() int { return c.fence }
+
+var _ proc.MemPort = (*cacheCtl)(nil)

@@ -1,0 +1,251 @@
+// Package sim wires the full machine together — processors (package
+// proc) over the multithreading engine (core), the run-time system
+// (rts), and optionally the ALEWIFE memory system (cache + directory +
+// network) — and drives all nodes in lockstep, one cycle at a time, as
+// the paper's simulator does (Figure 4).
+//
+// Two memory configurations mirror the paper's methodology:
+//
+//   - Perfect memory (Alewife == nil): no cache or network, every
+//     access completes immediately. "Measurements for multiple
+//     processor executions on APRIL used the processor simulator
+//     without the cache and network simulators, in effect simulating a
+//     shared-memory machine with no memory latency" (Section 7). Table
+//     3 is reproduced in this mode.
+//
+//   - ALEWIFE mode: per-node caches kept coherent by a full-map
+//     directory over a k-ary n-cube network; remote misses force
+//     context switches. Used for the Section 8 model validation.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"april/internal/abi"
+	"april/internal/core"
+	"april/internal/heap"
+	"april/internal/isa"
+	"april/internal/mem"
+	"april/internal/proc"
+	"april/internal/rts"
+)
+
+// Config describes a machine.
+type Config struct {
+	Nodes       int
+	Profile     rts.Profile
+	Lazy        bool   // lazy task creation
+	MemoryBytes uint32 // simulated physical memory (default 256 MB)
+	MaxCycles   uint64 // simulation budget (default 4e9)
+	Out         io.Writer
+
+	// Alewife enables the full memory system; nil = perfect memory.
+	Alewife *AlewifeConfig
+}
+
+// ErrDeadlock is returned when the machine stops making progress.
+var ErrDeadlock = errors.New("sim: deadlock (no instruction retired for a long time)")
+
+// Node is one ALEWIFE node: processor + runtime (+ cache controller in
+// ALEWIFE mode).
+type Node struct {
+	Proc *proc.Processor
+	RT   *rts.NodeRT
+	busy int
+
+	cache *cacheCtl // nil in perfect-memory mode
+}
+
+// Machine is a configured multiprocessor.
+type Machine struct {
+	Cfg    Config
+	Mem    *mem.Memory
+	Layout mem.Layout
+	Sched  *rts.Scheduler
+	Nodes  []*Node
+
+	staticHeap *heap.Heap
+	net        *netFabric // nil in perfect-memory mode
+	now        uint64
+	loaded     bool
+}
+
+// New builds a machine. Compile programs against StaticHeap(), then
+// Load and Run.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.MemoryBytes == 0 {
+		cfg.MemoryBytes = 256 << 20
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 4_000_000_000
+	}
+	if cfg.Profile.Frames <= 0 {
+		return nil, fmt.Errorf("sim: profile %q has no task frames", cfg.Profile.Name)
+	}
+	m := &Machine{Cfg: cfg}
+	m.Mem = mem.New(cfg.MemoryBytes)
+	m.Layout = mem.DefaultLayout(cfg.MemoryBytes)
+	if err := m.Layout.Validate(); err != nil {
+		return nil, err
+	}
+	m.staticHeap = heap.New(m.Mem, mem.NewArena(m.Layout.StaticBase, m.Layout.StaticEnd))
+
+	stackArena := mem.NewArena(m.Layout.StackBase, m.Layout.StackEnd)
+	heapArena := mem.NewArena(m.Layout.HeapStart, m.Layout.End)
+	prof := cfg.Profile
+	m.Sched = rts.NewScheduler(m.Mem, &prof, cfg.Lazy, cfg.Nodes, stackArena, heapArena, cfg.Out)
+
+	if cfg.Alewife != nil {
+		if err := m.initAlewife(); err != nil {
+			return nil, err
+		}
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		engine := core.NewEngine(prof.Frames, prof.SwitchCycles)
+		nrt, err := rts.NewNodeRT(m.Sched, i)
+		if err != nil {
+			return nil, err
+		}
+		var port proc.MemPort = &proc.PerfectPort{Mem: m.Mem}
+		if cfg.Alewife != nil {
+			port = m.newCachePort(i)
+		}
+		p := proc.New(i, engine, nil, port)
+		p.Handler = nrt
+		node := &Node{Proc: p, RT: nrt}
+		if cp, ok := port.(*cacheCtl); ok {
+			node.cache = cp
+		}
+		p.IO = &ioCtl{m: m, node: i, ctl: node.cache}
+		m.Nodes = append(m.Nodes, node)
+
+		// Initialize the per-processor global registers: allocation
+		// chunk and node id.
+		base, limit, err := m.Sched.HeapChunk(0)
+		if err != nil {
+			return nil, err
+		}
+		engine.Globals[isa.GAllocPtr-isa.NumFrameRegs] = isa.Word(base)
+		engine.Globals[isa.GAllocLimit-isa.NumFrameRegs] = isa.Word(limit)
+		engine.Globals[isa.GSelf-isa.NumFrameRegs] = isa.MakeFixnum(int32(i))
+	}
+	return m, nil
+}
+
+// StaticHeap is where the compiler places quoted data and globals.
+func (m *Machine) StaticHeap() *heap.Heap { return m.staticHeap }
+
+// Load installs the program and creates the main thread on node 0.
+func (m *Machine) Load(prog *isa.Program) error {
+	taskExit, ok1 := prog.Symbols[abi.SymTaskExit]
+	mainExit, ok2 := prog.Symbols[abi.SymMainExit]
+	if !ok1 || !ok2 {
+		return fmt.Errorf("sim: program lacks runtime stubs (%s/%s)", abi.SymTaskExit, abi.SymMainExit)
+	}
+	m.Sched.TaskExitPC = taskExit
+	m.Sched.MainExitPC = mainExit
+	for _, n := range m.Nodes {
+		n.Proc.Prog = prog
+	}
+	main := m.Sched.NewThread(0)
+	main.PC = prog.Entry
+	main.NPC = prog.Entry + 1
+	main.Regs[isa.RLink] = isa.MakeFixnum(int32(mainExit))
+	if m.Cfg.Profile.HardwareFutures {
+		main.PSR = core.PSRFutureTrap
+	}
+	m.Sched.PushReady(main)
+	m.loaded = true
+	return nil
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Cycles    uint64
+	Value     isa.Word
+	Formatted string
+}
+
+// Run drives the machine until the main thread exits.
+func (m *Machine) Run() (Result, error) {
+	if !m.loaded {
+		return Result{}, errors.New("sim: no program loaded")
+	}
+	var lastInstr uint64
+	var lastChange uint64
+	for !m.Sched.MainDone {
+		if m.now >= m.Cfg.MaxCycles {
+			return Result{}, fmt.Errorf("sim: exceeded cycle budget %d", m.Cfg.MaxCycles)
+		}
+		for _, n := range m.Nodes {
+			if n.busy > 0 {
+				n.busy--
+				continue
+			}
+			c, err := n.Proc.Step()
+			if err != nil {
+				return Result{}, fmt.Errorf("cycle %d node %d: %w", m.now, n.Proc.ID, err)
+			}
+			if c > 1 {
+				n.busy = c - 1
+			}
+			if m.Sched.MainDone {
+				break
+			}
+		}
+		if m.net != nil {
+			m.net.tick()
+		}
+		m.now++
+
+		// Deadlock detection: no instruction retired machine-wide for
+		// a long stretch.
+		if m.now%8192 == 0 {
+			var total uint64
+			for _, n := range m.Nodes {
+				total += n.Proc.Stats.Instructions
+			}
+			if total != lastInstr {
+				lastInstr = total
+				lastChange = m.now
+			} else if m.now-lastChange > 3_000_000 {
+				return Result{}, fmt.Errorf("%w: %d threads live, %d ready, %d blocked",
+					ErrDeadlock, m.Sched.LiveThreads(), m.Sched.ReadyCount(), m.Sched.BlockedCount())
+			}
+		}
+	}
+	v := m.Sched.MainResult
+	return Result{
+		Cycles:    m.now,
+		Value:     v,
+		Formatted: m.Nodes[0].RT.Heap.Format(v),
+	}, nil
+}
+
+// Now returns the current simulated cycle.
+func (m *Machine) Now() uint64 { return m.now }
+
+// TotalStats sums the processor statistics across nodes.
+func (m *Machine) TotalStats() proc.Stats {
+	var s proc.Stats
+	for _, n := range m.Nodes {
+		ns := n.Proc.Stats
+		s.Instructions += ns.Instructions
+		s.UsefulCycles += ns.UsefulCycles
+		s.WaitCycles += ns.WaitCycles
+		s.TrapCycles += ns.TrapCycles
+		s.IdleCycles += ns.IdleCycles
+		s.LoadCount += ns.LoadCount
+		s.StoreCount += ns.StoreCount
+		for i := range ns.Traps {
+			s.Traps[i] += ns.Traps[i]
+		}
+	}
+	return s
+}
