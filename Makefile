@@ -1,0 +1,26 @@
+# Development targets. `make verify` is the full gate: build, vet, and
+# the test suite under the race detector — the detector matters because
+# the experiment harness fans simulator machines across goroutines.
+
+GO ?= go
+
+.PHONY: all build test verify bench perf
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+verify:
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx .
+
+# Measure simulator throughput (reference loop vs fast-forward +
+# parallel harness) on the full Table 3 grid; writes BENCH_simperf.json.
+perf:
+	$(GO) run ./cmd/april-bench -sizes paper -perf

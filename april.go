@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"april/internal/abi"
 	"april/internal/bench"
@@ -30,6 +31,7 @@ import (
 	"april/internal/isa"
 	"april/internal/model"
 	"april/internal/mult"
+	"april/internal/proc"
 	"april/internal/rts"
 	"april/internal/sim"
 	"april/internal/workload"
@@ -136,10 +138,18 @@ type Result struct {
 	// CacheMissTraps counts controller-forced context switches
 	// (ALEWIFE mode).
 	CacheMissTraps uint64
+	// Perf is the host-side throughput of this run (simulated
+	// cycles/sec, MIPS, wall time). It describes the simulator, not the
+	// simulated machine, and varies run to run.
+	Perf RunPerf
 }
+
+// RunPerf reports host-side simulator throughput for a run or a grid.
+type RunPerf = proc.Perf
 
 // Run compiles and executes a Mul-T mini program.
 func Run(source string, o Options) (Result, error) {
+	start := time.Now()
 	m, _, err := o.build()
 	if err != nil {
 		return Result{}, err
@@ -172,6 +182,7 @@ func Run(source string, o Options) (Result, error) {
 		TouchesResolved:   s.TouchesResolved,
 		TouchesUnresolved: s.TouchesUnresolved,
 		CacheMissTraps:    stats.Traps[core.TrapCacheMiss],
+		Perf:              proc.NewPerf(res.Cycles, stats.Instructions, time.Since(start)),
 	}, nil
 }
 
@@ -193,6 +204,7 @@ func Interpret(source string, output io.Writer) (string, error) {
 // simply return through r5 or end with "trap 1" (main exit, value in
 // r8).
 func RunAssembly(source string, o Options) (Result, error) {
+	start := time.Now()
 	m, _, err := o.build()
 	if err != nil {
 		return Result{}, err
@@ -223,6 +235,7 @@ func RunAssembly(source string, o Options) (Result, error) {
 		Cycles:       res.Cycles,
 		Instructions: stats.Instructions,
 		Utilization:  stats.Utilization(),
+		Perf:         proc.NewPerf(res.Cycles, stats.Instructions, time.Since(start)),
 	}, nil
 }
 
@@ -293,8 +306,21 @@ func DefaultTable3Config() Table3Config { return bench.DefaultTable3Config() }
 
 // Table3 regenerates Table 3 (execution times of fib, factor, queens
 // and speech across Encore / APRIL / APRIL-lazy, normalized to
-// sequential T).
+// sequential T). The grid's independent runs fan across host cores
+// (Table3Config.Workers); simulated results are identical at any
+// worker count.
 func Table3(cfg Table3Config) ([]Table3Row, error) { return bench.Table3(cfg) }
+
+// PerfReport is the before/after simulator-throughput comparison that
+// april-bench -perf writes to BENCH_simperf.json.
+type PerfReport = bench.PerfReport
+
+// Table3Perf runs the full Table 3 grid twice — reference per-cycle
+// loop on one worker, then fast-forward on cfg.Workers workers — and
+// reports the host-side speedup plus a bit-identity cross-check.
+func Table3Perf(cfg Table3Config, sizesName string) (PerfReport, error) {
+	return bench.Table3Perf(cfg, sizesName)
+}
 
 // FormatTable3 renders rows in the paper's layout.
 func FormatTable3(rows []Table3Row, procs []int) string { return bench.FormatTable(rows, procs) }

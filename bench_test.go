@@ -15,6 +15,22 @@ import (
 	"april/internal/network"
 )
 
+// reportSimThroughput adds host-side simulator speed to a simulation
+// benchmark: simulated cycles (and, when known, retired instructions)
+// per wall-clock second over the whole measurement loop, so
+// `go test -bench` output is self-describing about how fast the
+// simulator itself runs.
+func reportSimThroughput(b *testing.B, perIterCycles, perIterInstructions uint64) {
+	s := b.Elapsed().Seconds()
+	if s <= 0 {
+		return
+	}
+	b.ReportMetric(float64(perIterCycles)*float64(b.N)/s, "sim-cycles/sec")
+	if perIterInstructions > 0 {
+		b.ReportMetric(float64(perIterInstructions)*float64(b.N)/s/1e6, "sim-MIPS")
+	}
+}
+
 // --- E2: Table 3 ---
 
 func benchTable3(b *testing.B, program string, machine april.MachineType, lazy bool, procs int) {
@@ -23,7 +39,7 @@ func benchTable3(b *testing.B, program string, machine april.MachineType, lazy b
 	if err != nil {
 		b.Fatal(err)
 	}
-	var cycles uint64
+	var cycles, instructions uint64
 	for i := 0; i < b.N; i++ {
 		res, err := april.Run(src, april.Options{
 			Machine:     machine,
@@ -34,9 +50,11 @@ func benchTable3(b *testing.B, program string, machine april.MachineType, lazy b
 			b.Fatal(err)
 		}
 		cycles = res.Cycles
+		instructions = res.Instructions
 	}
 	b.ReportMetric(float64(cycles), "sim-cycles")
 	b.ReportMetric(float64(cycles)/float64(seq.Cycles), "vs-T-seq")
+	reportSimThroughput(b, cycles, instructions)
 }
 
 func BenchmarkTable3(b *testing.B) {
@@ -95,7 +113,7 @@ func BenchmarkContextSwitchSweep(b *testing.B) {
 	src := april.BenchmarkSource("fib", april.TestSizes)
 	for _, mt := range []april.MachineType{april.APRIL, april.APRILCustom} {
 		b.Run(string(mt), func(b *testing.B) {
-			var cycles uint64
+			var cycles, instructions uint64
 			for i := 0; i < b.N; i++ {
 				res, err := april.Run(src, april.Options{
 					Machine: mt, LazyFutures: true, Processors: 4,
@@ -104,8 +122,10 @@ func BenchmarkContextSwitchSweep(b *testing.B) {
 					b.Fatal(err)
 				}
 				cycles = res.Cycles
+				instructions = res.Instructions
 			}
 			b.ReportMetric(float64(cycles), "sim-cycles")
+			reportSimThroughput(b, cycles, instructions)
 		})
 	}
 }
@@ -202,7 +222,7 @@ func BenchmarkNetworkLatency(b *testing.B) {
 
 func BenchmarkAlewifeFib(b *testing.B) {
 	src := april.BenchmarkSource("fib", april.TestSizes)
-	var cycles uint64
+	var cycles, instructions uint64
 	var misses uint64
 	for i := 0; i < b.N; i++ {
 		res, err := april.Run(src, april.Options{
@@ -213,10 +233,12 @@ func BenchmarkAlewifeFib(b *testing.B) {
 			b.Fatal(err)
 		}
 		cycles = res.Cycles
+		instructions = res.Instructions
 		misses = res.CacheMissTraps
 	}
 	b.ReportMetric(float64(cycles), "sim-cycles")
 	b.ReportMetric(float64(misses), "remote-miss-traps")
+	reportSimThroughput(b, cycles, instructions)
 }
 
 // --- E9: utilization vs hardware task frames, end to end ---
@@ -233,4 +255,9 @@ func BenchmarkFramesSweep(b *testing.B) {
 	}
 	b.ReportMetric(pts[0].Utilization, "U(1-frame)")
 	b.ReportMetric(pts[len(pts)-1].Utilization, "U(4-frames)")
+	var sweepCycles uint64
+	for _, pt := range pts {
+		sweepCycles += pt.Cycles * uint64(cfg.Nodes)
+	}
+	reportSimThroughput(b, sweepCycles, 0)
 }

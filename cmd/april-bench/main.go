@@ -2,6 +2,11 @@
 // execution times of fib, factor, queens and speech on the Encore
 // Multimax baseline and on APRIL with normal and lazy task creation,
 // at 1-16 processors.
+//
+// The grid's independent runs are fanned across host cores (-workers);
+// -perf runs the whole grid twice — reference per-cycle loop on one
+// worker vs. fast-forward on all workers — and writes the throughput
+// comparison to BENCH_simperf.json.
 package main
 
 import (
@@ -18,11 +23,17 @@ func main() {
 		sizes   = flag.String("sizes", "paper", "workload scale: paper | test")
 		verbose = flag.Bool("v", false, "log each measurement as it completes")
 		frames  = flag.Bool("frames", false, "run the task-frame ablation (E9) instead of Table 3")
+		workers = flag.Int("workers", 0, "parallel host workers (0 = one per core)")
+		naive   = flag.Bool("naive", false, "use the reference per-cycle loop (no fast-forward)")
+		perf    = flag.Bool("perf", false, "measure simulator throughput (naive/serial vs fast/parallel) and write BENCH_simperf.json")
+		perfOut = flag.String("perf-out", "BENCH_simperf.json", "output path for -perf")
 	)
 	flag.Parse()
 
 	if *frames {
-		pts, err := april.FramesSweep(april.DefaultFramesSweep())
+		cfg := april.DefaultFramesSweep()
+		cfg.Workers = *workers
+		pts, err := april.FramesSweep(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "april-bench:", err)
 			os.Exit(1)
@@ -48,7 +59,31 @@ func main() {
 		log = os.Stderr
 	}
 	cfg.Verbose = log
+	cfg.Workers = *workers
+	cfg.Naive = *naive
 
+	if *perf {
+		rep, err := april.Table3Perf(cfg, *sizes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "april-bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*perfOut, rep.JSON(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "april-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Simulator throughput on the full Table 3 grid (-sizes %s):\n  %s\n", *sizes, rep.Summary())
+		fmt.Printf("  baseline : %s\n  optimized: %s\n", rep.Baseline, rep.Optimized)
+		fmt.Println("written to", *perfOut)
+		if !rep.RowsIdentical {
+			fmt.Fprintln(os.Stderr, "april-bench: simulated results differ between loops")
+			os.Exit(1)
+		}
+		return
+	}
+
+	var gridPerf april.RunPerf
+	cfg.Perf = &gridPerf
 	rows, err := april.Table3(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "april-bench:", err)
@@ -59,4 +94,7 @@ func main() {
 	fmt.Println(" Mul-T seq overhead ~1.4-2.0x on Encore, ~1.0 on APRIL)")
 	fmt.Println()
 	fmt.Print(april.FormatTable3(rows, cfg.AprilProcs))
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "grid throughput: %s\n", gridPerf)
+	}
 }

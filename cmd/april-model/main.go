@@ -22,6 +22,7 @@ func main() {
 		sweepC   = flag.Bool("sweepC", false, "sweep the context switch cost (Section 6.1 ablation)")
 		validate = flag.Bool("validate", false, "validate the model's m(p)/T(p) assumptions by simulation (E6)")
 		maxP     = flag.Int("p", 8, "maximum resident threads")
+		workers  = flag.Int("workers", 0, "parallel host workers for -validate (0 = one per core)")
 
 		switchCost = flag.Float64("C", 10, "context switch overhead in cycles")
 		fixedMiss  = flag.Float64("miss", 0.02, "fixed miss rate per cycle")
@@ -55,7 +56,7 @@ func main() {
 	}
 	if *validate {
 		ran = true
-		if err := printValidation(); err != nil {
+		if err := printValidation(*workers); err != nil {
 			fmt.Fprintln(os.Stderr, "april-model:", err)
 			os.Exit(1)
 		}
@@ -98,8 +99,9 @@ func printSweepC(params april.ModelParams, maxP int) {
 	}
 }
 
-func printValidation() error {
+func printValidation(workers int) error {
 	cfg := april.DefaultValidationConfig()
+	cfg.Workers = workers
 	fmt.Printf("\nE6: measured m(p), T(p), U(p) on the cache+directory+network simulator\n")
 	fmt.Printf("(%d nodes, %d KB caches, %d-block working sets)\n\n",
 		cfg.Nodes, cfg.CacheBytes>>10, cfg.WorkingSetBlocks)

@@ -32,22 +32,22 @@ func TestBenchmarkProgramsCorrect(t *testing.T) {
 				{HardwareFutures: true, Sequential: true},
 				{HardwareFutures: su.mode.HardwareFutures, Sequential: true},
 			} {
-				_, got, err := runOnce(src, mode, su.prof, false, 1)
+				out, err := runOnce(src, mode, su.prof, false, 1, false)
 				if err != nil {
 					t.Fatalf("%s/%s seq: %v", name, su.sys, err)
 				}
-				if got != ref {
-					t.Errorf("%s/%s seq: got %s, want %s", name, su.sys, got, ref)
+				if out.result != ref {
+					t.Errorf("%s/%s seq: got %s, want %s", name, su.sys, out.result, ref)
 				}
 			}
 			// Parallel at a couple of machine sizes.
 			for _, p := range []int{1, 4} {
-				_, got, err := runOnce(src, su.mode, su.prof, su.lazy, p)
+				out, err := runOnce(src, su.mode, su.prof, su.lazy, p, false)
 				if err != nil {
 					t.Fatalf("%s/%s %dp: %v", name, su.sys, p, err)
 				}
-				if got != ref {
-					t.Errorf("%s/%s %dp: got %s, want %s", name, su.sys, p, got, ref)
+				if out.result != ref {
+					t.Errorf("%s/%s %dp: got %s, want %s", name, su.sys, p, out.result, ref)
 				}
 			}
 		}

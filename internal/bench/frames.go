@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"april/internal/core"
+	"april/internal/harness"
 	"april/internal/mult"
 	"april/internal/rts"
 	"april/internal/sim"
@@ -30,6 +31,10 @@ type FramesSweepConfig struct {
 	Frames []int
 	FibN   int
 	Lazy   bool
+
+	// Workers bounds the host goroutines running sweep points in
+	// parallel; <= 0 means one per available host core.
+	Workers int
 }
 
 // DefaultFramesSweep runs fib on an 8-node machine at 1-8 frames.
@@ -42,12 +47,18 @@ func DefaultFramesSweep() FramesSweepConfig {
 	}
 }
 
-// FramesSweep runs the sweep.
+// FramesSweep runs the sweep. Each point is an independent machine, so
+// the points fan across host cores via the harness; the cross-check
+// that every frame count computes the same result happens afterwards,
+// in frame order.
 func FramesSweep(cfg FramesSweepConfig) ([]FramesPoint, error) {
 	src := FibSource(cfg.FibN)
-	var out []FramesPoint
-	var want string
-	for _, frames := range cfg.Frames {
+	type pointOut struct {
+		point  FramesPoint
+		result string
+	}
+	outs, err := harness.Map(cfg.Workers, len(cfg.Frames), func(i int) (pointOut, error) {
+		frames := cfg.Frames[i]
 		prof := rts.APRIL
 		prof.Frames = frames
 		m, err := sim.New(sim.Config{
@@ -57,37 +68,45 @@ func FramesSweep(cfg FramesSweepConfig) ([]FramesPoint, error) {
 			Alewife: &sim.AlewifeConfig{},
 		})
 		if err != nil {
-			return nil, err
+			return pointOut{}, err
 		}
 		mode := mult.Mode{HardwareFutures: true, LazyFutures: cfg.Lazy}
 		prog, err := mult.Compile(src, mode, m.StaticHeap())
 		if err != nil {
-			return nil, err
+			return pointOut{}, err
 		}
 		if err := m.Load(prog); err != nil {
-			return nil, err
+			return pointOut{}, err
 		}
 		res, err := m.Run()
 		if err != nil {
-			return nil, fmt.Errorf("frames=%d: %w", frames, err)
-		}
-		if want == "" {
-			want = res.Formatted
-		} else if res.Formatted != want {
-			return nil, fmt.Errorf("frames=%d: result %s != %s", frames, res.Formatted, want)
+			return pointOut{}, fmt.Errorf("frames=%d: %w", frames, err)
 		}
 		stats := m.TotalStats()
 		var switches uint64
 		for _, n := range m.Nodes {
 			switches += n.Proc.Engine.Switches
 		}
-		out = append(out, FramesPoint{
-			Frames:      frames,
-			Cycles:      res.Cycles,
-			Utilization: stats.Utilization(),
-			Switches:    switches,
-			MissTraps:   stats.Traps[core.TrapCacheMiss],
-		})
+		return pointOut{
+			point: FramesPoint{
+				Frames:      frames,
+				Cycles:      res.Cycles,
+				Utilization: stats.Utilization(),
+				Switches:    switches,
+				MissTraps:   stats.Traps[core.TrapCacheMiss],
+			},
+			result: res.Formatted,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []FramesPoint
+	for _, o := range outs {
+		if o.result != outs[0].result {
+			return nil, fmt.Errorf("frames=%d: result %s != %s", o.point.Frames, o.result, outs[0].result)
+		}
+		out = append(out, o.point)
 	}
 	return out, nil
 }

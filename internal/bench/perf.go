@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"april/internal/harness"
+	"april/internal/proc"
+)
+
+// PerfReport is the before/after simulator-throughput measurement that
+// cmd/april-bench -perf serializes to BENCH_simperf.json: the full
+// Table 3 grid run twice on the same host — once at the pre-overhaul
+// cost profile (reference per-cycle loop, eagerly materialized memory,
+// a single worker), once with fast-forward, demand paging and the
+// parallel harness — with a bit-identity cross-check between the two
+// sets of rows.
+type PerfReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Sizes       string `json:"sizes"`
+	Workers     int    `json:"workers"` // workers used by the optimized grid
+
+	// Baseline: naive loop, one worker. Optimized: fast-forward,
+	// Workers workers. Both cover the identical run grid.
+	Baseline  proc.Perf `json:"baseline"`
+	Optimized proc.Perf `json:"optimized"`
+
+	// Speedup is baseline wall time / optimized wall time.
+	Speedup float64 `json:"speedup"`
+
+	// RowsIdentical asserts the two grids produced byte-identical
+	// simulated results (same cycle counts, same program outputs).
+	RowsIdentical bool `json:"rows_identical"`
+}
+
+// Table3Perf measures PerfReport for the given grid configuration
+// (cfg.Naive, cfg.Workers and cfg.Perf are overridden per side).
+func Table3Perf(cfg Table3Config, sizesName string) (PerfReport, error) {
+	rep := PerfReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Sizes:       sizesName,
+	}
+
+	base := cfg
+	base.Naive, base.Workers, base.Perf = true, 1, &rep.Baseline
+	baseRows, err := Table3(base)
+	if err != nil {
+		return PerfReport{}, fmt.Errorf("baseline grid: %w", err)
+	}
+
+	opt := cfg
+	opt.Naive, opt.Perf = false, &rep.Optimized
+	rep.Workers = harness.Workers(opt.Workers)
+	optRows, err := Table3(opt)
+	if err != nil {
+		return PerfReport{}, fmt.Errorf("optimized grid: %w", err)
+	}
+
+	rep.RowsIdentical = reflect.DeepEqual(baseRows, optRows)
+	if rep.Optimized.WallSeconds > 0 {
+		rep.Speedup = rep.Baseline.WallSeconds / rep.Optimized.WallSeconds
+	}
+	return rep, nil
+}
+
+// JSON renders the report for BENCH_simperf.json.
+func (r PerfReport) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // the report is plain data; marshal cannot fail
+	}
+	return append(b, '\n')
+}
+
+// Summary is the one-line human rendering.
+func (r PerfReport) Summary() string {
+	ident := "IDENTICAL"
+	if !r.RowsIdentical {
+		ident = "MISMATCH"
+	}
+	return fmt.Sprintf("baseline %.2fs -> optimized %.2fs (%.2fx, %d workers, results %s)",
+		r.Baseline.WallSeconds, r.Optimized.WallSeconds, r.Speedup, r.Workers, ident)
+}

@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
+	"april/internal/harness"
 	"april/internal/mult"
+	"april/internal/proc"
 	"april/internal/rts"
 	"april/internal/sim"
 )
@@ -38,6 +41,21 @@ type Table3Config struct {
 	AprilProcs  []int // paper: 1 2 4 8 16
 	EncoreProcs []int // paper measured the Multimax up to 8
 	Verbose     io.Writer
+
+	// Workers bounds the host goroutines running machines in parallel;
+	// <= 0 means one per available host core. The grid's simulated
+	// results are identical at any worker count.
+	Workers int
+
+	// Naive forces every machine onto the reference per-cycle stepping
+	// loop (sim.Config.DisableFastForward) — the A side of the
+	// before/after throughput comparison in Table3Perf.
+	Naive bool
+
+	// Perf, when non-nil, receives the whole grid's aggregate host-side
+	// throughput (simulated cycles and instructions over the grid's
+	// wall-clock time).
+	Perf *proc.Perf
 }
 
 // DefaultTable3Config mirrors the paper's configurations.
@@ -49,24 +67,43 @@ func DefaultTable3Config() Table3Config {
 	}
 }
 
-// runOnce compiles and runs src and returns the cycle count.
-func runOnce(src string, mode mult.Mode, prof rts.Profile, lazy bool, nodes int) (uint64, string, error) {
-	m, err := sim.New(sim.Config{Nodes: nodes, Profile: prof, Lazy: lazy})
+// runOut is what one simulated run reports back to the grid.
+type runOut struct {
+	cycles uint64
+	result string
+	perf   proc.Perf
+}
+
+// runOnce compiles and runs src on a fresh machine. naive selects the
+// pre-overhaul cost profile — the reference per-cycle loop plus eagerly
+// materialized memory — so Table3Perf's baseline measures what the
+// simulator cost before the throughput work; simulated results are
+// identical either way.
+func runOnce(src string, mode mult.Mode, prof rts.Profile, lazy bool, nodes int, naive bool) (runOut, error) {
+	start := time.Now()
+	m, err := sim.New(sim.Config{Nodes: nodes, Profile: prof, Lazy: lazy, DisableFastForward: naive})
 	if err != nil {
-		return 0, "", err
+		return runOut{}, err
+	}
+	if naive {
+		m.Mem.Materialize()
 	}
 	prog, err := mult.Compile(src, mode, m.StaticHeap())
 	if err != nil {
-		return 0, "", err
+		return runOut{}, err
 	}
 	if err := m.Load(prog); err != nil {
-		return 0, "", err
+		return runOut{}, err
 	}
 	res, err := m.Run()
 	if err != nil {
-		return 0, "", err
+		return runOut{}, err
 	}
-	return res.Cycles, res.Formatted, nil
+	return runOut{
+		cycles: res.Cycles,
+		result: res.Formatted,
+		perf:   proc.NewPerf(res.Cycles, m.TotalStats().Instructions, time.Since(start)),
+	}, nil
 }
 
 // systemSetup captures how each Table 3 system compiles and runs.
@@ -104,75 +141,143 @@ func setups() []systemSetup {
 	}
 }
 
+// runSpec is one independent machine run in the flattened grid.
+type runSpec struct {
+	label string // "fib/APRIL 4p" — prefixes run errors
+	src   string
+	mode  mult.Mode
+	prof  rts.Profile
+	lazy  bool
+	nodes int
+}
+
+// rowPlan remembers which grid indices belong to one output row.
+type rowPlan struct {
+	name    string
+	su      systemSetup
+	tseq    int   // spec index of the "T seq" run
+	mulTSeq int   // spec index of the "Mul-T seq" run
+	procs   []int // processor counts of the parallel runs
+	parIdx  []int // their spec indices, parallel to procs
+}
+
 // Table3 regenerates the paper's Table 3: for each benchmark and each
 // system it measures "T seq" (sequential code, no future detection),
 // "Mul-T seq" (sequential code with the machine's future detection),
 // and the parallel runs at each processor count, all normalized to
 // T seq.
+//
+// Every measurement is an independent single-goroutine machine, so the
+// whole grid is flattened into one run list and fanned across host
+// cores by the harness; rows are assembled (and cross-checked) in grid
+// order afterwards, making the output independent of worker count.
 func Table3(cfg Table3Config) ([]Row, error) {
-	var rows []Row
+	start := time.Now()
+	var (
+		specs []runSpec
+		plans []rowPlan
+	)
+	add := func(s runSpec) int {
+		specs = append(specs, s)
+		return len(specs) - 1
+	}
 	for _, name := range Names {
 		src := cfg.Sizes.Source(name)
 		for _, su := range setups() {
-			row, err := table3Row(name, src, su, &cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", name, su.sys, err)
+			pl := rowPlan{name: name, su: su}
+			// "T seq": the optimized sequential compilation (no futures,
+			// no detection overhead).
+			pl.tseq = add(runSpec{
+				label: fmt.Sprintf("%s/%s: T seq", name, su.sys),
+				src:   src,
+				mode:  mult.Mode{HardwareFutures: true, Sequential: true},
+				prof:  su.prof,
+				nodes: 1,
+			})
+			// "Mul-T seq": sequential code compiled by the Mul-T
+			// compiler for this machine — on the Encore that inserts
+			// software future checks before strict operations; on APRIL
+			// the tag hardware makes it free.
+			pl.mulTSeq = add(runSpec{
+				label: fmt.Sprintf("%s/%s: Mul-T seq", name, su.sys),
+				src:   src,
+				mode:  mult.Mode{HardwareFutures: su.mode.HardwareFutures, Sequential: true},
+				prof:  su.prof,
+				nodes: 1,
+			})
+			for _, p := range su.procs(&cfg) {
+				pl.procs = append(pl.procs, p)
+				pl.parIdx = append(pl.parIdx, add(runSpec{
+					label: fmt.Sprintf("%s/%s: %d procs", name, su.sys, p),
+					src:   src,
+					mode:  su.mode,
+					prof:  su.prof,
+					lazy:  su.lazy,
+					nodes: p,
+				}))
 			}
-			rows = append(rows, row)
+			plans = append(plans, pl)
 		}
 	}
-	return rows, nil
-}
 
-func table3Row(name, src string, su systemSetup, cfg *Table3Config) (Row, error) {
+	outs, err := harness.Map(cfg.Workers, len(specs), func(i int) (runOut, error) {
+		s := specs[i]
+		out, err := runOnce(s.src, s.mode, s.prof, s.lazy, s.nodes, cfg.Naive)
+		if err != nil {
+			return runOut{}, fmt.Errorf("%s: %w", s.label, err)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	log := func(format string, args ...interface{}) {
 		if cfg.Verbose != nil {
 			fmt.Fprintf(cfg.Verbose, format+"\n", args...)
 		}
 	}
-	// "T seq": the optimized sequential compilation (no futures, no
-	// detection overhead).
-	tseqMode := mult.Mode{HardwareFutures: true, Sequential: true}
-	tseq, wantResult, err := runOnce(src, tseqMode, su.prof, false, 1)
-	if err != nil {
-		return Row{}, fmt.Errorf("T seq: %w", err)
-	}
-	log("%-7s %-9s T-seq %d cycles (result %s)", name, su.sys, tseq, wantResult)
-
-	// "Mul-T seq": sequential code compiled by the Mul-T compiler for
-	// this machine — on the Encore that inserts software future checks
-	// before strict operations; on APRIL the tag hardware makes it
-	// free.
-	mulTSeqMode := mult.Mode{HardwareFutures: su.mode.HardwareFutures, Sequential: true}
-	mulTSeq, r2, err := runOnce(src, mulTSeqMode, su.prof, false, 1)
-	if err != nil {
-		return Row{}, fmt.Errorf("Mul-T seq: %w", err)
-	}
-	if r2 != wantResult {
-		return Row{}, fmt.Errorf("Mul-T seq result %s != %s", r2, wantResult)
-	}
-
-	row := Row{
-		Program: name,
-		System:  su.sys,
-		TSeq:    1.0,
-		MulTSeq: float64(mulTSeq) / float64(tseq),
-		Par:     map[int]float64{},
-		Result:  wantResult,
-		RawSeq:  tseq,
-	}
-	for _, p := range su.procs(cfg) {
-		cycles, r, err := runOnce(src, su.mode, su.prof, su.lazy, p)
-		if err != nil {
-			return Row{}, fmt.Errorf("%d procs: %w", p, err)
+	var rows []Row
+	for _, pl := range plans {
+		tseq := outs[pl.tseq]
+		log("%-7s %-9s T-seq result %s: %s", pl.name, pl.su.sys, tseq.result, tseq.perf)
+		mulTSeq := outs[pl.mulTSeq]
+		if mulTSeq.result != tseq.result {
+			return nil, fmt.Errorf("%s/%s: Mul-T seq result %s != %s",
+				pl.name, pl.su.sys, mulTSeq.result, tseq.result)
 		}
-		if r != wantResult {
-			return Row{}, fmt.Errorf("%d procs: result %s != %s", p, r, wantResult)
+		row := Row{
+			Program: pl.name,
+			System:  pl.su.sys,
+			TSeq:    1.0,
+			MulTSeq: float64(mulTSeq.cycles) / float64(tseq.cycles),
+			Par:     map[int]float64{},
+			Result:  tseq.result,
+			RawSeq:  tseq.cycles,
 		}
-		row.Par[p] = float64(cycles) / float64(tseq)
-		log("%-7s %-9s %2dp   %.2f (%d cycles)", name, su.sys, p, row.Par[p], cycles)
+		for k, p := range pl.procs {
+			out := outs[pl.parIdx[k]]
+			if out.result != tseq.result {
+				return nil, fmt.Errorf("%s/%s: %d procs: result %s != %s",
+					pl.name, pl.su.sys, p, out.result, tseq.result)
+			}
+			row.Par[p] = float64(out.cycles) / float64(tseq.cycles)
+			log("%-7s %-9s %2dp   %.2f vs T-seq: %s", pl.name, pl.su.sys, p, row.Par[p], out.perf)
+		}
+		rows = append(rows, row)
 	}
-	return row, nil
+
+	if cfg.Perf != nil {
+		// Aggregate throughput over the grid's wall time (not the sum of
+		// per-run wall times, which would double-count parallel workers).
+		var cycles, instructions uint64
+		for _, o := range outs {
+			cycles += o.perf.SimCycles
+			instructions += o.perf.Instructions
+		}
+		*cfg.Perf = proc.NewPerf(cycles, instructions, time.Since(start))
+	}
+	return rows, nil
 }
 
 // FormatTable renders rows in the paper's layout.

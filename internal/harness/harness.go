@@ -1,0 +1,98 @@
+// Package harness runs independent simulation experiments in parallel
+// across host cores. Each sim.Machine remains strictly single-goroutine
+// — the simulator itself is deterministic and serial — so the safe unit
+// of parallelism is the whole run: build a machine, run it, report. The
+// harness fans a list of such runs over a bounded worker pool and
+// commits results in submission order, so the output of an experiment
+// grid is byte-identical whether it ran on one core or sixteen.
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: n > 0 is used as given, any
+// other value (0, negative) means one worker per available host core.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i) for i in [0, n) on a pool of workers and returns the
+// results indexed by i. Determinism guarantees:
+//
+//   - results[i] is always the value fn produced for index i, no matter
+//     which worker ran it or in what order the calls finished;
+//   - if any call fails, Map returns the error of the lowest failing
+//     index (not the first to fail in wall-clock order);
+//   - after a failure, no index above the lowest failing one is
+//     *started*; indices already in flight are allowed to finish, and
+//     results below the failing index are still filled in.
+//
+// fn must be safe to call concurrently from multiple goroutines; the
+// intended shape is "construct everything the run needs inside fn" so
+// distinct indices share nothing mutable.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int     // next index to hand out
+		failedAt int = n // lowest failing index so far
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				// Indices are issued in ascending order, so stopping the
+				// issue at the lowest failure never skips an index below it.
+				if next >= n || next > failedAt {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				v, err := fn(i)
+
+				mu.Lock()
+				if err != nil {
+					if i < failedAt {
+						failedAt, firstErr = i, err
+					}
+				} else {
+					results[i] = v
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return results, firstErr
+	}
+	return results, nil
+}
+
+// ForEach is Map without result values.
+func ForEach(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

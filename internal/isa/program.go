@@ -2,6 +2,7 @@ package isa
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -13,6 +14,12 @@ type Program struct {
 	Code    []Inst
 	Entry   uint32
 	Symbols map[string]uint32
+
+	// symAt is the lazily built reverse index for SymbolAt, rebuilt
+	// whenever Symbols has grown since the last build (the assembler's
+	// callers may append runtime stubs after Assemble returns).
+	symAt map[uint32]string
+	symN  int
 }
 
 // Fetch returns the instruction at pc, or an error for a wild PC.
@@ -23,14 +30,23 @@ func (p *Program) Fetch(pc uint32) (Inst, error) {
 	return p.Code[pc], nil
 }
 
-// SymbolAt returns the name of the symbol defined exactly at pc, if any.
+// SymbolAt returns the name of the symbol defined exactly at pc, if
+// any. The reverse index is built once and reused (the disassembler
+// asks per instruction); when several names share an address the
+// lexicographically smallest wins, so the answer is deterministic.
+// Not safe for concurrent use with symbol-table mutation.
 func (p *Program) SymbolAt(pc uint32) (string, bool) {
-	for name, addr := range p.Symbols {
-		if addr == pc {
-			return name, true
+	if p.symAt == nil || p.symN != len(p.Symbols) {
+		p.symAt = make(map[uint32]string, len(p.Symbols))
+		for name, addr := range p.Symbols {
+			if prev, ok := p.symAt[addr]; !ok || name < prev {
+				p.symAt[addr] = name
+			}
 		}
+		p.symN = len(p.Symbols)
 	}
-	return "", false
+	name, ok := p.symAt[pc]
+	return name, ok
 }
 
 // EncodeImage serializes the program's code to its binary form.
@@ -61,10 +77,14 @@ func LoadImage(img []uint64, entry uint32) (*Program, error) {
 // Disassemble renders the program as an assembler listing with symbol
 // labels.
 func (p *Program) Disassemble() string {
-	// Invert the symbol table once.
+	// Invert the symbol table once; sort co-located labels so the
+	// listing does not depend on map iteration order.
 	labels := make(map[uint32][]string, len(p.Symbols))
 	for name, addr := range p.Symbols {
 		labels[addr] = append(labels[addr], name)
+	}
+	for _, names := range labels {
+		sort.Strings(names)
 	}
 	var b strings.Builder
 	for pc, in := range p.Code {

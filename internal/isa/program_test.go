@@ -1,0 +1,27 @@
+package isa
+
+import "testing"
+
+func TestSymbolAt(t *testing.T) {
+	p := &Program{
+		Code:    make([]Inst, 8),
+		Symbols: map[string]uint32{"main": 0, "loop": 3, "also_loop": 3},
+	}
+	if name, ok := p.SymbolAt(0); !ok || name != "main" {
+		t.Fatalf("SymbolAt(0) = %q, %v", name, ok)
+	}
+	// Co-located symbols resolve deterministically (smallest name).
+	if name, _ := p.SymbolAt(3); name != "also_loop" {
+		t.Fatalf("SymbolAt(3) = %q, want also_loop", name)
+	}
+	if _, ok := p.SymbolAt(5); ok {
+		t.Fatal("SymbolAt(5) found a symbol at an unlabeled pc")
+	}
+
+	// Symbols appended after the reverse index was built (as
+	// RunAssembly does with runtime stubs) must be visible.
+	p.Symbols["__task_exit"] = 6
+	if name, ok := p.SymbolAt(6); !ok || name != "__task_exit" {
+		t.Fatalf("SymbolAt(6) after append = %q, %v", name, ok)
+	}
+}

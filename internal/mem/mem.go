@@ -26,35 +26,88 @@ var (
 // WordBytes is the size of a machine word in bytes.
 const WordBytes = 4
 
-// Memory is a flat physical memory with one full/empty bit per word.
-// In ALEWIFE the physical memory is distributed among the nodes; the
-// Distribution type maps addresses to their home nodes while the
-// backing store stays flat (the simulator equivalent of the globally
-// shared address space the controllers synthesize).
+// Memory is a word-addressed physical memory with one full/empty bit
+// per word. In ALEWIFE the physical memory is distributed among the
+// nodes; the Distribution type maps addresses to their home nodes while
+// the backing store stays flat (the simulator equivalent of the
+// globally shared address space the controllers synthesize).
 //
 // A freshly created memory is all zeros with every full/empty bit set
 // to full, matching the paper's convention that ordinary (non-
 // synchronizing) data lives in full locations and only I-structure
 // style slots start out empty.
+//
+// The store is demand-paged: a run typically touches a small fraction
+// of the (default 256 MB) simulated memory, and materializing only the
+// touched pages keeps machine construction O(pages touched) instead of
+// O(memory size) — zeroing the flat array dominated whole-experiment
+// profiles before this. A nil data page reads as zero; a nil
+// full/empty page reads as all-full. Observable behavior is identical
+// to the flat layout.
 type Memory struct {
-	words []isa.Word
-	fe    []uint64 // 1 bit per word; 1 = full
-	size  uint32   // in bytes
+	pages []dataPage // indexed by word index >> pageShift; nil = untouched
+	fe    []fePage   // same geometry; nil = all full
+	size  uint32     // in bytes
 }
+
+type (
+	dataPage = []isa.Word
+	fePage   = []uint64 // 1 bit per word; 1 = full
+)
+
+const (
+	// pageShift sizes a page at 1<<pageShift words (256 KB of simulated
+	// memory): small enough that sparse runs stay sparse, large enough
+	// that page-table indirection is negligible.
+	pageShift = 16
+	pageWords = 1 << pageShift
+	pageMask  = pageWords - 1
+)
 
 // New creates a memory of the given size in bytes (rounded up to a
 // multiple of 64 words). All words are zero and full.
 func New(size uint32) *Memory {
 	nw := (int(size/WordBytes) + 63) &^ 63
-	m := &Memory{
-		words: make([]isa.Word, nw),
-		fe:    make([]uint64, nw/64),
+	np := (nw + pageWords - 1) / pageWords
+	return &Memory{
+		pages: make([]dataPage, np),
+		fe:    make([]fePage, np),
 		size:  uint32(nw * WordBytes),
 	}
-	for i := range m.fe {
-		m.fe[i] = ^uint64(0) // all full
+}
+
+// page materializes the data page holding word index idx.
+func (m *Memory) page(idx uint32) dataPage {
+	p := m.pages[idx>>pageShift]
+	if p == nil {
+		p = make(dataPage, pageWords)
+		m.pages[idx>>pageShift] = p
 	}
-	return m
+	return p
+}
+
+// fepage materializes the full/empty page holding word index idx.
+func (m *Memory) fepage(idx uint32) fePage {
+	p := m.fe[idx>>pageShift]
+	if p == nil {
+		p = make(fePage, pageWords/64)
+		for i := range p {
+			p[i] = ^uint64(0) // all full
+		}
+		m.fe[idx>>pageShift] = p
+	}
+	return p
+}
+
+// Materialize allocates every page up front, restoring the flat-array
+// layout (and its O(memory size) construction cost) that demand paging
+// replaced. Observable behavior is unchanged; it exists so throughput
+// baselines can reproduce the pre-paging simulator's cost profile.
+func (m *Memory) Materialize() {
+	for i := range m.pages {
+		m.page(uint32(i) << pageShift)
+		m.fepage(uint32(i) << pageShift)
+	}
 }
 
 // Size returns the memory size in bytes.
@@ -65,7 +118,7 @@ func (m *Memory) check(addr uint32) (uint32, error) {
 		return 0, fmt.Errorf("%w: %#x", ErrUnaligned, addr)
 	}
 	idx := addr / WordBytes
-	if idx >= uint32(len(m.words)) {
+	if idx >= m.size/WordBytes {
 		return 0, fmt.Errorf("%w: %#x (size %#x)", ErrOutOfRange, addr, m.size)
 	}
 	return idx, nil
@@ -77,7 +130,10 @@ func (m *Memory) LoadWord(addr uint32) (isa.Word, error) {
 	if err != nil {
 		return 0, err
 	}
-	return m.words[idx], nil
+	if p := m.pages[idx>>pageShift]; p != nil {
+		return p[idx&pageMask], nil
+	}
+	return 0, nil
 }
 
 // StoreWord writes the word at byte address addr.
@@ -86,7 +142,7 @@ func (m *Memory) StoreWord(addr uint32, w isa.Word) error {
 	if err != nil {
 		return err
 	}
-	m.words[idx] = w
+	m.page(idx)[idx&pageMask] = w
 	return nil
 }
 
@@ -96,7 +152,10 @@ func (m *Memory) FE(addr uint32) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return m.fe[idx/64]&(1<<(idx%64)) != 0, nil
+	if p := m.fe[idx>>pageShift]; p != nil {
+		return p[(idx&pageMask)/64]&(1<<(idx%64)) != 0, nil
+	}
+	return true, nil
 }
 
 // SetFE sets the full/empty bit of the word at addr.
@@ -107,9 +166,12 @@ func (m *Memory) SetFE(addr uint32, full bool) error {
 	}
 	bit := uint64(1) << (idx % 64)
 	if full {
-		m.fe[idx/64] |= bit
+		// Avoid materializing a page to set a bit that is already set.
+		if p := m.fe[idx>>pageShift]; p != nil {
+			p[(idx&pageMask)/64] |= bit
+		}
 	} else {
-		m.fe[idx/64] &^= bit
+		m.fepage(idx)[(idx&pageMask)/64] &^= bit
 	}
 	return nil
 }
@@ -126,10 +188,17 @@ func (m *Memory) Access(addr uint32, store bool, value isa.Word) (prev isa.Word,
 	if err != nil {
 		return 0, false, err
 	}
-	prev = m.words[idx]
-	full = m.fe[idx/64]&(1<<(idx%64)) != 0
-	if store {
-		m.words[idx] = value
+	full = true
+	if p := m.fe[idx>>pageShift]; p != nil {
+		full = p[(idx&pageMask)/64]&(1<<(idx%64)) != 0
+	}
+	if p := m.pages[idx>>pageShift]; p != nil {
+		prev = p[idx&pageMask]
+		if store {
+			p[idx&pageMask] = value
+		}
+	} else if store {
+		m.page(idx)[idx&pageMask] = value
 	}
 	return prev, full, nil
 }

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"april/internal/harness"
 )
 
 // Params are the system parameters of Table 4 plus the calibration
@@ -241,17 +243,22 @@ func FormatFigure5(points []Figure5Point) string {
 
 // SweepSwitchCost computes U(p) for each context switch cost,
 // reproducing the Section 6.1 design question (11-cycle SPARC switch
-// vs 4-cycle custom switch) as an ablation.
+// vs 4-cycle custom switch) as an ablation. The per-cost curves are
+// independent closed-form evaluations and fan across host cores like
+// the simulation sweeps; the cost -> curve mapping is deterministic.
 func SweepSwitchCost(base Params, costs []float64, maxThreads int) map[float64][]Breakdown {
-	out := map[float64][]Breakdown{}
-	for _, c := range costs {
+	curves, _ := harness.Map(0, len(costs), func(i int) ([]Breakdown, error) {
 		p := base
-		p.SwitchCost = c
-		var curve []Breakdown
-		for i := 1; i <= maxThreads; i++ {
-			curve = append(curve, p.Utilization(float64(i)))
+		p.SwitchCost = costs[i]
+		curve := make([]Breakdown, 0, maxThreads)
+		for t := 1; t <= maxThreads; t++ {
+			curve = append(curve, p.Utilization(float64(t)))
 		}
-		out[c] = curve
+		return curve, nil
+	})
+	out := map[float64][]Breakdown{}
+	for i, c := range costs {
+		out[c] = curves[i]
 	}
 	return out
 }

@@ -34,7 +34,21 @@ type Network interface {
 	Nodes() int
 	// Stats reports aggregate behavior.
 	Stats() Stats
+
+	// NextEvent returns the earliest internal cycle (in the network's
+	// own Tick count) at which a Tick could deliver a message or change
+	// observable state, or NoEvent when the network is quiescent. Ticks
+	// strictly before that cycle are guaranteed no-ops, which lets the
+	// machine fast-forward across them with Advance.
+	NextEvent() uint64
+	// Advance replays k guaranteed-no-op Ticks in one step. The caller
+	// must ensure now+k < NextEvent(); Advance panics on a violation it
+	// can detect cheaply.
+	Advance(k uint64)
 }
+
+// NoEvent is NextEvent's "quiescent" sentinel.
+const NoEvent = ^uint64(0)
 
 // Stats aggregates network behavior.
 type Stats struct {
@@ -188,6 +202,31 @@ func (n *Ideal) Deliveries(node int) []*Message {
 	out := n.inbox[node]
 	n.inbox[node] = nil
 	return out
+}
+
+// NextEvent implements Network: the earliest delivery time among
+// in-flight messages (undrained inboxes count as immediate).
+func (n *Ideal) NextEvent() uint64 {
+	next := uint64(NoEvent)
+	for _, box := range n.inbox {
+		if len(box) > 0 {
+			return n.now
+		}
+	}
+	for _, m := range n.pending {
+		if at := m.sentAt + n.latency; at < next {
+			next = at
+		}
+	}
+	return next
+}
+
+// Advance implements Network: skip k no-op cycles.
+func (n *Ideal) Advance(k uint64) {
+	if next := n.NextEvent(); n.now+k >= next {
+		panic(fmt.Sprintf("network: Advance(%d) from %d crosses event at %d", k, n.now, next))
+	}
+	n.now += k
 }
 
 // Nodes implements Network.

@@ -157,6 +157,59 @@ func (t *Torus) InFlight() int {
 	return n
 }
 
+// NextEvent implements Network. A channel mid-transmission completes
+// its head packet after `busy` more Ticks; an idle channel with a
+// queued packet starts on the next Tick and completes Size Ticks
+// later. The minimum over channels is the first Tick that can move a
+// packet (every earlier Tick only decrements busy counters, which
+// Advance replays in closed form). Undrained inboxes count as
+// immediate.
+func (t *Torus) NextEvent() uint64 {
+	for _, box := range t.inbox {
+		if len(box) > 0 {
+			return t.now
+		}
+	}
+	next := uint64(NoEvent)
+	for i := range t.channels {
+		c := &t.channels[i]
+		var left int
+		switch {
+		case c.busy > 0:
+			left = c.busy
+		case len(c.queue) > 0:
+			left = c.queue[0].Size
+		default:
+			continue
+		}
+		if at := t.now + uint64(left); at < next {
+			next = at
+		}
+	}
+	return next
+}
+
+// Advance implements Network: replay k no-op Ticks at once. Each
+// skipped Tick would have started any idle channel's queued packet and
+// decremented every active channel's busy counter without completing a
+// transmission, so the closed form is busy -= k after normalizing
+// idle-with-work channels to their head packet's flit count.
+func (t *Torus) Advance(k uint64) {
+	if next := t.NextEvent(); t.now+k >= next {
+		panic(fmt.Sprintf("network: Advance(%d) from %d crosses event at %d", k, t.now, next))
+	}
+	t.now += k
+	for i := range t.channels {
+		c := &t.channels[i]
+		if c.busy == 0 && len(c.queue) > 0 {
+			c.busy = c.queue[0].Size
+		}
+		if c.busy > 0 {
+			c.busy -= int(k)
+		}
+	}
+}
+
 var _ Network = (*Torus)(nil)
 
 // String describes the torus.

@@ -80,7 +80,14 @@ type Processor struct {
 	Halted bool
 	Stats  Stats
 
+	// The IPI queue is drained with a head index rather than by
+	// reslicing: popping via pendingIPI = pendingIPI[1:] would both
+	// strand delivered payloads in the backing array (keeping them
+	// reachable) and force append to grow a fresh array once the
+	// original capacity slides out of view. The head index reuses one
+	// backing array for the lifetime of the processor.
 	pendingIPI []isa.Word
+	ipiHead    int
 }
 
 // New creates a processor over the given engine and program.
@@ -92,11 +99,16 @@ func New(id int, e *core.Engine, prog *isa.Program, memPort MemPort) *Processor 
 // asynchronous trap before the next instruction of whatever thread is
 // running (Section 3.4).
 func (p *Processor) PostIPI(payload isa.Word) {
+	if p.ipiHead == len(p.pendingIPI) {
+		// Queue drained: rewind so the backing array is reused.
+		p.pendingIPI = p.pendingIPI[:0]
+		p.ipiHead = 0
+	}
 	p.pendingIPI = append(p.pendingIPI, payload)
 }
 
 // PendingIPIs reports queued, undelivered IPIs.
-func (p *Processor) PendingIPIs() int { return len(p.pendingIPI) }
+func (p *Processor) PendingIPIs() int { return len(p.pendingIPI) - p.ipiHead }
 
 func (p *Processor) trap(t core.Trap) (int, error) {
 	p.Stats.Traps[t.Kind]++
@@ -112,35 +124,50 @@ func (p *Processor) trap(t core.Trap) (int, error) {
 // returns the cycles consumed (instruction time, memory wait, trap
 // handling, or idling). The caller (the node's cycle loop) advances
 // simulated time by the return value.
+//
+// The body is organized as a fast dispatch path: Step runs once per
+// simulated instruction machine-wide, so the common case — running
+// thread, in-bounds PC, no pending IPI — resolves the active frame
+// once, fetches by direct slice index (no call, no error wrapping),
+// and falls through to execute. The rare cases divert to stepSlow.
 func (p *Processor) Step() (int, error) {
+	if p.Halted || p.ipiHead < len(p.pendingIPI) {
+		return p.stepSlow()
+	}
+	f := p.Engine.Active()
+	if f.ThreadID < 0 {
+		return p.stepSlow()
+	}
+	code := p.Prog.Code
+	if uint64(f.PC) >= uint64(len(code)) {
+		return 0, fmt.Errorf("proc %d frame %d thread %d: isa: PC %d outside program of %d instructions",
+			p.ID, p.Engine.FP(), f.ThreadID, f.PC, len(code))
+	}
+	return p.execute(f, code[f.PC])
+}
+
+// stepSlow handles the uncommon Step cases: a halted processor, a
+// pending asynchronous trap, or an empty task frame.
+func (p *Processor) stepSlow() (int, error) {
 	if p.Halted {
 		return 0, ErrHalted
 	}
 
 	// Deliver one pending asynchronous trap first.
-	if len(p.pendingIPI) > 0 {
-		payload := p.pendingIPI[0]
-		p.pendingIPI = p.pendingIPI[1:]
+	if p.ipiHead < len(p.pendingIPI) {
+		payload := p.pendingIPI[p.ipiHead]
+		p.ipiHead++
 		f := p.Engine.Active()
 		return p.trap(core.Trap{Kind: core.TrapIPI, PC: f.PC, Value: payload})
 	}
 
 	// An empty frame means the scheduler must find work.
-	if p.Engine.Active().ThreadID < 0 {
-		if p.Handler == nil {
-			return 0, fmt.Errorf("%w: idle with no handler", ErrNoHandler)
-		}
-		cycles, err := p.Handler.Idle(p)
-		p.Stats.IdleCycles += uint64(cycles)
-		return cycles, err
+	if p.Handler == nil {
+		return 0, fmt.Errorf("%w: idle with no handler", ErrNoHandler)
 	}
-
-	f := p.Engine.Active()
-	inst, err := p.Prog.Fetch(f.PC)
-	if err != nil {
-		return 0, fmt.Errorf("proc %d frame %d thread %d: %w", p.ID, p.Engine.FP(), f.ThreadID, err)
-	}
-	return p.execute(f, inst)
+	cycles, err := p.Handler.Idle(p)
+	p.Stats.IdleCycles += uint64(cycles)
+	return cycles, err
 }
 
 // advance moves the active frame's PC chain past the current

@@ -639,3 +639,88 @@ func (r *retryPort) Access(addr uint32, f isa.MemFlavor, store bool, v isa.Word)
 }
 
 func (r *retryPort) Flush(addr uint32) int { return 0 }
+
+// TestIPIInterleavedPostDeliver hammers the head-index IPI queue with
+// interleaved posts and deliveries: every payload must come out exactly
+// once, in FIFO order, each delivered as a TrapIPI before the next
+// instruction, and the queue must rewind (reusing its backing array)
+// every time it drains.
+func TestIPIInterleavedPostDeliver(t *testing.T) {
+	code := []isa.Inst{
+		isa.RI(isa.OpRawAdd, 8, 8, 1), // r8 counts retired instructions
+		isa.Br(isa.OpBa, -1),
+	}
+	p, _ := newProc(t, code)
+	var delivered []isa.Word
+	h := &recordingHandler{
+		onTrap: func(p *Processor, tr core.Trap) (int, error) {
+			if tr.Kind != core.TrapIPI {
+				return 0, errors.New("unexpected trap: " + tr.String())
+			}
+			delivered = append(delivered, tr.Value)
+			return 1, nil
+		},
+	}
+	p.Handler = h
+
+	step := func() {
+		t.Helper()
+		if _, err := p.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	var want []isa.Word
+	next := isa.Word(0)
+	post := func(n int) {
+		for i := 0; i < n; i++ {
+			p.PostIPI(next)
+			want = append(want, next)
+			next++
+		}
+	}
+
+	// Bursts of posts between varying numbers of steps, including
+	// posting while earlier IPIs are still queued (head mid-array) and
+	// full drains in between (head rewinds to a reused array).
+	for round := 0; round < 50; round++ {
+		post(round % 4)
+		step() // delivers one IPI if queued, else retires an instruction
+		if round%3 == 0 {
+			post(1)
+		}
+		for p.PendingIPIs() > 0 {
+			step()
+		}
+		if p.ipiHead != len(p.pendingIPI) {
+			t.Fatalf("round %d: drained queue out of sync: head=%d len=%d",
+				round, p.ipiHead, len(p.pendingIPI))
+		}
+		// The rewind itself happens on the next post: it must land at
+		// slot 0 of the reused backing array.
+		p.PostIPI(next)
+		want = append(want, next)
+		next++
+		if p.ipiHead != 0 || len(p.pendingIPI) != 1 {
+			t.Fatalf("round %d: post after drain did not rewind: head=%d len=%d",
+				round, p.ipiHead, len(p.pendingIPI))
+		}
+		step()
+	}
+	if len(delivered) != len(want) {
+		t.Fatalf("delivered %d IPIs, want %d", len(delivered), len(want))
+	}
+	for i := range want {
+		if delivered[i] != want[i] {
+			t.Fatalf("delivery %d = %d, want %d (FIFO order violated)", i, delivered[i], want[i])
+		}
+	}
+	// The backing array must have stopped growing once it covered the
+	// largest burst: capacity bounded by a small constant, not by the
+	// total number of IPIs ever posted.
+	if c := cap(p.pendingIPI); c > 8 {
+		t.Fatalf("IPI backing array grew to %d; rewind is not reusing it", c)
+	}
+	if h.idleCnt != 0 {
+		t.Fatalf("processor went idle %d times during the interleave", h.idleCnt)
+	}
+}

@@ -124,6 +124,53 @@ func (f *netFabric) tick() {
 	}
 }
 
+// nextEvent returns the earliest fabric cycle at which a tick could do
+// any work — deliver a network message, flush a matured outbox entry,
+// or act on a deferred recall (interlock expiry or wait deadline) — or
+// network.NoEvent when the whole memory system is quiescent. Ticks that
+// end strictly before that cycle are guaranteed no-ops, which is the
+// invariant Machine.Run's fast-forward path relies on. The estimate is
+// conservative: waking at a cycle where the tick turns out to do
+// nothing is harmless (the machine just resumes per-cycle stepping and
+// re-evaluates), but it must never be later than a real event.
+func (f *netFabric) nextEvent() uint64 {
+	next := f.net.NextEvent()
+	for _, ctl := range f.ctls {
+		for i := range ctl.outbox {
+			// A matured entry flushes on the very next tick.
+			at := ctl.outbox[i].readyAt
+			if at <= f.now {
+				at = f.now + 1
+			}
+			if at < next {
+				next = at
+			}
+		}
+		for i := range ctl.recallQ {
+			pr := &ctl.recallQ[i]
+			at := pr.deadline
+			if exp, held := ctl.locked[pr.msg.Block]; held && exp < at {
+				at = exp
+			}
+			if at <= f.now {
+				at = f.now + 1
+			}
+			if at < next {
+				next = at
+			}
+		}
+	}
+	return next
+}
+
+// advance replays k guaranteed-no-op ticks in one step: the fabric and
+// network clocks move forward, and nothing else can change (the caller
+// established now+k < nextEvent()).
+func (f *netFabric) advance(k uint64) {
+	f.now += k
+	f.net.Advance(k)
+}
+
 // missState tracks a requester-side outstanding transaction.
 type missState struct {
 	write bool

@@ -1,0 +1,91 @@
+package sim_test
+
+// Differential test for the event-driven fast-forward: the same
+// program on the same machine must produce byte-identical simulated
+// results whether Run steps every cycle (DisableFastForward) or jumps
+// across provably uneventful stretches. This is the contract that lets
+// the fast loop replace the naive one everywhere.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"april/internal/bench"
+	"april/internal/mult"
+	"april/internal/proc"
+	"april/internal/rts"
+	"april/internal/sim"
+)
+
+type ffOutcome struct {
+	cycles uint64
+	value  string
+	stats  []proc.Stats // per node, in node order
+}
+
+func runDifferential(t *testing.T, src string, nodes int, alewife, naive bool) ffOutcome {
+	t.Helper()
+	var aw *sim.AlewifeConfig
+	if alewife {
+		aw = &sim.AlewifeConfig{}
+	}
+	m, err := sim.New(sim.Config{
+		Nodes:              nodes,
+		Profile:            rts.APRIL,
+		Alewife:            aw,
+		DisableFastForward: naive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := mult.Compile(src, mult.Mode{HardwareFutures: true}, m.StaticHeap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ffOutcome{cycles: res.Cycles, value: res.Formatted}
+	for _, n := range m.Nodes {
+		out.stats = append(out.stats, n.Proc.Stats)
+	}
+	return out
+}
+
+func TestFastForwardMatchesNaiveLoop(t *testing.T) {
+	programs := map[string]string{
+		"fib":    bench.FibSource(12),
+		"queens": bench.QueensSource(6),
+	}
+	for name, src := range programs {
+		for _, alewife := range []bool{false, true} {
+			for _, nodes := range []int{1, 4, 8} {
+				mode := "perfect"
+				if alewife {
+					mode = "alewife"
+				}
+				t.Run(fmt.Sprintf("%s/%s/%dp", name, mode, nodes), func(t *testing.T) {
+					fast := runDifferential(t, src, nodes, alewife, false)
+					naive := runDifferential(t, src, nodes, alewife, true)
+					if fast.cycles != naive.cycles {
+						t.Errorf("cycles: fast %d != naive %d", fast.cycles, naive.cycles)
+					}
+					if fast.value != naive.value {
+						t.Errorf("result: fast %s != naive %s", fast.value, naive.value)
+					}
+					for i := range fast.stats {
+						if !reflect.DeepEqual(fast.stats[i], naive.stats[i]) {
+							t.Errorf("node %d stats diverge:\nfast:  %+v\nnaive: %+v",
+								i, fast.stats[i], naive.stats[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -43,6 +43,13 @@ type Config struct {
 
 	// Alewife enables the full memory system; nil = perfect memory.
 	Alewife *AlewifeConfig
+
+	// DisableFastForward forces the naive one-decrement-per-cycle
+	// stepping loop instead of the event-driven fast-forward. Simulated
+	// results are bit-identical either way (the differential tests
+	// assert this); the naive loop exists as the reference
+	// implementation and for those tests.
+	DisableFastForward bool
 }
 
 // ErrDeadlock is returned when the machine stops making progress.
@@ -172,28 +179,48 @@ type Result struct {
 	Formatted string
 }
 
+// deadlockWindow is how many cycles the machine may go without retiring
+// a single instruction before Run declares a deadlock.
+const deadlockWindow = 3_000_000
+
 // Run drives the machine until the main thread exits.
 func (m *Machine) Run() (Result, error) {
 	if !m.loaded {
 		return Result{}, errors.New("sim: no program loaded")
 	}
-	var lastInstr uint64
-	var lastChange uint64
+	fast := !m.Cfg.DisableFastForward
+	// Deadlock detection is incremental: lastProgress tracks the last
+	// cycle any node retired an instruction (updated per Step from the
+	// per-node retirement counters, so no periodic all-node stats scan
+	// — and no scan points the fast-forward jumps could miss).
+	lastProgress := m.now
 	for !m.Sched.MainDone {
 		if m.now >= m.Cfg.MaxCycles {
 			return Result{}, fmt.Errorf("sim: exceeded cycle budget %d", m.Cfg.MaxCycles)
+		}
+		if fast {
+			m.fastForwardUntil(m.Cfg.MaxCycles)
+			// A capped jump can land exactly on the budget; the naive
+			// loop errors out before executing that cycle, so match it.
+			if m.now >= m.Cfg.MaxCycles {
+				return Result{}, fmt.Errorf("sim: exceeded cycle budget %d", m.Cfg.MaxCycles)
+			}
 		}
 		for _, n := range m.Nodes {
 			if n.busy > 0 {
 				n.busy--
 				continue
 			}
+			retired := n.Proc.Stats.Instructions
 			c, err := n.Proc.Step()
 			if err != nil {
 				return Result{}, fmt.Errorf("cycle %d node %d: %w", m.now, n.Proc.ID, err)
 			}
 			if c > 1 {
 				n.busy = c - 1
+			}
+			if n.Proc.Stats.Instructions != retired {
+				lastProgress = m.now
 			}
 			if m.Sched.MainDone {
 				break
@@ -204,20 +231,9 @@ func (m *Machine) Run() (Result, error) {
 		}
 		m.now++
 
-		// Deadlock detection: no instruction retired machine-wide for
-		// a long stretch.
-		if m.now%8192 == 0 {
-			var total uint64
-			for _, n := range m.Nodes {
-				total += n.Proc.Stats.Instructions
-			}
-			if total != lastInstr {
-				lastInstr = total
-				lastChange = m.now
-			} else if m.now-lastChange > 3_000_000 {
-				return Result{}, fmt.Errorf("%w: %d threads live, %d ready, %d blocked",
-					ErrDeadlock, m.Sched.LiveThreads(), m.Sched.ReadyCount(), m.Sched.BlockedCount())
-			}
+		if m.now-lastProgress > deadlockWindow {
+			return Result{}, fmt.Errorf("%w: %d threads live, %d ready, %d blocked",
+				ErrDeadlock, m.Sched.LiveThreads(), m.Sched.ReadyCount(), m.Sched.BlockedCount())
 		}
 	}
 	v := m.Sched.MainResult
@@ -226,6 +242,54 @@ func (m *Machine) Run() (Result, error) {
 		Value:     v,
 		Formatted: m.Nodes[0].RT.Heap.Format(v),
 	}, nil
+}
+
+// fastForwardUntil advances simulated time across cycles that are
+// provably uneventful, never past limit. When every node is sleeping on
+// a busy counter, no node Steps until the smallest counter reaches
+// zero; and when the memory fabric's next event lies beyond that, the
+// per-cycle ticks in between are no-ops too. The naive loop spends one
+// iteration per such cycle (decrement each counter, tick the idle
+// network); this jumps m.now to the next cycle where anything can
+// happen in one step. Simulated state after the jump is bit-identical
+// to stepping cycle by cycle — the differential tests in
+// fastforward_test.go hold the two loops to that.
+func (m *Machine) fastForwardUntil(limit uint64) {
+	skip := uint64(0)
+	for _, n := range m.Nodes {
+		if n.busy == 0 {
+			return // this node Steps on the current cycle
+		}
+		if b := uint64(n.busy); skip == 0 || b < skip {
+			skip = b
+		}
+	}
+	if m.net != nil {
+		// Ticks run with the fabric clock at m.now+1 .. m.now+skip; all
+		// of them must end strictly before the fabric's next event.
+		next := m.net.nextEvent()
+		if next <= m.now+1 {
+			return
+		}
+		if d := next - m.now - 1; d < skip {
+			skip = d
+		}
+	}
+	// Land exactly on limit at most: the callers stop (cycle window) or
+	// error out (cycle budget) there without executing that cycle.
+	if rem := limit - m.now; skip > rem {
+		skip = rem
+	}
+	if skip == 0 {
+		return
+	}
+	for _, n := range m.Nodes {
+		n.busy -= int(skip)
+	}
+	if m.net != nil {
+		m.net.advance(skip)
+	}
+	m.now += skip
 }
 
 // Now returns the current simulated cycle.

@@ -38,13 +38,22 @@ func (m *Machine) SpawnRaw(node int, pc uint32, regs map[uint8]isa.Word) *rts.Th
 
 // RunFor drives the machine for exactly the given number of cycles
 // (threads typically loop forever; there is no termination or deadlock
-// detection — an idle machine simply burns idle cycles).
+// detection — an idle machine simply burns idle cycles). Like Run it
+// fast-forwards across provably uneventful cycles unless the config
+// disables that; the window boundary is honored exactly either way.
 func (m *Machine) RunFor(cycles uint64) error {
 	if !m.loaded {
 		return errors.New("sim: no program loaded")
 	}
+	fast := !m.Cfg.DisableFastForward
 	end := m.now + cycles
 	for m.now < end {
+		if fast {
+			m.fastForwardUntil(end)
+			if m.now >= end {
+				break
+			}
+		}
 		for _, n := range m.Nodes {
 			if n.busy > 0 {
 				n.busy--

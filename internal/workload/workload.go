@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"april/internal/cache"
+	"april/internal/harness"
 	"april/internal/isa"
 	"april/internal/rts"
 	"april/internal/sim"
@@ -30,6 +31,11 @@ type Config struct {
 	MemLatency       int
 	Cycles           uint64 // measurement window
 	WarmupCycles     uint64
+
+	// Workers bounds the host goroutines running sweep points in
+	// parallel (each point is an independent machine); <= 0 means one
+	// per available host core.
+	Workers int
 }
 
 // DefaultConfig scales Table 4's shape down to a simulable machine: a
@@ -211,19 +217,19 @@ func Run(cfg Config) (Measurement, error) {
 	return meas, nil
 }
 
-// Sweep measures p = 1..maxThreads threads per node.
+// Sweep measures p = 1..maxThreads threads per node. The points are
+// independent machines and run in parallel on the host; results come
+// back in p order regardless of worker count.
 func Sweep(base Config, maxThreads int) ([]Measurement, error) {
-	var out []Measurement
-	for p := 1; p <= maxThreads; p++ {
+	return harness.Map(base.Workers, maxThreads, func(i int) (Measurement, error) {
 		cfg := base
-		cfg.ThreadsPerNode = p
+		cfg.ThreadsPerNode = i + 1
 		meas, err := Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("p=%d: %w", p, err)
+			return Measurement{}, fmt.Errorf("p=%d: %w", i+1, err)
 		}
-		out = append(out, meas)
-	}
-	return out, nil
+		return meas, nil
+	})
 }
 
 // LinearFit returns the least-squares a + b·x fit and its R².
