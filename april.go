@@ -34,6 +34,7 @@ import (
 	"april/internal/proc"
 	"april/internal/rts"
 	"april/internal/sim"
+	"april/internal/trace"
 	"april/internal/workload"
 )
 
@@ -87,6 +88,69 @@ type Options struct {
 	// MemoryBytes sizes simulated memory; MaxCycles bounds the run.
 	MemoryBytes uint32
 	MaxCycles   uint64
+	// Trace, when non-nil, enables the observability subsystem for the
+	// run: event tracing, the utilization timeline, and the counter
+	// registry. Tracing never perturbs simulated results.
+	Trace *TraceOptions
+}
+
+// TraceOptions selects a run's observability outputs. Any nil writer
+// disables that output; enabling none makes the run equivalent to an
+// untraced one.
+type TraceOptions struct {
+	// ChromeOut receives the event trace in Chrome trace-event JSON
+	// (load in Perfetto or chrome://tracing: one process per node, one
+	// thread per task frame).
+	ChromeOut io.Writer
+	// TimelineOut receives the per-node activity time series, CSV by
+	// default or JSON rows when TimelineJSON is set.
+	TimelineOut  io.Writer
+	TimelineJSON bool
+	// CountersOut receives the unified end-of-run counter snapshot
+	// (scheduler, per-node processor/cache/directory, network) as JSON.
+	CountersOut io.Writer
+	// SampleInterval is the timeline window in cycles
+	// (0 = trace.DefaultSampleInterval).
+	SampleInterval uint64
+	// Capacity is the per-node event ring size; the ring keeps the most
+	// recent events (0 = trace.DefaultCapacity).
+	Capacity int
+}
+
+// enable attaches the requested observers to a built machine.
+func (t *TraceOptions) enable(m *sim.Machine) {
+	if t.ChromeOut != nil {
+		m.EnableTracing(t.Capacity)
+	}
+	if t.TimelineOut != nil {
+		m.EnableTimeline(t.SampleInterval)
+	}
+}
+
+// write emits the requested outputs after a completed run.
+func (t *TraceOptions) write(m *sim.Machine, endCycle uint64) error {
+	if t.ChromeOut != nil {
+		if err := trace.WriteChrome(t.ChromeOut, m.Tracer(), m.Cfg.Profile.Frames, endCycle); err != nil {
+			return fmt.Errorf("april: chrome trace: %w", err)
+		}
+	}
+	if t.TimelineOut != nil {
+		var err error
+		if t.TimelineJSON {
+			err = m.Sampler().WriteJSON(t.TimelineOut)
+		} else {
+			err = m.Sampler().WriteCSV(t.TimelineOut)
+		}
+		if err != nil {
+			return fmt.Errorf("april: timeline: %w", err)
+		}
+	}
+	if t.CountersOut != nil {
+		if err := m.CounterRegistry().WriteJSON(t.CountersOut); err != nil {
+			return fmt.Errorf("april: counters: %w", err)
+		}
+	}
+	return nil
 }
 
 func (o Options) mode() mult.Mode {
@@ -161,9 +225,17 @@ func Run(source string, o Options) (Result, error) {
 	if err := m.Load(prog); err != nil {
 		return Result{}, err
 	}
+	if o.Trace != nil {
+		o.Trace.enable(m)
+	}
 	res, err := m.Run()
 	if err != nil {
 		return Result{}, err
+	}
+	if o.Trace != nil {
+		if err := o.Trace.write(m, res.Cycles); err != nil {
+			return Result{}, err
+		}
 	}
 	stats := m.TotalStats()
 	var switches uint64
@@ -225,9 +297,17 @@ func RunAssembly(source string, o Options) (Result, error) {
 	if err := m.Load(prog); err != nil {
 		return Result{}, err
 	}
+	if o.Trace != nil {
+		o.Trace.enable(m)
+	}
 	res, err := m.Run()
 	if err != nil {
 		return Result{}, err
+	}
+	if o.Trace != nil {
+		if err := o.Trace.write(m, res.Cycles); err != nil {
+			return Result{}, err
+		}
 	}
 	stats := m.TotalStats()
 	return Result{
@@ -300,6 +380,10 @@ type Table3Config = bench.Table3Config
 
 // Table3Sizes selects benchmark workload sizes.
 type Table3Sizes = bench.Sizes
+
+// RunStats is one grid run's full statistics dump (Table3Config.Stats;
+// the april-bench -stats-json payload).
+type RunStats = bench.RunStats
 
 // DefaultTable3Config mirrors the paper's Table 3 configuration.
 func DefaultTable3Config() Table3Config { return bench.DefaultTable3Config() }

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"april"
 )
@@ -27,6 +29,14 @@ func main() {
 		naive   = flag.Bool("naive", false, "use the reference per-cycle loop (no fast-forward)")
 		perf    = flag.Bool("perf", false, "measure simulator throughput (naive/serial vs fast/parallel) and write BENCH_simperf.json")
 		perfOut = flag.String("perf-out", "BENCH_simperf.json", "output path for -perf")
+
+		statsJSON = flag.String("stats-json", "", "write every grid run's full statistics (totals, per-node, throughput) as JSON to this path")
+
+		traceOut    = flag.String("trace", "", "trace one representative run (see -trace-bench) instead of the grid; writes Chrome trace-event JSON to this path")
+		timelineOut = flag.String("timeline", "", "like -trace but for the per-node utilization timeline (CSV, or JSON rows with a .json extension)")
+		traceBench  = flag.String("trace-bench", "fib", "benchmark for the traced run: fib | factor | queens | speech")
+		traceProcs  = flag.Int("trace-procs", 8, "processor count for the traced run")
+		sample      = flag.Uint64("sample", 0, "timeline sampling interval in cycles (0 = default 4096)")
 	)
 	flag.Parse()
 
@@ -62,6 +72,14 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Naive = *naive
 
+	if *traceOut != "" || *timelineOut != "" {
+		// Tracing the whole grid would interleave hundreds of machines;
+		// trace one representative run on the full ALEWIFE memory system
+		// instead.
+		runTraced(cfg.Sizes, *traceBench, *traceProcs, *traceOut, *timelineOut, *sample)
+		return
+	}
+
 	if *perf {
 		rep, err := april.Table3Perf(cfg, *sizes)
 		if err != nil {
@@ -84,10 +102,25 @@ func main() {
 
 	var gridPerf april.RunPerf
 	cfg.Perf = &gridPerf
+	var gridStats []april.RunStats
+	if *statsJSON != "" {
+		cfg.Stats = &gridStats
+	}
 	rows, err := april.Table3(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "april-bench:", err)
 		os.Exit(1)
+	}
+	if *statsJSON != "" {
+		b, err := json.MarshalIndent(gridStats, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*statsJSON, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "april-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "run statistics written to %s (%d runs)\n", *statsJSON, len(gridStats))
 	}
 	fmt.Println("Table 3: Execution time for Mul-T benchmarks, normalized to sequential T")
 	fmt.Println("(paper reference: fib 28.9/14.2/1.5 at 1p for Encore/APRIL/Apr-lazy;")
@@ -96,5 +129,60 @@ func main() {
 	fmt.Print(april.FormatTable3(rows, cfg.AprilProcs))
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "grid throughput: %s\n", gridPerf)
+	}
+}
+
+// runTraced executes one benchmark with tracing enabled and writes the
+// requested observability outputs.
+func runTraced(sizes april.Table3Sizes, benchName string, procs int, traceOut, timelineOut string, sample uint64) {
+	switch benchName {
+	case "fib", "factor", "queens", "speech":
+	default:
+		fmt.Fprintf(os.Stderr, "april-bench: unknown -trace-bench %q\n", benchName)
+		os.Exit(2)
+	}
+	src := april.BenchmarkSource(benchName, sizes)
+	topts := &april.TraceOptions{SampleInterval: sample}
+	var files []*os.File
+	open := func(path string) *os.File {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "april-bench:", err)
+			os.Exit(1)
+		}
+		files = append(files, f)
+		return f
+	}
+	if traceOut != "" {
+		topts.ChromeOut = open(traceOut)
+	}
+	if timelineOut != "" {
+		topts.TimelineOut = open(timelineOut)
+		topts.TimelineJSON = strings.HasSuffix(timelineOut, ".json")
+	}
+	res, err := april.Run(src, april.Options{
+		Processors: procs,
+		Machine:    april.APRIL,
+		Alewife:    &april.AlewifeOptions{},
+		Output:     io.Discard,
+		Trace:      topts,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "april-bench:", err)
+		os.Exit(1)
+	}
+	for _, f := range files {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "april-bench:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("traced %s on %d ALEWIFE processors: %s in %d cycles (utilization %.3f)\n",
+		benchName, procs, res.Value, res.Cycles, res.Utilization)
+	if traceOut != "" {
+		fmt.Printf("event trace written to %s (open in Perfetto: https://ui.perfetto.dev)\n", traceOut)
+	}
+	if timelineOut != "" {
+		fmt.Printf("utilization timeline written to %s\n", timelineOut)
 	}
 }

@@ -8,6 +8,7 @@
 //	april -n 8 examples/progs/fib.mt
 //	april -n 16 -lazy -machine april-custom prog.mt
 //	april -n 8 -alewife -stats prog.mt
+//	april -n 8 -alewife -trace trace.json -timeline util.csv prog.mt
 //	april -interp prog.mt           # reference interpreter
 package main
 
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"april"
 )
@@ -32,6 +34,12 @@ func main() {
 		dis     = flag.Bool("S", false, "print the compiled assembly listing and exit")
 		asm     = flag.Bool("asm", false, "treat the input as raw APRIL assembly instead of Mul-T")
 		cycles  = flag.Uint64("max-cycles", 0, "simulation cycle budget (0 = default)")
+
+		traceOut    = flag.String("trace", "", "write the event trace as Chrome trace-event JSON (open in Perfetto) to this path")
+		timelineOut = flag.String("timeline", "", "write the per-node utilization timeline to this path (CSV, or JSON rows with a .json extension)")
+		countersOut = flag.String("counters", "", "write the unified end-of-run counter snapshot as JSON to this path")
+		sample      = flag.Uint64("sample", 0, "timeline sampling interval in cycles (0 = default 4096)")
+		traceCap    = flag.Int("trace-cap", 0, "per-node event ring capacity; the ring keeps the most recent events (0 = default 16384)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -66,6 +74,30 @@ func main() {
 		opts.Alewife = &april.AlewifeOptions{}
 	}
 
+	var traceFiles []*os.File
+	if *traceOut != "" || *timelineOut != "" || *countersOut != "" {
+		topts := &april.TraceOptions{SampleInterval: *sample, Capacity: *traceCap}
+		open := func(path string) *os.File {
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			traceFiles = append(traceFiles, f)
+			return f
+		}
+		if *traceOut != "" {
+			topts.ChromeOut = open(*traceOut)
+		}
+		if *timelineOut != "" {
+			topts.TimelineOut = open(*timelineOut)
+			topts.TimelineJSON = strings.HasSuffix(*timelineOut, ".json")
+		}
+		if *countersOut != "" {
+			topts.CountersOut = open(*countersOut)
+		}
+		opts.Trace = topts
+	}
+
 	if *dis {
 		listing, err := april.Disassemble(src, opts)
 		if err != nil {
@@ -83,6 +115,11 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	for _, f := range traceFiles {
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("=> %s\n", res.Value)
 	if *stats {

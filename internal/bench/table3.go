@@ -56,6 +56,23 @@ type Table3Config struct {
 	// throughput (simulated cycles and instructions over the grid's
 	// wall-clock time).
 	Perf *proc.Perf
+
+	// Stats, when non-nil, receives every run's full statistics dump in
+	// grid order (the -stats-json payload): machine totals, per-node
+	// breakdowns, and host-side throughput.
+	Stats *[]RunStats
+}
+
+// RunStats is one grid run's statistics dump, JSON-exportable.
+type RunStats struct {
+	Label           string       `json:"label"`
+	Nodes           int          `json:"nodes"`
+	Cycles          uint64       `json:"cycles"`
+	Result          string       `json:"result"`
+	ContextSwitches uint64       `json:"context_switches"`
+	Total           proc.Stats   `json:"total"`
+	PerNode         []proc.Stats `json:"per_node"`
+	Perf            proc.Perf    `json:"perf"`
 }
 
 // DefaultTable3Config mirrors the paper's configurations.
@@ -72,6 +89,7 @@ type runOut struct {
 	cycles uint64
 	result string
 	perf   proc.Perf
+	stats  RunStats
 }
 
 // runOnce compiles and runs src on a fresh machine. naive selects the
@@ -99,10 +117,24 @@ func runOnce(src string, mode mult.Mode, prof rts.Profile, lazy bool, nodes int,
 	if err != nil {
 		return runOut{}, err
 	}
+	perf := proc.NewPerf(res.Cycles, m.TotalStats().Instructions, time.Since(start))
+	rs := RunStats{
+		Nodes:   nodes,
+		Cycles:  res.Cycles,
+		Result:  res.Formatted,
+		Total:   m.TotalStats(),
+		PerNode: make([]proc.Stats, 0, len(m.Nodes)),
+		Perf:    perf,
+	}
+	for _, n := range m.Nodes {
+		rs.PerNode = append(rs.PerNode, n.Proc.Stats)
+		rs.ContextSwitches += n.Proc.Engine.Switches
+	}
 	return runOut{
 		cycles: res.Cycles,
 		result: res.Formatted,
-		perf:   proc.NewPerf(res.Cycles, m.TotalStats().Instructions, time.Since(start)),
+		perf:   perf,
+		stats:  rs,
 	}, nil
 }
 
@@ -230,6 +262,17 @@ func Table3(cfg Table3Config) ([]Row, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+
+	if cfg.Stats != nil {
+		// Grid order, so the dump is independent of worker count.
+		all := make([]RunStats, len(outs))
+		for i, o := range outs {
+			rs := o.stats
+			rs.Label = specs[i].label
+			all[i] = rs
+		}
+		*cfg.Stats = all
 	}
 
 	log := func(format string, args ...interface{}) {

@@ -58,6 +58,11 @@ type Engine struct {
 	// the custom APRIL profile is 4.
 	SwitchCycles int
 
+	// OnSwitch, when non-nil, observes every context switch (from, to
+	// frame indices). The simulator's tracer hooks it; it must not
+	// mutate engine state.
+	OnSwitch func(from, to int)
+
 	// Stats.
 	Switches uint64 // context switches performed
 }
@@ -130,8 +135,12 @@ func (e *Engine) Switch(to int) int {
 	if to < 0 || to >= len(e.Frames) {
 		panic(fmt.Sprintf("core: switch to invalid frame %d of %d", to, len(e.Frames)))
 	}
+	from := e.fp
 	e.fp = to
 	e.Switches++
+	if e.OnSwitch != nil {
+		e.OnSwitch(from, to)
+	}
 	return e.SwitchCycles
 }
 

@@ -9,7 +9,11 @@
 //     the end-to-end delay matters.
 package network
 
-import "fmt"
+import (
+	"fmt"
+
+	"april/internal/trace"
+)
 
 // Message is one network packet.
 type Message struct {
@@ -34,6 +38,12 @@ type Network interface {
 	Nodes() int
 	// Stats reports aggregate behavior.
 	Stats() Stats
+	// InFlight counts undelivered packets (including undrained
+	// inboxes) — the occupancy gauge of the timeline sampler.
+	InFlight() int
+	// SetTracer attaches an event tracer (nil detaches). The network
+	// emits inject/hop/deliver events; tracing never changes timing.
+	SetTracer(t *trace.Tracer)
 
 	// NextEvent returns the earliest internal cycle (in the network's
 	// own Tick count) at which a Tick could deliver a message or change
@@ -57,6 +67,7 @@ type Stats struct {
 	TotalLatency uint64 // sum over delivered messages, cycles
 	Delivered    uint64
 	MaxLatency   uint64
+	Hops         uint64 // completed channel transits (packet-level backends only)
 }
 
 // AvgLatency is the mean end-to-end latency of delivered messages.
@@ -155,6 +166,7 @@ type Ideal struct {
 	inbox   [][]*Message // per node
 	pending []*Message
 	stats   Stats
+	trace   *trace.Tracer
 }
 
 // NewIdeal creates an ideal network with the given one-way latency.
@@ -171,6 +183,7 @@ func (n *Ideal) Send(m *Message) {
 	n.pending = append(n.pending, m)
 	n.stats.Messages++
 	n.stats.FlitsSent += uint64(m.Size)
+	n.trace.Emit(m.Src, trace.KNetInject, int32(m.Dst), int32(m.Size), 0, 0)
 }
 
 // Tick implements Network.
@@ -195,6 +208,7 @@ func (n *Ideal) account(m *Message) {
 	if lat > n.stats.MaxLatency {
 		n.stats.MaxLatency = lat
 	}
+	n.trace.Emit(m.Dst, trace.KNetDeliver, int32(m.Src), int32(m.Size), int32(lat), 0)
 }
 
 // Deliveries implements Network.
@@ -234,6 +248,18 @@ func (n *Ideal) Nodes() int { return n.nodes }
 
 // Stats implements Network.
 func (n *Ideal) Stats() Stats { return n.stats }
+
+// InFlight implements Network.
+func (n *Ideal) InFlight() int {
+	c := len(n.pending)
+	for _, box := range n.inbox {
+		c += len(box)
+	}
+	return c
+}
+
+// SetTracer implements Network.
+func (n *Ideal) SetTracer(t *trace.Tracer) { n.trace = t }
 
 var _ Network = (*Ideal)(nil)
 

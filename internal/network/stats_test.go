@@ -1,0 +1,132 @@
+package network
+
+import (
+	"testing"
+
+	"april/internal/trace"
+)
+
+// countKind tallies one node's traced events of kind k.
+func countKind(tr *trace.Tracer, node int, k trace.Kind) int {
+	n := 0
+	for _, ev := range tr.Node(node).Events() {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestTorusStatsKnownRoute(t *testing.T) {
+	tor, err := NewTorus(Geometry{Dim: 2, Radix: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock uint64
+	tr := trace.New(tor.Nodes(), 64, &clock)
+	tor.SetTracer(tr)
+
+	// 0=(0,0) -> 8=(2,2): one wraparound hop per dimension = 2 hops.
+	src, dst, size := 0, 8, 4
+	hops := tor.Geometry().Hops(src, dst)
+	if hops != 2 {
+		t.Fatalf("route hops %d, want 2", hops)
+	}
+	tor.Send(&Message{Src: src, Dst: dst, Size: size})
+
+	s := tor.Stats()
+	if s.Messages != 1 || s.FlitsSent != uint64(size) {
+		t.Errorf("after inject: messages %d flits %d, want 1/%d", s.Messages, s.FlitsSent, size)
+	}
+	for i := 0; i < 100 && tor.Stats().Delivered == 0; i++ {
+		clock++
+		tor.Tick()
+	}
+	s = tor.Stats()
+	if s.Delivered != 1 {
+		t.Fatalf("delivered %d, want 1", s.Delivered)
+	}
+	// Store-and-forward: unloaded end-to-end latency = hops * size.
+	if want := uint64(hops * size); s.TotalLatency != want || s.MaxLatency != want {
+		t.Errorf("latency total %d max %d, want %d", s.TotalLatency, s.MaxLatency, want)
+	}
+	// Every completed channel transit counts, including the final one.
+	if s.Hops != uint64(hops) {
+		t.Errorf("hops %d, want %d", s.Hops, hops)
+	}
+	if got := len(tor.Deliveries(dst)); got != 1 {
+		t.Fatalf("deliveries at %d: %d, want 1", dst, got)
+	}
+	if tor.InFlight() != 0 {
+		t.Errorf("in flight %d after drain, want 0", tor.InFlight())
+	}
+
+	// Traced events: inject at the source, deliver at the destination,
+	// and hops-1 intermediate hop events (the final transit delivers).
+	if got := countKind(tr, src, trace.KNetInject); got != 1 {
+		t.Errorf("inject events at src: %d, want 1", got)
+	}
+	if got := countKind(tr, dst, trace.KNetDeliver); got != 1 {
+		t.Errorf("deliver events at dst: %d, want 1", got)
+	}
+	hopEvents := 0
+	for n := 0; n < tor.Nodes(); n++ {
+		hopEvents += countKind(tr, n, trace.KNetHop)
+	}
+	if hopEvents != hops-1 {
+		t.Errorf("hop events %d, want %d", hopEvents, hops-1)
+	}
+	// The deliver event carries the end-to-end latency.
+	for _, ev := range tr.Node(dst).Events() {
+		if ev.Kind == trace.KNetDeliver {
+			if ev.A != int32(src) || ev.C != int32(hops*size) {
+				t.Errorf("deliver event src=%d latency=%d, want %d/%d", ev.A, ev.C, src, hops*size)
+			}
+		}
+	}
+}
+
+func TestTorusLoopbackLatencyClamped(t *testing.T) {
+	tor, _ := NewTorus(Geometry{Dim: 2, Radix: 3})
+	tor.Send(&Message{Src: 4, Dst: 4, Size: 4})
+	s := tor.Stats()
+	if s.Delivered != 1 {
+		t.Fatalf("loopback not delivered")
+	}
+	if s.TotalLatency != 1 {
+		t.Errorf("loopback latency %d, want 1 (clamped)", s.TotalLatency)
+	}
+	if s.Hops != 0 {
+		t.Errorf("loopback hops %d, want 0", s.Hops)
+	}
+}
+
+func TestIdealStatsAndInFlight(t *testing.T) {
+	n := NewIdeal(4, 5)
+	var clock uint64
+	tr := trace.New(4, 16, &clock)
+	n.SetTracer(tr)
+	n.Send(&Message{Src: 1, Dst: 3, Size: 2})
+	if n.InFlight() != 1 {
+		t.Errorf("in flight %d, want 1", n.InFlight())
+	}
+	for i := 0; i < 5; i++ {
+		n.Tick()
+	}
+	if n.InFlight() != 1 {
+		t.Errorf("in flight %d with undrained inbox, want 1", n.InFlight())
+	}
+	if got := len(n.Deliveries(3)); got != 1 {
+		t.Fatalf("deliveries %d, want 1", got)
+	}
+	if n.InFlight() != 0 {
+		t.Errorf("in flight %d after drain, want 0", n.InFlight())
+	}
+	if countKind(tr, 1, trace.KNetInject) != 1 || countKind(tr, 3, trace.KNetDeliver) != 1 {
+		t.Error("ideal network missing inject/deliver events")
+	}
+	s := n.Stats()
+	if s.Delivered != 1 || s.TotalLatency != 5 {
+		t.Errorf("stats %+v, want delivered 1 latency 5", s)
+	}
+}

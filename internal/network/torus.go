@@ -1,6 +1,10 @@
 package network
 
-import "fmt"
+import (
+	"fmt"
+
+	"april/internal/trace"
+)
 
 // Torus is the packet-level k-ary n-cube. Each node has 2n output
 // channels (one per dimension and direction). Packets follow
@@ -14,6 +18,7 @@ type Torus struct {
 	inbox    [][]*Message
 	now      uint64
 	stats    Stats
+	trace    *trace.Tracer
 }
 
 type channel struct {
@@ -76,6 +81,7 @@ func (t *Torus) Send(m *Message) {
 	m.sentAt = t.now
 	t.stats.Messages++
 	t.stats.FlitsSent += uint64(m.Size)
+	t.trace.Emit(m.Src, trace.KNetInject, int32(m.Dst), int32(m.Size), 0, 0)
 	if m.Src == m.Dst {
 		// Loopback: delivered next tick without using the network.
 		m.route = nil
@@ -97,6 +103,7 @@ func (t *Torus) Send(m *Message) {
 func (t *Torus) Tick() {
 	t.now++
 	var moved []*Message
+	var movedFrom []int // channel each moved packet just completed
 	for i := range t.channels {
 		c := &t.channels[i]
 		if c.busy == 0 && len(c.queue) > 0 {
@@ -108,14 +115,19 @@ func (t *Torus) Tick() {
 				m := c.queue[0]
 				c.queue = c.queue[1:]
 				moved = append(moved, m)
+				movedFrom = append(movedFrom, i)
 			}
 		}
 	}
-	for _, m := range moved {
+	for i, m := range moved {
+		t.stats.Hops++
 		if len(m.route) == 0 {
 			t.inbox[m.Dst] = append(t.inbox[m.Dst], m)
 			t.account(m)
 		} else {
+			// Intermediate hop: attributed to the node owning the
+			// channel the packet just left.
+			t.trace.Emit(movedFrom[i]/(2*t.geo.Dim), trace.KNetHop, int32(m.Dst), int32(m.Size), 0, 0)
 			next := m.route[0]
 			m.route = m.route[1:]
 			t.channels[next].queue = append(t.channels[next].queue, m)
@@ -133,6 +145,7 @@ func (t *Torus) account(m *Message) {
 	if lat > t.stats.MaxLatency {
 		t.stats.MaxLatency = lat
 	}
+	t.trace.Emit(m.Dst, trace.KNetDeliver, int32(m.Src), int32(m.Size), int32(lat), 0)
 }
 
 // Deliveries implements Network.
@@ -148,14 +161,20 @@ func (t *Torus) Nodes() int { return t.geo.Nodes() }
 // Stats implements Network.
 func (t *Torus) Stats() Stats { return t.stats }
 
-// InFlight counts undelivered packets (for draining in tests).
+// InFlight counts undelivered packets, including undrained inboxes.
 func (t *Torus) InFlight() int {
 	n := 0
 	for i := range t.channels {
 		n += len(t.channels[i].queue)
 	}
+	for _, box := range t.inbox {
+		n += len(box)
+	}
 	return n
 }
+
+// SetTracer implements Network.
+func (t *Torus) SetTracer(tr *trace.Tracer) { t.trace = tr }
 
 // NextEvent implements Network. A channel mid-transmission completes
 // its head packet after `busy` more Ticks; an idle channel with a

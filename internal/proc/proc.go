@@ -6,6 +6,7 @@ import (
 
 	"april/internal/core"
 	"april/internal/isa"
+	"april/internal/trace"
 )
 
 // Handler is the software side of the trap mechanism: the run-time
@@ -80,6 +81,11 @@ type Processor struct {
 	Halted bool
 	Stats  Stats
 
+	// Trace, when non-nil, records trap events (and is shared with the
+	// runtime and memory system for theirs). Tracing never changes
+	// simulated behavior.
+	Trace *trace.Tracer
+
 	// The IPI queue is drained with a head index rather than by
 	// reslicing: popping via pendingIPI = pendingIPI[1:] would both
 	// strand delivered payloads in the backing array (keeping them
@@ -115,8 +121,12 @@ func (p *Processor) trap(t core.Trap) (int, error) {
 	if p.Handler == nil {
 		return 0, fmt.Errorf("%w: %v", ErrNoHandler, t)
 	}
+	frame := p.Engine.FP() // the frame the trap was delivered in
 	cycles, err := p.Handler.HandleTrap(p, t)
 	p.Stats.TrapCycles += uint64(cycles)
+	if err == nil {
+		p.Trace.Emit(p.ID, trace.KTrap, int32(t.Kind), int32(t.PC), int32(cycles), int32(frame))
+	}
 	return cycles, err
 }
 

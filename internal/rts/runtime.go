@@ -9,6 +9,7 @@ import (
 	"april/internal/isa"
 	"april/internal/mem"
 	"april/internal/proc"
+	"april/internal/trace"
 )
 
 // NodeRT is the per-processor runtime: the trap handlers and the idle
@@ -21,6 +22,10 @@ type NodeRT struct {
 
 	// IPIHook, when set, receives interprocessor interrupts (§3.4).
 	IPIHook func(payload isa.Word)
+
+	// Trace records scheduler events and context-switch causes; nil
+	// when tracing is disabled.
+	Trace *trace.Tracer
 
 	// stuck tracks, per task frame, how many times the loaded thread
 	// has consecutively retried the same trapping PC without success;
@@ -110,6 +115,7 @@ func (n *NodeRT) HandleTrap(p *proc.Processor, t core.Trap) (int, error) {
 		// The controller forces a context switch while it services the
 		// remote request (Section 3.1); the instruction retries when
 		// the thread next runs.
+		n.Trace.SetSwitchCause(n.Node, trace.CauseCacheMiss)
 		return p.Engine.SwitchNext(), nil
 	case core.TrapSyscall:
 		return n.syscall(p, t)
@@ -165,10 +171,12 @@ func (n *NodeRT) touch(p *proc.Processor, f isa.Word, reg uint8, pc uint32, soft
 		if t != nil {
 			n.unloadThread(p, t)
 			s.AddWaiter(isa.PointerAddress(f), t)
+			n.Trace.Emit(n.Node, trace.KBlock, int32(t.ID), int32(isa.PointerAddress(f)), 0, 0)
 			n.clearStuck(p)
 			return cost + n.Prof.ThreadUnload, nil
 		}
 	}
+	n.Trace.SetSwitchCause(n.Node, trace.CauseFuture)
 	return cost + p.Engine.SwitchNext(), nil
 }
 
@@ -186,6 +194,7 @@ func (n *NodeRT) syncFault(p *proc.Processor, pc uint32) (int, error) {
 			return n.Prof.TrapEntry + n.Prof.TouchDecide + n.Prof.ThreadUnload, nil
 		}
 	}
+	n.Trace.SetSwitchCause(n.Node, trace.CauseSync)
 	return n.Prof.TrapEntry + p.Engine.SwitchNext(), nil
 }
 
@@ -235,6 +244,7 @@ func (n *NodeRT) syscall(p *proc.Processor, t core.Trap) (int, error) {
 		th.Future = fut
 		s.PushReady(th)
 		s.Stats.TasksCreated++
+		n.Trace.Emit(n.Node, trace.KTaskCreate, int32(th.ID), int32(entry), 0, 0)
 		e.SetReg(isa.RArg0, fut)
 		return n.Prof.FutureNew, nil
 
@@ -298,6 +308,7 @@ func (n *NodeRT) syscall(p *proc.Processor, t core.Trap) (int, error) {
 		code := abi.TrapReg(t.Service)
 		return 0, fmt.Errorf("rts: program error %d at pc=%d (%s)", code, t.PC, errName(code))
 	case abi.SvcYield:
+		n.Trace.SetSwitchCause(n.Node, trace.CauseYield)
 		return e.SwitchNext(), nil
 	}
 	return 0, fmt.Errorf("rts: unknown syscall %d", abi.TrapService(t.Service))
@@ -338,6 +349,7 @@ func (n *NodeRT) loadThread(p *proc.Processor, t *Thread) (int, error) {
 	f.PSR = t.PSR
 	f.ThreadID = t.ID
 	t.State = ThreadLoaded
+	n.Trace.Emit(n.Node, trace.KThreadLoad, int32(p.Engine.FP()), int32(t.ID), 0, 0)
 	return n.Prof.ThreadLoad, nil
 }
 
@@ -348,6 +360,7 @@ func (n *NodeRT) unloadThread(p *proc.Processor, t *Thread) {
 	t.PC, t.NPC = f.PC, f.NPC
 	t.PSR = f.PSR
 	f.Reset()
+	n.Trace.Emit(n.Node, trace.KThreadUnload, int32(p.Engine.FP()), int32(t.ID), 0, 0)
 }
 
 // Idle implements proc.Handler: the active frame is empty, so find
@@ -361,6 +374,7 @@ func (n *NodeRT) Idle(p *proc.Processor) (int, error) {
 		return n.Prof.Dequeue + c, err
 	}
 	if t := s.StealReady(n.Node); t != nil {
+		n.Trace.Emit(n.Node, trace.KThreadSteal, int32(t.ID), int32(t.Home), 0, 0)
 		c, err := n.loadThread(p, t)
 		return n.Prof.Dequeue + c, err
 	}
@@ -371,6 +385,7 @@ func (n *NodeRT) Idle(p *proc.Processor) (int, error) {
 	}
 	// Nothing to load: if other frames hold threads, rotate to them.
 	if p.Engine.LoadedThreads() > 0 {
+		n.Trace.SetSwitchCause(n.Node, trace.CauseIdle)
 		return p.Engine.SwitchNext(), nil
 	}
 	return n.Prof.Idle, nil
@@ -443,6 +458,7 @@ func (n *NodeRT) stealMarker(p *proc.Processor) (int, bool, error) {
 
 	s.Stats.Steals++
 	s.Stats.StealWords += uint64(region / 4)
+	n.Trace.Emit(n.Node, trace.KSteal, int32(victim.ID), int32(t.ID), int32(region/4), 0)
 
 	cost := n.Prof.Steal + n.Prof.StealPerWord*int(region/4)
 	loadCost, err := n.loadThread(p, t)

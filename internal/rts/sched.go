@@ -7,6 +7,7 @@ import (
 	"april/internal/abi"
 	"april/internal/isa"
 	"april/internal/mem"
+	"april/internal/trace"
 )
 
 // Stats counts scheduler events across the machine.
@@ -39,6 +40,10 @@ type Scheduler struct {
 	MainResult isa.Word
 
 	Stats Stats
+
+	// Trace records machine-wide scheduler events (wakes); nil when
+	// tracing is disabled.
+	Trace *trace.Tracer
 
 	threads []*Thread
 	ready   [][]int // per-node LIFO (newest at the end)
@@ -183,6 +188,9 @@ func (s *Scheduler) Resolve(f isa.Word, value isa.Word) error {
 		if t.State == ThreadBlocked {
 			s.PushReady(t)
 			s.Stats.Wakes++
+			// Attributed to the woken thread's home node: that is whose
+			// ready queue receives it.
+			s.Trace.Emit(t.Home, trace.KWake, int32(t.ID), int32(base), 0, 0)
 		}
 	}
 	delete(s.waiters, base)

@@ -9,6 +9,7 @@ import (
 	"april/internal/mem"
 	"april/internal/network"
 	"april/internal/proc"
+	"april/internal/trace"
 )
 
 // AlewifeConfig enables the full ALEWIFE memory system: per-node
@@ -54,12 +55,13 @@ func (a *AlewifeConfig) fill(nodes int) error {
 
 // netFabric owns the interconnect and the per-node cache controllers.
 type netFabric struct {
-	m    *Machine
-	cfg  *AlewifeConfig
-	net  network.Network
-	ctls []*cacheCtl
-	dist mem.Distribution
-	now  uint64
+	m     *Machine
+	cfg   *AlewifeConfig
+	net   network.Network
+	ctls  []*cacheCtl
+	dist  mem.Distribution
+	now   uint64
+	trace *trace.Tracer
 }
 
 func (m *Machine) initAlewife() error {
@@ -249,6 +251,15 @@ type outMsg struct {
 func (c *cacheCtl) send(dst int, msg directory.Msg, delay int) {
 	msg.From = c.node
 	c.outbox = append(c.outbox, outMsg{msg: msg, dst: dst, readyAt: c.fabric.now + uint64(delay)})
+	c.fabric.trace.Emit(c.node, trace.KProtoSend,
+		int32(msg.Kind), int32(msg.Block), int32(dst), int32(msg.Size(c.fabric.cfg.Cache.BlockBytes)))
+}
+
+// dirTrans records a directory state transition at this home node.
+func (c *cacheCtl) dirTrans(block uint32, old, new directory.State, who int) {
+	if old != new {
+		c.fabric.trace.Emit(c.node, trace.KDirTrans, int32(block), int32(old), int32(new), int32(who))
+	}
 }
 
 func (c *cacheCtl) flushOutbox() {
@@ -313,11 +324,13 @@ func (c *cacheCtl) Access(addr uint32, f isa.MemFlavor, store bool, value isa.Wo
 				c.cache.MarkDirty(block)
 			}
 			c.Stats.LocalMisses++
+			c.fabric.trace.Emit(c.node, trace.KLocalMiss, int32(block), int32(stall), b2i(needWrite), 0)
 			return res, err
 		}
 		// Home here, but third parties hold the block: run the home
 		// transaction against ourselves as requester.
 		c.pending[block] = &missState{write: needWrite, start: c.fabric.now}
+		c.fabric.trace.Emit(c.node, trace.KMissStart, int32(block), b2i(needWrite), int32(home), 0)
 		kind := directory.ReadReq
 		if needWrite {
 			kind = directory.WriteReq
@@ -328,12 +341,20 @@ func (c *cacheCtl) Access(addr uint32, f isa.MemFlavor, store bool, value isa.Wo
 
 	// Remote home: issue the request.
 	c.pending[block] = &missState{write: needWrite, start: c.fabric.now}
+	c.fabric.trace.Emit(c.node, trace.KMissStart, int32(block), b2i(needWrite), int32(home), 0)
 	kind := directory.ReadReq
 	if needWrite {
 		kind = directory.WriteReq
 	}
 	c.send(home, directory.Msg{Kind: kind, Block: block}, 0)
 	return c.missResult(f), nil
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // missResult is the reply while a transaction is outstanding: trap
@@ -353,6 +374,7 @@ func (c *cacheCtl) tryLocal(block uint32, write bool) (stall int, ok bool) {
 	}
 	e := c.dir.Entry(block)
 	self := c.node
+	old := e.State
 	switch e.State {
 	case directory.Uncached:
 	case directory.Shared:
@@ -383,6 +405,7 @@ func (c *cacheCtl) tryLocal(block uint32, write bool) (stall int, ok bool) {
 		}
 		e.Sharers.Add(self)
 	}
+	c.dirTrans(block, old, e.State, self)
 	c.install(block, write)
 	return c.fabric.cfg.MemLatency, true
 }
@@ -421,6 +444,7 @@ func (c *cacheCtl) handle(msg directory.Msg) {
 			if e.State == directory.Exclusive && e.Owner == msg.From {
 				e.State = directory.Uncached
 				e.Owner = -1
+				c.dirTrans(msg.Block, directory.Exclusive, directory.Uncached, msg.From)
 			}
 		}
 		c.dir.Writebacks++
@@ -447,6 +471,8 @@ func (c *cacheCtl) handle(msg directory.Msg) {
 		delete(c.pending, msg.Block)
 		c.Stats.RemoteMisses++
 		c.Stats.RemoteLatency += c.fabric.now - ms.start
+		c.fabric.trace.Emit(c.node, trace.KMissFill,
+			int32(msg.Block), int32(c.fabric.now-ms.start), b2i(msg.Kind == directory.DataEx), b2i(ms.poisoned))
 		if ms.poisoned {
 			// A recall crossed this grant: the copy is already claimed
 			// by a newer transaction. Drop it; the access re-requests
@@ -542,6 +568,8 @@ func (c *cacheCtl) homeRequest(req directory.Msg) {
 	e := c.dir.Entry(req.Block)
 	lat := c.fabric.cfg.MemLatency
 	write := req.Kind == directory.WriteReq
+	old := e.State
+	defer func() { c.dirTrans(req.Block, old, e.State, req.From) }()
 
 	if !write {
 		c.dir.ReadMisses++
@@ -613,6 +641,7 @@ func (c *cacheCtl) homeAck(msg directory.Msg) {
 	delete(c.homeTx, msg.Block)
 	e := c.dir.Entry(msg.Block)
 	lat := c.fabric.cfg.MemLatency
+	old := e.State
 	if tx.write {
 		e.State = directory.Exclusive
 		e.Owner = tx.requester
@@ -628,6 +657,7 @@ func (c *cacheCtl) homeAck(msg directory.Msg) {
 		e.Sharers.Add(tx.requester)
 		c.send(tx.requester, directory.Msg{Kind: directory.Data, Block: msg.Block}, lat)
 	}
+	c.dirTrans(msg.Block, old, e.State, tx.requester)
 	// Serve queued requests in arrival order.
 	queued := tx.queued
 	for _, q := range queued {

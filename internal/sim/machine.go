@@ -30,6 +30,7 @@ import (
 	"april/internal/mem"
 	"april/internal/proc"
 	"april/internal/rts"
+	"april/internal/trace"
 )
 
 // Config describes a machine.
@@ -77,6 +78,11 @@ type Machine struct {
 	net        *netFabric // nil in perfect-memory mode
 	now        uint64
 	loaded     bool
+
+	// Observability (nil unless enabled; see observe.go).
+	tracer     *trace.Tracer
+	sampler    *trace.Sampler
+	lastSample []proc.Stats // per-node stats at the previous sample
 }
 
 // New builds a machine. Compile programs against StaticHeap(), then
@@ -195,11 +201,24 @@ func (m *Machine) Run() (Result, error) {
 	// — and no scan points the fast-forward jumps could miss).
 	lastProgress := m.now
 	for !m.Sched.MainDone {
+		// Close the sampling window before executing its boundary cycle,
+		// so rows land at identical cycles with or without fast-forward.
+		if m.sampler != nil && m.now >= m.sampler.NextBoundary() {
+			m.sample()
+			m.sampler.Advance(m.now)
+		}
 		if m.now >= m.Cfg.MaxCycles {
 			return Result{}, fmt.Errorf("sim: exceeded cycle budget %d", m.Cfg.MaxCycles)
 		}
 		if fast {
-			m.fastForwardUntil(m.Cfg.MaxCycles)
+			limit := m.Cfg.MaxCycles
+			// Never jump past a sampling boundary: capping a skip shorter
+			// cannot change simulated state (skips compose), it only makes
+			// the sampler observe it.
+			if m.sampler != nil && m.sampler.NextBoundary() < limit {
+				limit = m.sampler.NextBoundary()
+			}
+			m.fastForwardUntil(limit)
 			// A capped jump can land exactly on the budget; the naive
 			// loop errors out before executing that cycle, so match it.
 			if m.now >= m.Cfg.MaxCycles {
@@ -235,6 +254,11 @@ func (m *Machine) Run() (Result, error) {
 			return Result{}, fmt.Errorf("%w: %d threads live, %d ready, %d blocked",
 				ErrDeadlock, m.Sched.LiveThreads(), m.Sched.ReadyCount(), m.Sched.BlockedCount())
 		}
+	}
+	if m.sampler != nil {
+		// Final partial window: the series now sums to the end-of-run
+		// Stats exactly.
+		m.sample()
 	}
 	v := m.Sched.MainResult
 	return Result{

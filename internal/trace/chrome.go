@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: serializes the tracer's rings in the
+// Chrome trace-event "JSON object format" ({"traceEvents": [...]}),
+// which loads directly in Perfetto (ui.perfetto.dev) and
+// chrome://tracing. The mapping:
+//
+//   - one trace "process" per node (pid = node id);
+//   - one "thread" per hardware task frame (tid = frame index), whose
+//     duration slices are the runs: a slice opens when the frame
+//     becomes active and is named for the loaded thread ("t7") or
+//     "idle" when the frame is empty;
+//   - extra per-node tracks for traps (duration = handler cycles),
+//     memory-system events, network events and scheduler events;
+//   - cache-miss transactions as async begin/end pairs keyed by block,
+//     so Perfetto draws request-to-grant spans.
+//
+// One simulated cycle maps to one microsecond of trace time (the
+// trace-event format has no unitless timestamps).
+
+// Extra per-node track ids, placed after the task-frame tids.
+const (
+	tidTraps = iota
+	tidMem
+	tidNet
+	tidSched
+)
+
+type chromeEvent struct {
+	Name string                 `json:"name,omitempty"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	Ts   uint64                 `json:"ts"`
+	Dur  uint64                 `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	ID   string                 `json:"id,omitempty"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome serializes the trace for a machine with the given number
+// of task frames per node; endCycle (the run's final cycle) closes the
+// trailing run slices.
+func WriteChrome(w io.Writer, t *Tracer, frames int, endCycle uint64) error {
+	if t == nil {
+		return fmt.Errorf("trace: no tracer attached")
+	}
+	if frames < 1 {
+		frames = 1
+	}
+	var out []chromeEvent
+	meta := func(pid, tid int, kind, name string) {
+		args := map[string]interface{}{"name": name}
+		out = append(out, chromeEvent{Name: kind, Ph: "M", Pid: pid, Tid: tid, Args: args})
+	}
+	for node := 0; node < t.Nodes(); node++ {
+		meta(node, 0, "process_name", fmt.Sprintf("node %d", node))
+		for f := 0; f < frames; f++ {
+			meta(node, f, "thread_name", fmt.Sprintf("frame %d", f))
+		}
+		meta(node, frames+tidTraps, "thread_name", "traps")
+		meta(node, frames+tidMem, "thread_name", "memory")
+		meta(node, frames+tidNet, "thread_name", "network")
+		meta(node, frames+tidSched, "thread_name", "scheduler")
+		out = append(out, nodeEvents(t.Node(node), node, frames, endCycle)...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+// nodeEvents converts one node's ring into trace events.
+func nodeEvents(r *Ring, node, frames int, endCycle uint64) []chromeEvent {
+	var out []chromeEvent
+
+	// Run-slice reconstruction: activeFrame runs from openSince until
+	// the next switch (or load/unload renaming it). Complete ("X")
+	// events avoid begin/end matching problems when the ring dropped
+	// the opening event.
+	frameThread := make([]int32, frames)
+	for i := range frameThread {
+		frameThread[i] = -1
+	}
+	activeFrame := 0
+	var openSince uint64
+	haveOpen := false
+	runName := func(f int) string {
+		if f >= 0 && f < frames && frameThread[f] >= 0 {
+			return fmt.Sprintf("t%d", frameThread[f])
+		}
+		return "idle"
+	}
+	closeRun := func(at uint64) {
+		if !haveOpen || at <= openSince {
+			return
+		}
+		out = append(out, chromeEvent{
+			Name: runName(activeFrame), Cat: "run", Ph: "X",
+			Ts: openSince, Dur: at - openSince, Pid: node, Tid: activeFrame,
+		})
+	}
+	instant := func(ev Event, tid int, name string, args map[string]interface{}) {
+		out = append(out, chromeEvent{
+			Name: name, Ph: "i", Ts: ev.Cycle, Pid: node, Tid: frames + tid,
+			S: "t", Args: args,
+		})
+	}
+
+	events := r.Events()
+	for _, ev := range events {
+		switch ev.Kind {
+		case KSwitch:
+			closeRun(ev.Cycle)
+			activeFrame = int(ev.B)
+			openSince, haveOpen = ev.Cycle, true
+			instant(ev, tidSched, "switch", map[string]interface{}{
+				"from": ev.A, "to": ev.B, "cause": CauseName(ev.C),
+			})
+
+		case KThreadLoad, KThreadUnload:
+			f := int(ev.A)
+			if f == activeFrame {
+				closeRun(ev.Cycle)
+				openSince, haveOpen = ev.Cycle, true
+			}
+			if f >= 0 && f < frames {
+				if ev.Kind == KThreadLoad {
+					frameThread[f] = ev.B
+				} else {
+					frameThread[f] = -1
+				}
+			}
+
+		case KTrap:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("trap:%d", ev.A), Cat: "trap", Ph: "X",
+				Ts: ev.Cycle, Dur: uint64(max32(ev.C, 1)), Pid: node, Tid: frames + tidTraps,
+				Args: map[string]interface{}{"pc": ev.B, "frame": ev.D},
+			})
+
+		case KMissStart:
+			out = append(out, chromeEvent{
+				Name: "miss", Cat: "miss", Ph: "b", Ts: ev.Cycle,
+				Pid: node, Tid: frames + tidMem, ID: fmt.Sprintf("%d.%d", node, ev.A),
+				Args: map[string]interface{}{"block": ev.A, "write": ev.B, "home": ev.C},
+			})
+		case KMissFill:
+			out = append(out, chromeEvent{
+				Name: "miss", Cat: "miss", Ph: "e", Ts: ev.Cycle,
+				Pid: node, Tid: frames + tidMem, ID: fmt.Sprintf("%d.%d", node, ev.A),
+				Args: map[string]interface{}{"block": ev.A, "latency": ev.B, "exclusive": ev.C, "stale": ev.D},
+			})
+		case KLocalMiss:
+			instant(ev, tidMem, "local-miss", map[string]interface{}{
+				"block": ev.A, "stall": ev.B, "write": ev.C,
+			})
+		case KDirTrans:
+			instant(ev, tidMem, "dir", map[string]interface{}{
+				"block": ev.A, "from": ev.B, "to": ev.C, "requester": ev.D,
+			})
+		case KProtoSend:
+			instant(ev, tidMem, "proto-send", map[string]interface{}{
+				"kind": ev.A, "block": ev.B, "dst": ev.C, "flits": ev.D,
+			})
+
+		case KNetInject:
+			instant(ev, tidNet, "inject", map[string]interface{}{"dst": ev.A, "flits": ev.B})
+		case KNetHop:
+			instant(ev, tidNet, "hop", map[string]interface{}{"dst": ev.A, "flits": ev.B})
+		case KNetDeliver:
+			instant(ev, tidNet, "deliver", map[string]interface{}{
+				"src": ev.A, "flits": ev.B, "latency": ev.C,
+			})
+
+		case KTaskCreate:
+			instant(ev, tidSched, "task-create", map[string]interface{}{"thread": ev.A, "entry": ev.B})
+		case KSteal:
+			instant(ev, tidSched, "steal", map[string]interface{}{
+				"victim": ev.A, "thread": ev.B, "words": ev.C,
+			})
+		case KThreadSteal:
+			instant(ev, tidSched, "thread-steal", map[string]interface{}{"thread": ev.A, "from": ev.B})
+		case KBlock:
+			instant(ev, tidSched, "block", map[string]interface{}{"thread": ev.A, "future": ev.B})
+		case KWake:
+			instant(ev, tidSched, "wake", map[string]interface{}{"thread": ev.A, "future": ev.B})
+		}
+	}
+	// Open the initial slice lazily: if no switch was ever recorded the
+	// frame ran uninterrupted; represent it from the first event.
+	if !haveOpen && len(events) > 0 {
+		openSince, haveOpen = events[0].Cycle, true
+	}
+	closeRun(endCycle)
+	return out
+}
+
+func max32(a, b int32) uint64 {
+	if a > b {
+		return uint64(a)
+	}
+	return uint64(b)
+}

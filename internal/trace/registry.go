@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Registry unifies the stats scattered across subsystems (processor,
+// scheduler, caches, directories, network) behind one Snapshot. Each
+// subsystem registers a named group with a closure that reads its
+// counters at snapshot time; the registry itself holds no state, so a
+// snapshot always reflects the current values.
+type Registry struct {
+	names []string
+	fns   []func() map[string]uint64
+}
+
+// Register adds a counter group. Group names registered twice keep
+// both entries; the later one wins in Snapshot (maps merge by key).
+func (r *Registry) Register(group string, fn func() map[string]uint64) {
+	r.names = append(r.names, group)
+	r.fns = append(r.fns, fn)
+}
+
+// Groups lists registered group names in registration order.
+func (r *Registry) Groups() []string {
+	return append([]string(nil), r.names...)
+}
+
+// Snapshot reads every group. The result marshals to deterministic
+// JSON (encoding/json sorts map keys).
+func (r *Registry) Snapshot() map[string]map[string]uint64 {
+	out := make(map[string]map[string]uint64, len(r.names))
+	for i, name := range r.names {
+		out[name] = r.fns[i]()
+	}
+	return out
+}
+
+// WriteJSON emits an indented snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

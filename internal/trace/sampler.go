@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sample is one node's activity over one sampling window: the cycle
+// category deltas since the previous sample, plus instantaneous
+// occupancy gauges. The machine appends one row per node per window
+// boundary (and a final partial window at run end), so summing a
+// node's deltas reproduces its end-of-run Stats exactly.
+type Sample struct {
+	Cycle uint64 `json:"cycle"` // window end, in simulated cycles
+	Node  int    `json:"node"`
+
+	// Cycle category deltas over the window.
+	Useful uint64 `json:"useful"`
+	Wait   uint64 `json:"wait"`
+	Trap   uint64 `json:"trap"`
+	Idle   uint64 `json:"idle"`
+
+	// Utilization is Useful over the window's accounted cycles (0 for
+	// an empty window — never NaN).
+	Utilization float64 `json:"utilization"`
+
+	// Gauges at the window boundary.
+	Resident          int `json:"resident_threads"`   // threads loaded in task frames
+	OutstandingRemote int `json:"outstanding_remote"` // in-flight directory transactions
+	NetInFlight       int `json:"net_in_flight"`      // machine-wide undelivered packets
+}
+
+// Total is the window's accounted cycle count.
+func (s Sample) Total() uint64 { return s.Useful + s.Wait + s.Trap + s.Idle }
+
+// SafeRate is num/den, or 0 when the denominator is zero — the
+// emitted JSON and CSV must never contain NaN or Inf, even for
+// zero-duration runs or empty windows.
+func SafeRate(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Sampler accumulates the per-node time series. The machine drives it:
+// NextBoundary says when the next window closes, Append adds rows, and
+// Advance moves the boundary past the current cycle.
+type Sampler struct {
+	interval uint64
+	next     uint64
+	rows     []Sample
+}
+
+// DefaultSampleInterval balances resolution against row volume for the
+// Table 3 workloads (hundreds of rows per node on the paper sizes).
+const DefaultSampleInterval = 4096
+
+// NewSampler creates a sampler with the given window size in cycles.
+func NewSampler(interval uint64) *Sampler {
+	if interval == 0 {
+		interval = DefaultSampleInterval
+	}
+	return &Sampler{interval: interval, next: interval}
+}
+
+// Interval is the configured window size.
+func (s *Sampler) Interval() uint64 { return s.interval }
+
+// NextBoundary is the cycle at which the current window closes.
+func (s *Sampler) NextBoundary() uint64 { return s.next }
+
+// Append adds one row.
+func (s *Sampler) Append(row Sample) { s.rows = append(s.rows, row) }
+
+// Advance moves the window boundary strictly past now.
+func (s *Sampler) Advance(now uint64) {
+	for s.next <= now {
+		s.next += s.interval
+	}
+}
+
+// Rows returns the accumulated samples in append order (grouped by
+// window, node-major within a window).
+func (s *Sampler) Rows() []Sample { return s.rows }
+
+// MeanUtilization is the whole-run utilization implied by the series:
+// total useful cycles over total accounted cycles, across all nodes.
+// With the machine's final partial window included this matches the
+// Stats-derived utilization exactly.
+func (s *Sampler) MeanUtilization() float64 {
+	var useful, total uint64
+	for _, r := range s.rows {
+		useful += r.Useful
+		total += r.Total()
+	}
+	return SafeRate(useful, total)
+}
+
+// NodeMeanUtilization is MeanUtilization restricted to one node.
+func (s *Sampler) NodeMeanUtilization(node int) float64 {
+	var useful, total uint64
+	for _, r := range s.rows {
+		if r.Node == node {
+			useful += r.Useful
+			total += r.Total()
+		}
+	}
+	return SafeRate(useful, total)
+}
+
+// WriteCSV emits the series as CSV with a header row.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"cycle", "node", "utilization", "useful", "wait", "trap", "idle",
+		"resident_threads", "outstanding_remote", "net_in_flight",
+	}); err != nil {
+		return err
+	}
+	for _, r := range s.rows {
+		rec := []string{
+			strconv.FormatUint(r.Cycle, 10),
+			strconv.Itoa(r.Node),
+			strconv.FormatFloat(r.Utilization, 'f', 6, 64),
+			strconv.FormatUint(r.Useful, 10),
+			strconv.FormatUint(r.Wait, 10),
+			strconv.FormatUint(r.Trap, 10),
+			strconv.FormatUint(r.Idle, 10),
+			strconv.Itoa(r.Resident),
+			strconv.Itoa(r.OutstandingRemote),
+			strconv.Itoa(r.NetInFlight),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the series as a JSON array.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	rows := s.rows
+	if rows == nil {
+		rows = []Sample{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		return fmt.Errorf("trace: timeline json: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,334 @@
+// Package trace is the simulator's observability layer: a low-overhead
+// deterministic event tracer plus time-series sampling over simulated
+// cycles. The paper's claims are time-resolved — 4-11 cycle context
+// switches, network round trips, processor utilization U(p) over a run
+// (Section 8, Figure 5) — so the aggregate end-of-run counters alone
+// cannot validate them; this package records *when* things happen.
+//
+// Design constraints, in order:
+//
+//   - Zero cost when disabled. Every subsystem holds a *Tracer that is
+//     nil unless tracing was requested; Emit on a nil receiver returns
+//     immediately, so the instrumented hot paths pay one nil check.
+//   - Allocation-free on the hot path. Each node owns a fixed-capacity
+//     power-of-two ring of value-typed events; recording is an index
+//     store. When the ring wraps, the oldest events are overwritten
+//     (the trace keeps the most recent window, like a flight recorder).
+//   - No feedback into simulation. The tracer only observes: simulated
+//     results are bit-identical with tracing on or off, which the
+//     differential tests in internal/sim hold it to.
+//
+// Timestamps come from a clock pointer into the machine's cycle
+// counter, so events are stamped with the simulated cycle at which they
+// occur, not host time.
+package trace
+
+// Kind enumerates the traced event types. Each event carries four
+// int32 arguments A-D whose meaning is per-kind (documented on the
+// constants); keeping the event fixed-size keeps the ring index-stored
+// and allocation free.
+type Kind uint8
+
+const (
+	KNone Kind = iota
+
+	// KSwitch: a context switch. A=from frame, B=to frame, C=cause
+	// (one of the Cause* constants).
+	KSwitch
+
+	// KTrap: a trap was delivered and handled. A=core.TrapKind,
+	// B=trapping PC, C=handler cycles consumed, D=task frame.
+	KTrap
+
+	// KMissStart: a cache miss began a (possibly remote) directory
+	// transaction. A=block, B=1 for a write/upgrade, C=home node.
+	KMissStart
+
+	// KMissFill: the data grant for an outstanding miss arrived.
+	// A=block, B=request-to-grant latency in cycles, C=1 if exclusive,
+	// D=1 if the grant was dropped as stale (a recall crossed it).
+	KMissFill
+
+	// KLocalMiss: a miss satisfied at the home node without the
+	// network. A=block, B=stall cycles, C=1 for a write.
+	KLocalMiss
+
+	// KDirTrans: a directory entry changed state at its home.
+	// A=block, B=old directory.State, C=new state, D=requester node.
+	KDirTrans
+
+	// KProtoSend: a coherence protocol message left a controller.
+	// A=directory.MsgKind, B=block, C=destination node, D=flits.
+	KProtoSend
+
+	// KNetInject: a packet entered the interconnect. A=destination,
+	// B=flits.
+	KNetInject
+
+	// KNetHop: a packet completed one channel and moved to the next.
+	// A=destination, B=flits. The node is the hop's channel owner.
+	KNetHop
+
+	// KNetDeliver: a packet arrived at its destination. A=source,
+	// B=flits, C=end-to-end latency in cycles.
+	KNetDeliver
+
+	// KTaskCreate: an eager future task was created. A=thread id,
+	// B=entry PC.
+	KTaskCreate
+
+	// KSteal: a lazy continuation marker was stolen. A=victim thread,
+	// B=new thread, C=stack words copied.
+	KSteal
+
+	// KThreadSteal: an eager task was taken from a remote ready queue.
+	// A=thread id, B=the queue's node.
+	KThreadSteal
+
+	// KBlock: a thread blocked on an unresolved future. A=thread id,
+	// B=future base address.
+	KBlock
+
+	// KWake: a thread was woken by a future resolving. A=thread id,
+	// B=future base address. The node is the thread's home.
+	KWake
+
+	// KThreadLoad: a thread was installed in a task frame. A=frame,
+	// B=thread id.
+	KThreadLoad
+
+	// KThreadUnload: a thread was saved out of its task frame.
+	// A=frame, B=thread id.
+	KThreadUnload
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	KNone:         "none",
+	KSwitch:       "switch",
+	KTrap:         "trap",
+	KMissStart:    "miss-start",
+	KMissFill:     "miss-fill",
+	KLocalMiss:    "local-miss",
+	KDirTrans:     "dir-trans",
+	KProtoSend:    "proto-send",
+	KNetInject:    "net-inject",
+	KNetHop:       "net-hop",
+	KNetDeliver:   "net-deliver",
+	KTaskCreate:   "task-create",
+	KSteal:        "steal",
+	KThreadSteal:  "thread-steal",
+	KBlock:        "block",
+	KWake:         "wake",
+	KThreadLoad:   "thread-load",
+	KThreadUnload: "thread-unload",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// Switch causes (the C argument of KSwitch events), set by the trap
+// handlers that decide to switch.
+const (
+	CauseOther     int32 = iota // switch with no recorded cause (e.g. STFP)
+	CauseCacheMiss              // remote cache miss (Section 3.1)
+	CauseFuture                 // touch of an unresolved future
+	CauseSync                   // full/empty synchronization fault
+	CauseYield                  // explicit yield syscall
+	CauseIdle                   // idle rotation to a loaded frame
+)
+
+var causeNames = [...]string{
+	CauseOther:     "other",
+	CauseCacheMiss: "cache-miss",
+	CauseFuture:    "future",
+	CauseSync:      "full-empty",
+	CauseYield:     "yield",
+	CauseIdle:      "idle-rotate",
+}
+
+// CauseName renders a switch cause.
+func CauseName(c int32) string {
+	if c >= 0 && int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return "cause?"
+}
+
+// Event is one traced occurrence, stamped with the simulated cycle.
+type Event struct {
+	Cycle uint64
+	Kind  Kind
+	Node  int16
+	A     int32
+	B     int32
+	C     int32
+	D     int32
+}
+
+// Ring is a fixed-capacity event buffer; once full, new events
+// overwrite the oldest (the most recent window survives).
+type Ring struct {
+	buf   []Event
+	mask  uint64
+	total uint64
+}
+
+// newRing builds a ring with capacity rounded up to a power of two.
+func newRing(capacity int) Ring {
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return Ring{buf: make([]Event, c), mask: uint64(c) - 1}
+}
+
+func (r *Ring) record(ev Event) {
+	r.buf[r.total&r.mask] = ev
+	r.total++
+}
+
+// Cap is the ring capacity in events.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Total counts every event ever recorded, including overwritten ones.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Dropped counts events lost to ring wrap.
+func (r *Ring) Dropped() uint64 {
+	if r.total <= uint64(len(r.buf)) {
+		return 0
+	}
+	return r.total - uint64(len(r.buf))
+}
+
+// Events copies the retained events in record order, oldest first.
+func (r *Ring) Events() []Event {
+	n := r.total
+	if n > uint64(len(r.buf)) {
+		n = uint64(len(r.buf))
+	}
+	out := make([]Event, 0, n)
+	for i := r.total - n; i < r.total; i++ {
+		out = append(out, r.buf[i&r.mask])
+	}
+	return out
+}
+
+// DefaultCapacity is the per-node ring capacity when none is given:
+// large enough to hold the interesting window of a Table 3 workload,
+// small enough that a 16-node trace exports to a few megabytes.
+const DefaultCapacity = 1 << 14
+
+// Tracer records typed events into per-node rings. A nil *Tracer is
+// the disabled tracer: every method is safe to call and does nothing,
+// so instrumentation sites need no conditionals beyond the implicit
+// nil check.
+type Tracer struct {
+	clock *uint64
+	rings []Ring
+
+	// cause holds each node's pending switch cause: the trap handler
+	// announces why it is about to switch, and the engine's switch hook
+	// consumes it. Deterministic because the simulator runs nodes in
+	// lockstep on one goroutine.
+	cause []int32
+}
+
+// New builds a tracer for n nodes reading timestamps from clock.
+func New(nodes, capacity int, clock *uint64) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	t := &Tracer{clock: clock, rings: make([]Ring, nodes), cause: make([]int32, nodes)}
+	for i := range t.rings {
+		t.rings[i] = newRing(capacity)
+	}
+	return t
+}
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Now is the current simulated cycle.
+func (t *Tracer) Now() uint64 {
+	if t == nil || t.clock == nil {
+		return 0
+	}
+	return *t.clock
+}
+
+// Emit records one event at the current cycle. Out-of-range nodes are
+// dropped silently (the interconnect may route through geometry nodes
+// beyond the machine's population).
+func (t *Tracer) Emit(node int, k Kind, a, b, c, d int32) {
+	if t == nil || node < 0 || node >= len(t.rings) {
+		return
+	}
+	t.rings[node].record(Event{Cycle: *t.clock, Kind: k, Node: int16(node), A: a, B: b, C: c, D: d})
+}
+
+// SetSwitchCause announces why the next context switch on node will
+// happen; EmitSwitch consumes it.
+func (t *Tracer) SetSwitchCause(node int, cause int32) {
+	if t == nil || node < 0 || node >= len(t.cause) {
+		return
+	}
+	t.cause[node] = cause
+}
+
+// EmitSwitch records a context switch with the pending cause (reset to
+// CauseOther afterwards).
+func (t *Tracer) EmitSwitch(node, from, to int) {
+	if t == nil {
+		return
+	}
+	var cause int32 = CauseOther
+	if node >= 0 && node < len(t.cause) {
+		cause = t.cause[node]
+		t.cause[node] = CauseOther
+	}
+	t.Emit(node, KSwitch, int32(from), int32(to), cause, 0)
+}
+
+// Nodes is the traced node count.
+func (t *Tracer) Nodes() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.rings)
+}
+
+// Node exposes one node's ring.
+func (t *Tracer) Node(i int) *Ring {
+	return &t.rings[i]
+}
+
+// TotalEvents sums recorded events across nodes (including dropped).
+func (t *Tracer) TotalEvents() uint64 {
+	if t == nil {
+		return 0
+	}
+	var n uint64
+	for i := range t.rings {
+		n += t.rings[i].Total()
+	}
+	return n
+}
+
+// DroppedEvents sums ring-wrap losses across nodes.
+func (t *Tracer) DroppedEvents() uint64 {
+	if t == nil {
+		return 0
+	}
+	var n uint64
+	for i := range t.rings {
+		n += t.rings[i].Dropped()
+	}
+	return n
+}
