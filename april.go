@@ -92,6 +92,12 @@ type Options struct {
 	// run: event tracing, the utilization timeline, and the counter
 	// registry. Tracing never perturbs simulated results.
 	Trace *TraceOptions
+	// Reference runs the simulator on its oracle paths — the per-cycle
+	// reference stepping loop and the opcode-switch interpreter instead
+	// of the wake-queue loop and predecoded dispatch. Simulated results
+	// are bit-identical either way; this exists for differential
+	// debugging of the simulator itself.
+	Reference bool
 }
 
 // TraceOptions selects a run's observability outputs. Any nil writer
@@ -167,13 +173,15 @@ func (o Options) build() (*sim.Machine, *isa.Program, error) {
 		return nil, nil, err
 	}
 	m, err := sim.New(sim.Config{
-		Nodes:       max(1, o.Processors),
-		Profile:     prof,
-		Lazy:        o.LazyFutures,
-		MemoryBytes: o.MemoryBytes,
-		MaxCycles:   o.MaxCycles,
-		Out:         o.Output,
-		Alewife:     o.Alewife,
+		Nodes:              max(1, o.Processors),
+		Profile:            prof,
+		Lazy:               o.LazyFutures,
+		MemoryBytes:        o.MemoryBytes,
+		MaxCycles:          o.MaxCycles,
+		Out:                o.Output,
+		Alewife:            o.Alewife,
+		DisableFastForward: o.Reference,
+		DisablePredecode:   o.Reference,
 	})
 	if err != nil {
 		return nil, nil, err

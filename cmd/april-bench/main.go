@@ -5,8 +5,11 @@
 //
 // The grid's independent runs are fanned across host cores (-workers);
 // -perf runs the whole grid twice — reference per-cycle loop on one
-// worker vs. fast-forward on all workers — and writes the throughput
-// comparison to BENCH_simperf.json.
+// worker vs. fast-forward on all workers — plus a 64-node ALEWIFE
+// comparison, and writes the throughput report to BENCH_simperf.json.
+//
+// -cpuprofile and -memprofile write pprof profiles of whatever mode
+// ran (see README.md, "Profiling the simulator").
 package main
 
 import (
@@ -15,19 +18,27 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"april"
 )
 
+// main delegates to run so deferred profile writers execute before the
+// process exits (os.Exit skips defers).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		sizes   = flag.String("sizes", "paper", "workload scale: paper | test")
 		verbose = flag.Bool("v", false, "log each measurement as it completes")
 		frames  = flag.Bool("frames", false, "run the task-frame ablation (E9) instead of Table 3")
 		workers = flag.Int("workers", 0, "parallel host workers (0 = one per core)")
-		naive   = flag.Bool("naive", false, "use the reference per-cycle loop (no fast-forward)")
-		perf    = flag.Bool("perf", false, "measure simulator throughput (naive/serial vs fast/parallel) and write BENCH_simperf.json")
+		naive   = flag.Bool("naive", false, "use the reference per-cycle loop and switch interpreter (no fast-forward, no predecode)")
+		perf    = flag.Bool("perf", false, "measure simulator throughput (naive/serial vs fast/parallel, plus a 64-node ALEWIFE run) and write BENCH_simperf.json")
 		perfOut = flag.String("perf-out", "BENCH_simperf.json", "output path for -perf")
 
 		statsJSON = flag.String("stats-json", "", "write every grid run's full statistics (totals, per-node, throughput) as JSON to this path")
@@ -37,21 +48,53 @@ func main() {
 		traceBench  = flag.String("trace-bench", "fib", "benchmark for the traced run: fib | factor | queens | speech")
 		traceProcs  = flag.Int("trace-procs", 8, "processor count for the traced run")
 		sample      = flag.Uint64("sample", 0, "timeline sampling interval in cycles (0 = default 4096)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this path")
 	)
 	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "april-bench:", err)
+		return 1
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fail(err)
+		}
+		defer func() {
+			runtime.GC() // settle allocations so the heap profile is meaningful
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "april-bench: heap profile:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *frames {
 		cfg := april.DefaultFramesSweep()
 		cfg.Workers = *workers
 		pts, err := april.FramesSweep(cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "april-bench:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		fmt.Println("E9: utilization vs hardware task frames (fib on the full ALEWIFE memory system)")
 		fmt.Println()
 		fmt.Print(april.FormatFramesSweep(pts))
-		return
+		return 0
 	}
 
 	cfg := april.DefaultTable3Config()
@@ -62,7 +105,7 @@ func main() {
 		cfg.Sizes = april.TestSizes
 	default:
 		fmt.Fprintf(os.Stderr, "april-bench: unknown -sizes %q\n", *sizes)
-		os.Exit(2)
+		return 2
 	}
 	var log io.Writer
 	if *verbose {
@@ -76,28 +119,27 @@ func main() {
 		// Tracing the whole grid would interleave hundreds of machines;
 		// trace one representative run on the full ALEWIFE memory system
 		// instead.
-		runTraced(cfg.Sizes, *traceBench, *traceProcs, *traceOut, *timelineOut, *sample)
-		return
+		if err := runTraced(cfg.Sizes, *traceBench, *traceProcs, *traceOut, *timelineOut, *sample); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	if *perf {
 		rep, err := april.Table3Perf(cfg, *sizes)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "april-bench:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		if err := os.WriteFile(*perfOut, rep.JSON(), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "april-bench:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		fmt.Printf("Simulator throughput on the full Table 3 grid (-sizes %s):\n  %s\n", *sizes, rep.Summary())
 		fmt.Printf("  baseline : %s\n  optimized: %s\n", rep.Baseline, rep.Optimized)
 		fmt.Println("written to", *perfOut)
-		if !rep.RowsIdentical {
-			fmt.Fprintln(os.Stderr, "april-bench: simulated results differ between loops")
-			os.Exit(1)
+		if !rep.RowsIdentical || (rep.Alewife != nil && !rep.Alewife.Identical) {
+			return fail(fmt.Errorf("simulated results differ between loops"))
 		}
-		return
+		return 0
 	}
 
 	var gridPerf april.RunPerf
@@ -108,8 +150,7 @@ func main() {
 	}
 	rows, err := april.Table3(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "april-bench:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	if *statsJSON != "" {
 		b, err := json.MarshalIndent(gridStats, "", "  ")
@@ -117,8 +158,7 @@ func main() {
 			err = os.WriteFile(*statsJSON, append(b, '\n'), 0o644)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "april-bench:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "run statistics written to %s (%d runs)\n", *statsJSON, len(gridStats))
 	}
@@ -130,34 +170,38 @@ func main() {
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "grid throughput: %s\n", gridPerf)
 	}
+	return 0
 }
 
 // runTraced executes one benchmark with tracing enabled and writes the
 // requested observability outputs.
-func runTraced(sizes april.Table3Sizes, benchName string, procs int, traceOut, timelineOut string, sample uint64) {
+func runTraced(sizes april.Table3Sizes, benchName string, procs int, traceOut, timelineOut string, sample uint64) error {
 	switch benchName {
 	case "fib", "factor", "queens", "speech":
 	default:
-		fmt.Fprintf(os.Stderr, "april-bench: unknown -trace-bench %q\n", benchName)
-		os.Exit(2)
+		return fmt.Errorf("unknown -trace-bench %q", benchName)
 	}
 	src := april.BenchmarkSource(benchName, sizes)
 	topts := &april.TraceOptions{SampleInterval: sample}
 	var files []*os.File
-	open := func(path string) *os.File {
+	open := func(path string) (*os.File, error) {
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "april-bench:", err)
-			os.Exit(1)
+			return nil, err
 		}
 		files = append(files, f)
-		return f
+		return f, nil
 	}
+	var err error
 	if traceOut != "" {
-		topts.ChromeOut = open(traceOut)
+		if topts.ChromeOut, err = open(traceOut); err != nil {
+			return err
+		}
 	}
 	if timelineOut != "" {
-		topts.TimelineOut = open(timelineOut)
+		if topts.TimelineOut, err = open(timelineOut); err != nil {
+			return err
+		}
 		topts.TimelineJSON = strings.HasSuffix(timelineOut, ".json")
 	}
 	res, err := april.Run(src, april.Options{
@@ -168,13 +212,11 @@ func runTraced(sizes april.Table3Sizes, benchName string, procs int, traceOut, t
 		Trace:      topts,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "april-bench:", err)
-		os.Exit(1)
+		return err
 	}
 	for _, f := range files {
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "april-bench:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	fmt.Printf("traced %s on %d ALEWIFE processors: %s in %d cycles (utilization %.3f)\n",
@@ -185,4 +227,5 @@ func runTraced(sizes april.Table3Sizes, benchName string, procs int, traceOut, t
 	if timelineOut != "" {
 		fmt.Printf("utilization timeline written to %s\n", timelineOut)
 	}
+	return nil
 }

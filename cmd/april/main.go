@@ -34,6 +34,7 @@ func main() {
 		dis     = flag.Bool("S", false, "print the compiled assembly listing and exit")
 		asm     = flag.Bool("asm", false, "treat the input as raw APRIL assembly instead of Mul-T")
 		cycles  = flag.Uint64("max-cycles", 0, "simulation cycle budget (0 = default)")
+		ref     = flag.Bool("reference", false, "run the simulator's oracle paths (per-cycle loop, switch interpreter); results are bit-identical, only slower")
 
 		traceOut    = flag.String("trace", "", "write the event trace as Chrome trace-event JSON (open in Perfetto) to this path")
 		timelineOut = flag.String("timeline", "", "write the per-node utilization timeline to this path (CSV, or JSON rows with a .json extension)")
@@ -69,6 +70,7 @@ func main() {
 		Sequential:  *seq,
 		Output:      os.Stdout,
 		MaxCycles:   *cycles,
+		Reference:   *ref,
 	}
 	if *alewife {
 		opts.Alewife = &april.AlewifeOptions{}

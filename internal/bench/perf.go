@@ -8,7 +8,10 @@ import (
 	"time"
 
 	"april/internal/harness"
+	"april/internal/mult"
 	"april/internal/proc"
+	"april/internal/rts"
+	"april/internal/sim"
 )
 
 // PerfReport is the before/after simulator-throughput measurement that
@@ -37,6 +40,97 @@ type PerfReport struct {
 	// RowsIdentical asserts the two grids produced byte-identical
 	// simulated results (same cycle counts, same program outputs).
 	RowsIdentical bool `json:"rows_identical"`
+
+	// Alewife is the same before/after comparison on the full memory
+	// system (caches + directory + torus) at a machine size the Table 3
+	// grid never reaches — where the work-proportional run loop,
+	// predecoded dispatch, and idle-router skip matter most.
+	Alewife *AlewifeRow `json:"alewife,omitempty"`
+}
+
+// AlewifeRow is one ALEWIFE-mode throughput measurement: a single
+// benchmark on the full memory system, run with the reference cost
+// profile and then optimized, with a bit-identity cross-check.
+type AlewifeRow struct {
+	Benchmark string    `json:"benchmark"`
+	Nodes     int       `json:"nodes"`
+	Cycles    uint64    `json:"cycles"`
+	Result    string    `json:"result"`
+	Baseline  proc.Perf `json:"baseline"`
+	Optimized proc.Perf `json:"optimized"`
+	Speedup   float64   `json:"speedup"`
+
+	// Identical asserts the two runs agreed on cycles, result, and
+	// every node's full statistics.
+	Identical bool `json:"identical"`
+}
+
+// alewifeOnce runs one benchmark on a fresh full-memory-system machine.
+// reference selects the pre-overhaul cost profile: reference stepping
+// loop, opcode-switch interpreter, eagerly materialized memory.
+func alewifeOnce(src string, nodes int, reference bool) (runOut, error) {
+	start := time.Now()
+	m, err := sim.New(sim.Config{
+		Nodes:              nodes,
+		Profile:            rts.APRIL,
+		Alewife:            &sim.AlewifeConfig{},
+		DisableFastForward: reference,
+		DisablePredecode:   reference,
+	})
+	if err != nil {
+		return runOut{}, err
+	}
+	if reference {
+		m.Mem.Materialize()
+	}
+	prog, err := mult.Compile(src, mult.Mode{HardwareFutures: true}, m.StaticHeap())
+	if err != nil {
+		return runOut{}, err
+	}
+	if err := m.Load(prog); err != nil {
+		return runOut{}, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return runOut{}, err
+	}
+	out := runOut{
+		cycles: res.Cycles,
+		result: res.Formatted,
+		perf:   proc.NewPerf(res.Cycles, m.TotalStats().Instructions, time.Since(start)),
+	}
+	for _, n := range m.Nodes {
+		out.stats.PerNode = append(out.stats.PerNode, n.Proc.Stats)
+	}
+	return out, nil
+}
+
+// AlewifePerf measures one AlewifeRow: the named benchmark on an
+// ALEWIFE machine of the given size, reference vs optimized.
+func AlewifePerf(benchName string, sizes Sizes, nodes int) (AlewifeRow, error) {
+	src := sizes.Source(benchName)
+	base, err := alewifeOnce(src, nodes, true)
+	if err != nil {
+		return AlewifeRow{}, fmt.Errorf("alewife reference run: %w", err)
+	}
+	opt, err := alewifeOnce(src, nodes, false)
+	if err != nil {
+		return AlewifeRow{}, fmt.Errorf("alewife optimized run: %w", err)
+	}
+	row := AlewifeRow{
+		Benchmark: benchName,
+		Nodes:     nodes,
+		Cycles:    opt.cycles,
+		Result:    opt.result,
+		Baseline:  base.perf,
+		Optimized: opt.perf,
+		Identical: base.cycles == opt.cycles && base.result == opt.result &&
+			reflect.DeepEqual(base.stats.PerNode, opt.stats.PerNode),
+	}
+	if row.Optimized.WallSeconds > 0 {
+		row.Speedup = row.Baseline.WallSeconds / row.Optimized.WallSeconds
+	}
+	return row, nil
 }
 
 // Table3Perf measures PerfReport for the given grid configuration
@@ -69,6 +163,16 @@ func Table3Perf(cfg Table3Config, sizesName string) (PerfReport, error) {
 	if rep.Optimized.WallSeconds > 0 {
 		rep.Speedup = rep.Baseline.WallSeconds / rep.Optimized.WallSeconds
 	}
+
+	// ALEWIFE-mode row: a 64-node full-memory-system run, the regime
+	// the Table 3 grid (perfect memory, <= 16 nodes) never exercises.
+	// queens is the longest-running benchmark that fits the default
+	// stack arena at this node count (fib's eager task tree does not).
+	alw, err := AlewifePerf("queens", cfg.Sizes, 64)
+	if err != nil {
+		return PerfReport{}, err
+	}
+	rep.Alewife = &alw
 	return rep, nil
 }
 
@@ -87,6 +191,15 @@ func (r PerfReport) Summary() string {
 	if !r.RowsIdentical {
 		ident = "MISMATCH"
 	}
-	return fmt.Sprintf("baseline %.2fs -> optimized %.2fs (%.2fx, %d workers, results %s)",
+	s := fmt.Sprintf("baseline %.2fs -> optimized %.2fs (%.2fx, %d workers, results %s)",
 		r.Baseline.WallSeconds, r.Optimized.WallSeconds, r.Speedup, r.Workers, ident)
+	if a := r.Alewife; a != nil {
+		aident := "IDENTICAL"
+		if !a.Identical {
+			aident = "MISMATCH"
+		}
+		s += fmt.Sprintf("\n  alewife %s %dp: %.2fs -> %.2fs (%.2fx, results %s)",
+			a.Benchmark, a.Nodes, a.Baseline.WallSeconds, a.Optimized.WallSeconds, a.Speedup, aident)
+	}
+	return s
 }

@@ -48,8 +48,9 @@ type Table3Config struct {
 	Workers int
 
 	// Naive forces every machine onto the reference per-cycle stepping
-	// loop (sim.Config.DisableFastForward) — the A side of the
-	// before/after throughput comparison in Table3Perf.
+	// loop and opcode-switch interpreter (sim.Config.DisableFastForward
+	// + DisablePredecode) — the A side of the before/after throughput
+	// comparison in Table3Perf.
 	Naive bool
 
 	// Perf, when non-nil, receives the whole grid's aggregate host-side
@@ -93,13 +94,14 @@ type runOut struct {
 }
 
 // runOnce compiles and runs src on a fresh machine. naive selects the
-// pre-overhaul cost profile — the reference per-cycle loop plus eagerly
-// materialized memory — so Table3Perf's baseline measures what the
-// simulator cost before the throughput work; simulated results are
-// identical either way.
+// pre-overhaul cost profile — the reference per-cycle loop, the
+// opcode-switch interpreter, and eagerly materialized memory — so
+// Table3Perf's baseline measures what the simulator cost before the
+// throughput work; simulated results are identical either way.
 func runOnce(src string, mode mult.Mode, prof rts.Profile, lazy bool, nodes int, naive bool) (runOut, error) {
 	start := time.Now()
-	m, err := sim.New(sim.Config{Nodes: nodes, Profile: prof, Lazy: lazy, DisableFastForward: naive})
+	m, err := sim.New(sim.Config{Nodes: nodes, Profile: prof, Lazy: lazy,
+		DisableFastForward: naive, DisablePredecode: naive})
 	if err != nil {
 		return runOut{}, err
 	}

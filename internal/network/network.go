@@ -34,6 +34,11 @@ type Network interface {
 	Tick()
 	// Deliveries drains the messages that have arrived at node.
 	Deliveries(node int) []*Message
+	// PendingNodes appends the ids of nodes with undrained deliveries
+	// to buf, in ascending node order, and returns the result. It lets
+	// a caller drain exactly the inboxes that have work instead of
+	// polling every node each cycle.
+	PendingNodes(buf []int) []int
 	// Nodes reports the node count.
 	Nodes() int
 	// Stats reports aggregate behavior.
@@ -158,23 +163,47 @@ func pow(k, n int) int {
 	return out
 }
 
-// Ideal is the constant-latency backend.
+// Ideal is the constant-latency backend. Because every message takes
+// exactly `latency` cycles, the pending queue is FIFO by send time:
+// the messages maturing on any Tick are a prefix, so delivery pops
+// from a head index (no per-Tick scan) and NextEvent is the head's
+// arrival time, O(1). head-slot compaction is amortized O(1) — the
+// backing array shrinks whenever the dead prefix passes half.
 type Ideal struct {
 	nodes   int
 	latency uint64
 	now     uint64
 	inbox   [][]*Message // per node
-	pending []*Message
+	pending []*Message   // ascending sentAt; live entries are pending[head:]
+	head    int
 	stats   Stats
 	trace   *trace.Tracer
+
+	pendNodes []int // nodes with undrained inboxes, ascending
+	inPend    []bool
+
+	// refScan selects the pre-overhaul cost profile: Tick compacts the
+	// whole pending slice and NextEvent/InFlight scan every inbox and
+	// message, instead of the head-index queue. Same simulated
+	// behavior; the differential oracle and throughput baseline.
+	refScan bool
 }
+
+// SetReferenceScan switches between the head-index queue and the dense
+// scanning implementation. Call before any traffic is injected.
+func (n *Ideal) SetReferenceScan(on bool) { n.refScan = on }
 
 // NewIdeal creates an ideal network with the given one-way latency.
 func NewIdeal(nodes int, latency int) *Ideal {
 	if latency < 1 {
 		latency = 1
 	}
-	return &Ideal{nodes: nodes, latency: uint64(latency), inbox: make([][]*Message, nodes)}
+	return &Ideal{
+		nodes:   nodes,
+		latency: uint64(latency),
+		inbox:   make([][]*Message, nodes),
+		inPend:  make([]bool, nodes),
+	}
 }
 
 // Send implements Network.
@@ -186,19 +215,50 @@ func (n *Ideal) Send(m *Message) {
 	n.trace.Emit(m.Src, trace.KNetInject, int32(m.Dst), int32(m.Size), 0, 0)
 }
 
-// Tick implements Network.
+// Tick implements Network: deliver the matured prefix.
 func (n *Ideal) Tick() {
 	n.now++
-	rest := n.pending[:0]
-	for _, m := range n.pending {
-		if n.now-m.sentAt >= n.latency {
-			n.inbox[m.Dst] = append(n.inbox[m.Dst], m)
-			n.account(m)
-		} else {
-			rest = append(rest, m)
+	if n.refScan {
+		// Dense scan: test and compact every pending message (head
+		// stays 0 in this mode).
+		rest := n.pending[:0]
+		for _, m := range n.pending {
+			if n.now-m.sentAt >= n.latency {
+				n.inbox[m.Dst] = append(n.inbox[m.Dst], m)
+				n.account(m)
+			} else {
+				rest = append(rest, m)
+			}
 		}
+		for i := len(rest); i < len(n.pending); i++ {
+			n.pending[i] = nil
+		}
+		n.pending = rest
+		return
 	}
-	n.pending = rest
+	for n.head < len(n.pending) && n.now-n.pending[n.head].sentAt >= n.latency {
+		m := n.pending[n.head]
+		n.pending[n.head] = nil
+		n.head++
+		if !n.inPend[m.Dst] {
+			n.inPend[m.Dst] = true
+			n.pendNodes = insertSorted(n.pendNodes, m.Dst)
+		}
+		n.inbox[m.Dst] = append(n.inbox[m.Dst], m)
+		n.account(m)
+	}
+	switch {
+	case n.head == len(n.pending):
+		n.pending = n.pending[:0]
+		n.head = 0
+	case n.head > len(n.pending)/2:
+		k := copy(n.pending, n.pending[n.head:])
+		for i := k; i < len(n.pending); i++ {
+			n.pending[i] = nil
+		}
+		n.pending = n.pending[:k]
+		n.head = 0
+	}
 }
 
 func (n *Ideal) account(m *Message) {
@@ -215,24 +275,51 @@ func (n *Ideal) account(m *Message) {
 func (n *Ideal) Deliveries(node int) []*Message {
 	out := n.inbox[node]
 	n.inbox[node] = nil
+	if n.inPend[node] {
+		n.inPend[node] = false
+		n.pendNodes = removeSorted(n.pendNodes, node)
+	}
 	return out
 }
 
+// PendingNodes implements Network.
+func (n *Ideal) PendingNodes(buf []int) []int {
+	if n.refScan {
+		for node, box := range n.inbox {
+			if len(box) > 0 {
+				buf = append(buf, node)
+			}
+		}
+		return buf
+	}
+	return append(buf, n.pendNodes...)
+}
+
 // NextEvent implements Network: the earliest delivery time among
-// in-flight messages (undrained inboxes count as immediate).
+// in-flight messages — the head of the FIFO pending queue — with
+// undrained inboxes counting as immediate.
 func (n *Ideal) NextEvent() uint64 {
-	next := uint64(NoEvent)
-	for _, box := range n.inbox {
-		if len(box) > 0 {
-			return n.now
+	if n.refScan {
+		for _, box := range n.inbox {
+			if len(box) > 0 {
+				return n.now
+			}
 		}
-	}
-	for _, m := range n.pending {
-		if at := m.sentAt + n.latency; at < next {
-			next = at
+		next := uint64(NoEvent)
+		for _, m := range n.pending {
+			if at := m.sentAt + n.latency; at < next {
+				next = at
+			}
 		}
+		return next
 	}
-	return next
+	if len(n.pendNodes) > 0 {
+		return n.now
+	}
+	if n.head < len(n.pending) {
+		return n.pending[n.head].sentAt + n.latency
+	}
+	return NoEvent
 }
 
 // Advance implements Network: skip k no-op cycles.
@@ -251,9 +338,16 @@ func (n *Ideal) Stats() Stats { return n.stats }
 
 // InFlight implements Network.
 func (n *Ideal) InFlight() int {
-	c := len(n.pending)
-	for _, box := range n.inbox {
-		c += len(box)
+	if n.refScan {
+		c := len(n.pending)
+		for _, box := range n.inbox {
+			c += len(box)
+		}
+		return c
+	}
+	c := len(n.pending) - n.head
+	for _, node := range n.pendNodes {
+		c += len(n.inbox[node])
 	}
 	return c
 }

@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"sort"
 
 	"april/internal/trace"
 )
@@ -12,6 +13,15 @@ import (
 // transmits one packet at a time at one flit per cycle, and packets
 // queue FIFO at busy channels — queueing is where contention latency
 // comes from, as in the open network model of Section 8.
+//
+// The router is work-proportional on the host: Tick, NextEvent, and
+// Advance visit only the channels that currently carry packets (the
+// sorted active list below), so an idle or lightly loaded torus costs
+// O(active) per cycle rather than O(nodes·2n). Iterating the active
+// list in ascending channel id preserves the exact completion order of
+// the dense all-channels scan — idle channels contribute nothing to
+// that order — which keeps queue and inbox append order, and hence
+// simulated behavior, bit-identical.
 type Torus struct {
 	geo      Geometry
 	channels []channel
@@ -19,7 +29,29 @@ type Torus struct {
 	now      uint64
 	stats    Stats
 	trace    *trace.Tracer
+
+	// Work-proportional iteration state. Invariants: active holds
+	// exactly the ids of channels with busy > 0 or a nonempty queue,
+	// sorted ascending, flagged in inAct; pendNodes holds exactly the
+	// nodes with undrained inboxes, sorted ascending, flagged in inPend.
+	active    []int
+	inAct     []bool
+	pendNodes []int
+	inPend    []bool
+
+	moved     []*Message // Tick scratch, reused across cycles
+	movedFrom []int
+
+	// refScan selects the pre-overhaul cost profile: Tick, NextEvent,
+	// Advance and InFlight scan every channel and inbox instead of the
+	// active lists. Same simulated behavior, O(nodes·2n) host cost —
+	// the differential oracle and throughput baseline.
+	refScan bool
 }
+
+// SetReferenceScan switches between the work-proportional and dense
+// scanning implementations. Call before any traffic is injected.
+func (t *Torus) SetReferenceScan(on bool) { t.refScan = on }
 
 type channel struct {
 	queue []*Message
@@ -41,11 +73,50 @@ func NewTorus(g Geometry) (*Torus, error) {
 		geo:      g,
 		channels: make([]channel, n*2*g.Dim),
 		inbox:    make([][]*Message, n),
+		inAct:    make([]bool, n*2*g.Dim),
+		inPend:   make([]bool, n),
 	}, nil
 }
 
 // Geometry returns the torus shape.
 func (t *Torus) Geometry() Geometry { return t.geo }
+
+// insertSorted adds v to the ascending slice s (caller ensures v is not
+// already present).
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// removeSorted deletes v from the ascending slice s (caller ensures v
+// is present).
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	return append(s[:i], s[i+1:]...)
+}
+
+// activate puts a channel on the active list when work first arrives.
+func (t *Torus) activate(ch int) {
+	if t.inAct[ch] {
+		return
+	}
+	t.inAct[ch] = true
+	t.active = insertSorted(t.active, ch)
+}
+
+// deliver places a message in its destination inbox and marks the node
+// pending.
+func (t *Torus) deliver(m *Message) {
+	if !t.refScan && !t.inPend[m.Dst] {
+		t.inPend[m.Dst] = true
+		t.pendNodes = insertSorted(t.pendNodes, m.Dst)
+	}
+	t.inbox[m.Dst] = append(t.inbox[m.Dst], m)
+	t.account(m)
+}
 
 // route computes the dimension-order channel sequence from src to dst.
 func (t *Torus) route(src, dst int) []int {
@@ -85,45 +156,76 @@ func (t *Torus) Send(m *Message) {
 	if m.Src == m.Dst {
 		// Loopback: delivered next tick without using the network.
 		m.route = nil
-		t.inbox[m.Dst] = append(t.inbox[m.Dst], m)
-		t.account(m)
+		t.deliver(m)
 		return
 	}
 	m.route = t.route(m.Src, m.Dst)
 	first := m.route[0]
 	m.route = m.route[1:]
 	t.channels[first].queue = append(t.channels[first].queue, m)
+	if !t.refScan {
+		t.activate(first)
+	}
 }
 
-// Tick implements Network: every channel pushes its current packet one
-// flit-time forward; completed packets hop to the next channel's queue
-// or are delivered. Moves apply after all channels have been processed
-// so that a hop always costs exactly Size cycles regardless of channel
-// numbering.
+// Tick implements Network: every active channel pushes its current
+// packet one flit-time forward; completed packets hop to the next
+// channel's queue or are delivered. Moves apply after all channels have
+// been processed so that a hop always costs exactly Size cycles
+// regardless of channel numbering.
 func (t *Torus) Tick() {
 	t.now++
-	var moved []*Message
-	var movedFrom []int // channel each moved packet just completed
-	for i := range t.channels {
-		c := &t.channels[i]
-		if c.busy == 0 && len(c.queue) > 0 {
-			c.busy = c.queue[0].Size
-		}
-		if c.busy > 0 {
-			c.busy--
-			if c.busy == 0 {
-				m := c.queue[0]
-				c.queue = c.queue[1:]
-				moved = append(moved, m)
-				movedFrom = append(movedFrom, i)
+	moved := t.moved[:0]
+	movedFrom := t.movedFrom[:0]
+	if t.refScan {
+		// Dense scan: every channel, every cycle.
+		for i := range t.channels {
+			c := &t.channels[i]
+			if c.busy == 0 && len(c.queue) > 0 {
+				c.busy = c.queue[0].Size
+			}
+			if c.busy > 0 {
+				c.busy--
+				if c.busy == 0 {
+					m := c.queue[0]
+					c.queue = c.queue[1:]
+					moved = append(moved, m)
+					movedFrom = append(movedFrom, i)
+				}
 			}
 		}
+	} else {
+		// Phase 1: advance active channels in ascending id order,
+		// compacting drained ones off the list in place (safe: keep
+		// never outruns the read index).
+		keep := t.active[:0]
+		for _, id := range t.active {
+			c := &t.channels[id]
+			if c.busy == 0 && len(c.queue) > 0 {
+				c.busy = c.queue[0].Size
+			}
+			if c.busy > 0 {
+				c.busy--
+				if c.busy == 0 {
+					m := c.queue[0]
+					c.queue = c.queue[1:]
+					moved = append(moved, m)
+					movedFrom = append(movedFrom, id)
+				}
+			}
+			if c.busy > 0 || len(c.queue) > 0 {
+				keep = append(keep, id)
+			} else {
+				t.inAct[id] = false
+			}
+		}
+		t.active = keep
 	}
+	// Phase 2: apply the moves, re-activating next-hop channels.
 	for i, m := range moved {
 		t.stats.Hops++
 		if len(m.route) == 0 {
-			t.inbox[m.Dst] = append(t.inbox[m.Dst], m)
-			t.account(m)
+			t.deliver(m)
 		} else {
 			// Intermediate hop: attributed to the node owning the
 			// channel the packet just left.
@@ -131,8 +233,13 @@ func (t *Torus) Tick() {
 			next := m.route[0]
 			m.route = m.route[1:]
 			t.channels[next].queue = append(t.channels[next].queue, m)
+			if !t.refScan {
+				t.activate(next)
+			}
 		}
 	}
+	t.moved = moved
+	t.movedFrom = movedFrom
 }
 
 func (t *Torus) account(m *Message) {
@@ -152,7 +259,24 @@ func (t *Torus) account(m *Message) {
 func (t *Torus) Deliveries(node int) []*Message {
 	out := t.inbox[node]
 	t.inbox[node] = nil
+	if t.inPend[node] {
+		t.inPend[node] = false
+		t.pendNodes = removeSorted(t.pendNodes, node)
+	}
 	return out
+}
+
+// PendingNodes implements Network.
+func (t *Torus) PendingNodes(buf []int) []int {
+	if t.refScan {
+		for node, box := range t.inbox {
+			if len(box) > 0 {
+				buf = append(buf, node)
+			}
+		}
+		return buf
+	}
+	return append(buf, t.pendNodes...)
 }
 
 // Nodes implements Network.
@@ -164,11 +288,20 @@ func (t *Torus) Stats() Stats { return t.stats }
 // InFlight counts undelivered packets, including undrained inboxes.
 func (t *Torus) InFlight() int {
 	n := 0
-	for i := range t.channels {
-		n += len(t.channels[i].queue)
+	if t.refScan {
+		for i := range t.channels {
+			n += len(t.channels[i].queue)
+		}
+		for _, box := range t.inbox {
+			n += len(box)
+		}
+		return n
 	}
-	for _, box := range t.inbox {
-		n += len(box)
+	for _, id := range t.active {
+		n += len(t.channels[id].queue)
+	}
+	for _, node := range t.pendNodes {
+		n += len(t.inbox[node])
 	}
 	return n
 }
@@ -179,19 +312,20 @@ func (t *Torus) SetTracer(tr *trace.Tracer) { t.trace = tr }
 // NextEvent implements Network. A channel mid-transmission completes
 // its head packet after `busy` more Ticks; an idle channel with a
 // queued packet starts on the next Tick and completes Size Ticks
-// later. The minimum over channels is the first Tick that can move a
-// packet (every earlier Tick only decrements busy counters, which
-// Advance replays in closed form). Undrained inboxes count as
+// later. The minimum over active channels is the first Tick that can
+// move a packet (every earlier Tick only decrements busy counters,
+// which Advance replays in closed form). Undrained inboxes count as
 // immediate.
 func (t *Torus) NextEvent() uint64 {
-	for _, box := range t.inbox {
-		if len(box) > 0 {
-			return t.now
-		}
+	if t.refScan {
+		return t.nextEventRef()
+	}
+	if len(t.pendNodes) > 0 {
+		return t.now
 	}
 	next := uint64(NoEvent)
-	for i := range t.channels {
-		c := &t.channels[i]
+	for _, id := range t.active {
+		c := &t.channels[id]
 		var left int
 		switch {
 		case c.busy > 0:
@@ -218,8 +352,20 @@ func (t *Torus) Advance(k uint64) {
 		panic(fmt.Sprintf("network: Advance(%d) from %d crosses event at %d", k, t.now, next))
 	}
 	t.now += k
-	for i := range t.channels {
-		c := &t.channels[i]
+	if t.refScan {
+		for i := range t.channels {
+			c := &t.channels[i]
+			if c.busy == 0 && len(c.queue) > 0 {
+				c.busy = c.queue[0].Size
+			}
+			if c.busy > 0 {
+				c.busy -= int(k)
+			}
+		}
+		return
+	}
+	for _, id := range t.active {
+		c := &t.channels[id]
 		if c.busy == 0 && len(c.queue) > 0 {
 			c.busy = c.queue[0].Size
 		}
@@ -227,6 +373,33 @@ func (t *Torus) Advance(k uint64) {
 			c.busy -= int(k)
 		}
 	}
+}
+
+// nextEventRef is NextEvent's dense-scan variant (reference cost
+// profile): every inbox, then every channel.
+func (t *Torus) nextEventRef() uint64 {
+	for _, box := range t.inbox {
+		if len(box) > 0 {
+			return t.now
+		}
+	}
+	next := uint64(NoEvent)
+	for i := range t.channels {
+		c := &t.channels[i]
+		var left int
+		switch {
+		case c.busy > 0:
+			left = c.busy
+		case len(c.queue) > 0:
+			left = c.queue[0].Size
+		default:
+			continue
+		}
+		if at := t.now + uint64(left); at < next {
+			next = at
+		}
+	}
+	return next
 }
 
 var _ Network = (*Torus)(nil)

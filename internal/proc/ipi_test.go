@@ -1,0 +1,96 @@
+package proc
+
+import (
+	"testing"
+
+	"april/internal/core"
+	"april/internal/isa"
+)
+
+// ipiProc builds a processor that treats every Step as an IPI delivery
+// opportunity (nop program, handler records payloads).
+func ipiProc(t *testing.T) (*Processor, *[]int32) {
+	t.Helper()
+	code := []isa.Inst{isa.Nop, isa.Nop, isa.Nop, isa.Nop}
+	p, _ := newProc(t, code)
+	var delivered []int32
+	p.Handler = &recordingHandler{onTrap: func(p *Processor, tr core.Trap) (int, error) {
+		if tr.Kind != core.TrapIPI {
+			t.Fatalf("unexpected trap %v", tr)
+		}
+		delivered = append(delivered, isa.FixnumValue(tr.Value))
+		return 1, nil
+	}}
+	return p, &delivered
+}
+
+// deliverOne steps the processor once and checks an IPI came out.
+func deliverOne(t *testing.T, p *Processor) {
+	t.Helper()
+	before := p.PendingIPIs()
+	if _, err := p.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if p.PendingIPIs() != before-1 {
+		t.Fatalf("pending %d after step, want %d", p.PendingIPIs(), before-1)
+	}
+}
+
+func TestIPIQueuePartialDrainKeepsOrder(t *testing.T) {
+	p, delivered := ipiProc(t)
+	for i := 0; i < 8; i++ {
+		p.PostIPI(isa.MakeFixnum(int32(i)))
+	}
+	for i := 0; i < 5; i++ {
+		deliverOne(t, p)
+	}
+	if p.PendingIPIs() != 3 {
+		t.Fatalf("pending = %d, want 3", p.PendingIPIs())
+	}
+
+	// Posting while partially drained compacts: the head passed the
+	// midpoint, so the backing queue shrinks to undelivered + new.
+	p.PostIPI(isa.MakeFixnum(100))
+	if got := p.ipiQueueLen(); got != 4 {
+		t.Errorf("backing queue holds %d after compaction, want 4", got)
+	}
+
+	for p.PendingIPIs() > 0 {
+		deliverOne(t, p)
+	}
+	want := []int32{0, 1, 2, 3, 4, 5, 6, 7, 100}
+	if len(*delivered) != len(want) {
+		t.Fatalf("delivered %v, want %v", *delivered, want)
+	}
+	for i, v := range want {
+		if (*delivered)[i] != v {
+			t.Fatalf("delivered[%d] = %d, want %d (full: %v)", i, (*delivered)[i], v, *delivered)
+		}
+	}
+}
+
+func TestIPIQueueReuseIsBounded(t *testing.T) {
+	p, _ := ipiProc(t)
+
+	// Steady post-one/deliver-one traffic must not grow the backing
+	// array with delivery history: a drained queue rewinds in place.
+	for i := 0; i < 10_000; i++ {
+		p.PostIPI(isa.MakeFixnum(int32(i)))
+		deliverOne(t, p)
+		if got := p.ipiQueueLen(); got > 1 {
+			t.Fatalf("iteration %d: backing queue grew to %d", i, got)
+		}
+	}
+
+	// A queue held partially drained under sustained traffic stays
+	// proportional to the undelivered count, not the post count.
+	for i := 0; i < 10_000; i++ {
+		p.PostIPI(isa.MakeFixnum(int32(i)))
+		if i%2 == 0 {
+			deliverOne(t, p)
+		}
+		if got, pend := p.ipiQueueLen(), p.PendingIPIs(); got > 2*pend+2 {
+			t.Fatalf("iteration %d: backing queue %d for %d undelivered", i, got, pend)
+		}
+	}
+}

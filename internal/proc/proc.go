@@ -91,9 +91,17 @@ type Processor struct {
 	// strand delivered payloads in the backing array (keeping them
 	// reachable) and force append to grow a fresh array once the
 	// original capacity slides out of view. The head index reuses one
-	// backing array for the lifetime of the processor.
+	// backing array for the lifetime of the processor, and PostIPI
+	// compacts once the head passes half the slice so a queue that is
+	// appended to while partially drained cannot grow without bound.
 	pendingIPI []isa.Word
 	ipiHead    int
+
+	// micro, when non-nil, is the predecoded form of Prog: Step
+	// dispatches through the flat handler table in dispatch.go instead
+	// of the reference opcode switches. Installed by SetMicro; shared
+	// read-only across the machine's processors.
+	micro []isa.Micro
 }
 
 // New creates a processor over the given engine and program.
@@ -105,9 +113,18 @@ func New(id int, e *core.Engine, prog *isa.Program, memPort MemPort) *Processor 
 // asynchronous trap before the next instruction of whatever thread is
 // running (Section 3.4).
 func (p *Processor) PostIPI(payload isa.Word) {
-	if p.ipiHead == len(p.pendingIPI) {
+	switch {
+	case p.ipiHead == len(p.pendingIPI):
 		// Queue drained: rewind so the backing array is reused.
 		p.pendingIPI = p.pendingIPI[:0]
+		p.ipiHead = 0
+	case p.ipiHead > len(p.pendingIPI)/2:
+		// The head passed the midpoint: slide the undelivered tail to
+		// the front. Each payload moves at most once per crossing, so
+		// the copy is amortized O(1) and the queue's footprint tracks
+		// the undelivered count instead of the delivery history.
+		n := copy(p.pendingIPI, p.pendingIPI[p.ipiHead:])
+		p.pendingIPI = p.pendingIPI[:n]
 		p.ipiHead = 0
 	}
 	p.pendingIPI = append(p.pendingIPI, payload)
@@ -115,6 +132,16 @@ func (p *Processor) PostIPI(payload isa.Word) {
 
 // PendingIPIs reports queued, undelivered IPIs.
 func (p *Processor) PendingIPIs() int { return len(p.pendingIPI) - p.ipiHead }
+
+// ipiQueueLen reports the backing-queue length including delivered
+// slots (tests use it to observe compaction).
+func (p *Processor) ipiQueueLen() int { return len(p.pendingIPI) }
+
+// SetMicro installs a predecoded program image (Prog.Predecode()).
+// Step then dispatches through the flat handler table; passing nil
+// reverts to the reference opcode-switch interpreter. The slice is
+// shared read-only — every processor of a machine can use one image.
+func (p *Processor) SetMicro(m []isa.Micro) { p.micro = m }
 
 func (p *Processor) trap(t core.Trap) (int, error) {
 	p.Stats.Traps[t.Kind]++
@@ -147,6 +174,14 @@ func (p *Processor) Step() (int, error) {
 	f := p.Engine.Active()
 	if f.ThreadID < 0 {
 		return p.stepSlow()
+	}
+	if m := p.micro; m != nil {
+		if uint64(f.PC) >= uint64(len(m)) {
+			return 0, fmt.Errorf("proc %d frame %d thread %d: isa: PC %d outside program of %d instructions",
+				p.ID, p.Engine.FP(), f.ThreadID, f.PC, len(m))
+		}
+		u := &m[f.PC]
+		return microTable[u.Kind](p, f, u)
 	}
 	code := p.Prog.Code
 	if uint64(f.PC) >= uint64(len(code)) {

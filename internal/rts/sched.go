@@ -49,6 +49,15 @@ type Scheduler struct {
 	ready   [][]int // per-node LIFO (newest at the end)
 	waiters map[uint32][]int
 
+	// readyQueues counts nonempty ready queues, so an idle node's steal
+	// probe is O(1) when the whole machine is out of work — the common
+	// case in low-parallelism phases — instead of scanning every queue.
+	// ScanSteal restores the scanning probe (the reference cost profile
+	// used for before/after throughput measurement; the probe's result
+	// is identical either way).
+	readyQueues int
+	ScanSteal   bool
+
 	stackAlloc *chunkAlloc
 	freeStacks []uint32 // recycled stack chunk bases
 	freeTCBs   []uint32
@@ -114,6 +123,9 @@ func (s *Scheduler) NumThreads() int { return len(s.threads) }
 // live-task set depth-first and bounded).
 func (s *Scheduler) PushReady(t *Thread) {
 	t.State = ThreadReady
+	if len(s.ready[t.Home]) == 0 {
+		s.readyQueues++
+	}
 	s.ready[t.Home] = append(s.ready[t.Home], t.ID)
 }
 
@@ -124,6 +136,9 @@ func (s *Scheduler) PushReady(t *Thread) {
 // satisfy it (the paper's switch-spin starvation problem).
 func (s *Scheduler) PushReadyOldest(t *Thread) {
 	t.State = ThreadReady
+	if len(s.ready[t.Home]) == 0 {
+		s.readyQueues++
+	}
 	s.ready[t.Home] = append([]int{t.ID}, s.ready[t.Home]...)
 }
 
@@ -135,6 +150,9 @@ func (s *Scheduler) PopReadyLocal(node int) *Thread {
 	}
 	id := q[len(q)-1]
 	s.ready[node] = q[:len(q)-1]
+	if len(q) == 1 {
+		s.readyQueues--
+	}
 	return s.threads[id]
 }
 
@@ -142,12 +160,18 @@ func (s *Scheduler) PopReadyLocal(node int) *Thread {
 // (oldest-first stealing takes the biggest pending work, as in lazy
 // task stealing).
 func (s *Scheduler) StealReady(node int) *Thread {
+	if s.readyQueues == 0 && !s.ScanSteal {
+		return nil
+	}
 	n := len(s.ready)
 	for d := 1; d < n; d++ {
 		v := (node + d) % n
 		if len(s.ready[v]) > 0 {
 			id := s.ready[v][0]
 			s.ready[v] = s.ready[v][1:]
+			if len(s.ready[v]) == 0 {
+				s.readyQueues--
+			}
 			s.Stats.ThreadSteals++
 			return s.threads[id]
 		}

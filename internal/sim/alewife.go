@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"april/internal/cache"
 	"april/internal/directory"
@@ -54,6 +55,14 @@ func (a *AlewifeConfig) fill(nodes int) error {
 }
 
 // netFabric owns the interconnect and the per-node cache controllers.
+//
+// The fabric is work-proportional on the host: controllers with a
+// nonempty outbox or recall queue are tracked in a dirty set, and tick
+// and nextEvent visit only those (plus the nodes the network reports
+// deliveries for) instead of scanning every controller each cycle.
+// Processing the dirty set in ascending node id makes the skip
+// invisible to simulated behavior — the dense scan's per-controller
+// work is a no-op exactly when both queues are empty.
 type netFabric struct {
 	m     *Machine
 	cfg   *AlewifeConfig
@@ -62,6 +71,31 @@ type netFabric struct {
 	dist  mem.Distribution
 	now   uint64
 	trace *trace.Tracer
+
+	// Dirty-controller set. Invariant: every ctl whose outbox or
+	// recallQ is nonempty has dirtyCtl[node] set and appears in
+	// dirtyIDs (unsorted; tick sorts its snapshot).
+	dirtyCtl  []bool
+	dirtyIDs  []int
+	idScratch []int // tick's sorted snapshot, reused
+	pendBuf   []int // PendingNodes scratch, reused
+
+	// reference selects the pre-overhaul cost profile: tick and
+	// nextEvent scan every controller each cycle instead of the dirty
+	// set, as the differential oracle and throughput baseline.
+	reference bool
+}
+
+// markDirty records that a controller has queued work (outbox or
+// recallQ). Idempotent; called from every site that appends to either.
+func (f *netFabric) markDirty(node int) {
+	if f.reference {
+		return // the reference tick scans every controller anyway
+	}
+	if !f.dirtyCtl[node] {
+		f.dirtyCtl[node] = true
+		f.dirtyIDs = append(f.dirtyIDs, node)
+	}
 }
 
 func (m *Machine) initAlewife() error {
@@ -71,19 +105,24 @@ func (m *Machine) initAlewife() error {
 	}
 	var net network.Network
 	if cfg.IdealNet {
-		net = network.NewIdeal(cfg.Geometry.Nodes(), cfg.IdealLat)
+		n := network.NewIdeal(cfg.Geometry.Nodes(), cfg.IdealLat)
+		n.SetReferenceScan(m.Cfg.DisableFastForward)
+		net = n
 	} else {
 		t, err := network.NewTorus(cfg.Geometry)
 		if err != nil {
 			return err
 		}
+		t.SetReferenceScan(m.Cfg.DisableFastForward)
 		net = t
 	}
 	m.net = &netFabric{
-		m:    m,
-		cfg:  cfg,
-		net:  net,
-		dist: mem.Distribution{Nodes: m.Cfg.Nodes, BlockSize: cfg.Cache.BlockBytes},
+		m:         m,
+		cfg:       cfg,
+		net:       net,
+		dist:      mem.Distribution{Nodes: m.Cfg.Nodes, BlockSize: cfg.Cache.BlockBytes},
+		dirtyCtl:  make([]bool, m.Cfg.Nodes),
+		reference: m.Cfg.DisableFastForward,
 	}
 	return nil
 }
@@ -114,13 +153,43 @@ func (m *Machine) newCachePort(node int) proc.MemPort {
 func (f *netFabric) tick() {
 	f.now++
 	f.net.Tick()
-	for node, ctl := range f.ctls {
+	if f.reference {
+		// Pre-overhaul dense scan: every node's inbox, every controller.
+		for node, ctl := range f.ctls {
+			for _, nm := range f.net.Deliveries(node) {
+				ctl.handle(nm.Payload.(directory.Msg))
+			}
+		}
+		for _, ctl := range f.ctls {
+			ctl.processRecalls()
+			ctl.flushOutbox()
+		}
+		return
+	}
+	f.pendBuf = f.net.PendingNodes(f.pendBuf[:0])
+	for _, node := range f.pendBuf {
+		ctl := f.ctls[node]
 		for _, nm := range f.net.Deliveries(node) {
 			msg := nm.Payload.(directory.Msg)
 			ctl.handle(msg)
 		}
 	}
-	for _, ctl := range f.ctls {
+	if len(f.dirtyIDs) == 0 {
+		return
+	}
+	// Snapshot and clear the dirty set, then run the controllers in
+	// ascending node id — the reference all-controllers order.
+	// Controllers that still have (or regain) work re-mark themselves
+	// through the append-site hooks.
+	ids := append(f.idScratch[:0], f.dirtyIDs...)
+	sort.Ints(ids)
+	f.idScratch = ids
+	f.dirtyIDs = f.dirtyIDs[:0]
+	for _, id := range ids {
+		f.dirtyCtl[id] = false
+	}
+	for _, id := range ids {
+		ctl := f.ctls[id]
 		ctl.processRecalls()
 		ctl.flushOutbox()
 	}
@@ -137,7 +206,12 @@ func (f *netFabric) tick() {
 // re-evaluates), but it must never be later than a real event.
 func (f *netFabric) nextEvent() uint64 {
 	next := f.net.NextEvent()
-	for _, ctl := range f.ctls {
+	ids := f.dirtyIDs
+	if f.reference {
+		ids = allCtlIDs(len(f.ctls), &f.idScratch)
+	}
+	for _, id := range ids {
+		ctl := f.ctls[id]
 		for i := range ctl.outbox {
 			// A matured entry flushes on the very next tick.
 			at := ctl.outbox[i].readyAt
@@ -163,6 +237,17 @@ func (f *netFabric) nextEvent() uint64 {
 		}
 	}
 	return next
+}
+
+// allCtlIDs fills *scratch with 0..n-1 (reference-mode nextEvent scans
+// every controller).
+func allCtlIDs(n int, scratch *[]int) []int {
+	ids := (*scratch)[:0]
+	for i := 0; i < n; i++ {
+		ids = append(ids, i)
+	}
+	*scratch = ids
+	return ids
 }
 
 // advance replays k guaranteed-no-op ticks in one step: the fabric and
@@ -251,6 +336,7 @@ type outMsg struct {
 func (c *cacheCtl) send(dst int, msg directory.Msg, delay int) {
 	msg.From = c.node
 	c.outbox = append(c.outbox, outMsg{msg: msg, dst: dst, readyAt: c.fabric.now + uint64(delay)})
+	c.fabric.markDirty(c.node)
 	c.fabric.trace.Emit(c.node, trace.KProtoSend,
 		int32(msg.Kind), int32(msg.Block), int32(dst), int32(msg.Size(c.fabric.cfg.Cache.BlockBytes)))
 }
@@ -287,6 +373,9 @@ func (c *cacheCtl) flushOutbox() {
 		})
 	}
 	c.outbox = append(c.outbox, keep...)
+	if len(c.outbox) > 0 {
+		c.fabric.markDirty(c.node)
+	}
 }
 
 func (c *cacheCtl) mem() *mem.Memory { return c.fabric.m.Mem }
@@ -501,12 +590,14 @@ func (c *cacheCtl) handleRecall(msg directory.Msg) {
 	if ms, busy := c.pending[msg.Block]; busy {
 		if !cached {
 			c.recallQ = append(c.recallQ, pendingRecall{msg: msg, deadline: c.fabric.now + recallWait})
+			c.fabric.markDirty(c.node)
 			return
 		}
 		ms.poisoned = true
 	}
 	if exp, held := c.locked[msg.Block]; held && c.fabric.now < exp {
 		c.recallQ = append(c.recallQ, pendingRecall{msg: msg, deadline: c.fabric.now + recallWait})
+		c.fabric.markDirty(c.node)
 		return
 	}
 	c.recall(msg)
@@ -538,6 +629,9 @@ func (c *cacheCtl) processRecalls() {
 			ms.poisoned = true
 		}
 		c.recall(pr.msg)
+	}
+	if len(c.recallQ) > 0 {
+		c.fabric.markDirty(c.node)
 	}
 }
 

@@ -1,10 +1,12 @@
 package sim_test
 
-// Differential test for the event-driven fast-forward: the same
-// program on the same machine must produce byte-identical simulated
-// results whether Run steps every cycle (DisableFastForward) or jumps
-// across provably uneventful stretches. This is the contract that lets
-// the fast loop replace the naive one everywhere.
+// Differential tests for the work-proportional run loop and the
+// predecoded dispatch tables: the same program on the same machine
+// must produce byte-identical simulated results whether Run steps
+// every cycle through the reference interpreter (DisableFastForward +
+// DisablePredecode) or uses the wake-queue loop and micro-op handlers,
+// with tracing on or off. This is the contract that lets the fast
+// paths replace the reference ones everywhere.
 
 import (
 	"fmt"
@@ -16,28 +18,53 @@ import (
 	"april/internal/proc"
 	"april/internal/rts"
 	"april/internal/sim"
+	"april/internal/trace"
 )
 
 type ffOutcome struct {
-	cycles uint64
-	value  string
-	stats  []proc.Stats // per node, in node order
+	cycles  uint64
+	value   string
+	stats   []proc.Stats   // per node, in node order
+	samples []trace.Sample // timeline rows when tracing is enabled
 }
 
-func runDifferential(t *testing.T, src string, nodes int, alewife, naive bool) ffOutcome {
+type ffConfig struct {
+	nodes   int
+	alewife bool
+	naive   bool // reference loop AND reference interpreter
+	tracing bool
+
+	// Independent flag control for the mixed-mode combinations
+	// (ignored unless mixed is set; naive must be false then).
+	mixed         bool
+	disableFF     bool
+	disablePredec bool
+}
+
+func runDifferential(t *testing.T, src string, cfg ffConfig) ffOutcome {
 	t.Helper()
 	var aw *sim.AlewifeConfig
-	if alewife {
+	if cfg.alewife {
 		aw = &sim.AlewifeConfig{}
 	}
+	disFF, disPre := cfg.naive, cfg.naive
+	if cfg.mixed {
+		disFF, disPre = cfg.disableFF, cfg.disablePredec
+	}
 	m, err := sim.New(sim.Config{
-		Nodes:              nodes,
+		Nodes:              cfg.nodes,
 		Profile:            rts.APRIL,
 		Alewife:            aw,
-		DisableFastForward: naive,
+		DisableFastForward: disFF,
+		DisablePredecode:   disPre,
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	var sampler *trace.Sampler
+	if cfg.tracing {
+		m.EnableTracing(0)
+		sampler = m.EnableTimeline(256)
 	}
 	prog, err := mult.Compile(src, mult.Mode{HardwareFutures: true}, m.StaticHeap())
 	if err != nil {
@@ -54,7 +81,30 @@ func runDifferential(t *testing.T, src string, nodes int, alewife, naive bool) f
 	for _, n := range m.Nodes {
 		out.stats = append(out.stats, n.Proc.Stats)
 	}
+	if sampler != nil {
+		out.samples = sampler.Rows()
+	}
 	return out
+}
+
+func compareOutcomes(t *testing.T, fast, naive ffOutcome) {
+	t.Helper()
+	if fast.cycles != naive.cycles {
+		t.Errorf("cycles: fast %d != naive %d", fast.cycles, naive.cycles)
+	}
+	if fast.value != naive.value {
+		t.Errorf("result: fast %s != naive %s", fast.value, naive.value)
+	}
+	for i := range fast.stats {
+		if !reflect.DeepEqual(fast.stats[i], naive.stats[i]) {
+			t.Errorf("node %d stats diverge:\nfast:  %+v\nnaive: %+v",
+				i, fast.stats[i], naive.stats[i])
+		}
+	}
+	if !reflect.DeepEqual(fast.samples, naive.samples) {
+		t.Errorf("timeline rows diverge: fast %d rows, naive %d rows",
+			len(fast.samples), len(naive.samples))
+	}
 }
 
 func TestFastForwardMatchesNaiveLoop(t *testing.T) {
@@ -64,28 +114,57 @@ func TestFastForwardMatchesNaiveLoop(t *testing.T) {
 	}
 	for name, src := range programs {
 		for _, alewife := range []bool{false, true} {
-			for _, nodes := range []int{1, 4, 8} {
-				mode := "perfect"
-				if alewife {
-					mode = "alewife"
+			for _, nodes := range []int{1, 4, 8, 64} {
+				for _, tracing := range []bool{false, true} {
+					mode := "perfect"
+					if alewife {
+						mode = "alewife"
+					}
+					tr := "plain"
+					if tracing {
+						tr = "traced"
+					}
+					t.Run(fmt.Sprintf("%s/%s/%dp/%s", name, mode, nodes, tr), func(t *testing.T) {
+						fast := runDifferential(t, src, ffConfig{nodes: nodes, alewife: alewife, tracing: tracing})
+						naive := runDifferential(t, src, ffConfig{nodes: nodes, alewife: alewife, naive: true, tracing: tracing})
+						compareOutcomes(t, fast, naive)
+					})
 				}
-				t.Run(fmt.Sprintf("%s/%s/%dp", name, mode, nodes), func(t *testing.T) {
-					fast := runDifferential(t, src, nodes, alewife, false)
-					naive := runDifferential(t, src, nodes, alewife, true)
-					if fast.cycles != naive.cycles {
-						t.Errorf("cycles: fast %d != naive %d", fast.cycles, naive.cycles)
-					}
-					if fast.value != naive.value {
-						t.Errorf("result: fast %s != naive %s", fast.value, naive.value)
-					}
-					for i := range fast.stats {
-						if !reflect.DeepEqual(fast.stats[i], naive.stats[i]) {
-							t.Errorf("node %d stats diverge:\nfast:  %+v\nnaive: %+v",
-								i, fast.stats[i], naive.stats[i])
-						}
-					}
-				})
 			}
 		}
+	}
+}
+
+// TestMixedModeFlagsAgree exercises the two optimizations
+// independently: fast-forward with the reference interpreter, and the
+// predecoded interpreter under the reference loop, must both match the
+// all-reference run exactly.
+func TestMixedModeFlagsAgree(t *testing.T) {
+	src := bench.QueensSource(6)
+	for _, alewife := range []bool{false, true} {
+		mode := "perfect"
+		if alewife {
+			mode = "alewife"
+		}
+		t.Run(mode, func(t *testing.T) {
+			ref := runDifferential(t, src, ffConfig{nodes: 8, alewife: alewife, naive: true})
+			for _, c := range []struct {
+				name          string
+				disFF, disPre bool
+			}{
+				{"fastforward-only", false, true},
+				{"predecode-only", true, false},
+				{"both", false, false},
+			} {
+				got := runDifferential(t, src, ffConfig{
+					nodes: 8, alewife: alewife,
+					mixed: true, disableFF: c.disFF, disablePredec: c.disPre,
+				})
+				if got.cycles != ref.cycles || got.value != ref.value || !reflect.DeepEqual(got.stats, ref.stats) {
+					t.Errorf("%s diverges from reference: cycles %d vs %d, value %s vs %s",
+						c.name, got.cycles, ref.cycles, got.value, ref.value)
+				}
+			}
+		})
 	}
 }

@@ -45,12 +45,21 @@ type Config struct {
 	// Alewife enables the full memory system; nil = perfect memory.
 	Alewife *AlewifeConfig
 
-	// DisableFastForward forces the naive one-decrement-per-cycle
-	// stepping loop instead of the event-driven fast-forward. Simulated
-	// results are bit-identical either way (the differential tests
-	// assert this); the naive loop exists as the reference
-	// implementation and for those tests.
+	// DisableFastForward forces the reference stepping loop: one
+	// iteration per simulated cycle, visiting every node to decrement
+	// its relative busy counter. The default loop instead keeps
+	// absolute wake cycles in a priority queue, visits only the nodes
+	// due at the current cycle, and fast-forwards across provably
+	// uneventful stretches. Simulated results are bit-identical either
+	// way (the differential tests assert this); the reference loop
+	// exists as the oracle implementation and for those tests.
 	DisableFastForward bool
+
+	// DisablePredecode forces the reference opcode-switch interpreter
+	// instead of the predecoded flat-table dispatch. As with
+	// DisableFastForward, simulated results are bit-identical either
+	// way; the switch interpreter is the differential oracle.
+	DisablePredecode bool
 }
 
 // ErrDeadlock is returned when the machine stops making progress.
@@ -78,6 +87,17 @@ type Machine struct {
 	net        *netFabric // nil in perfect-memory mode
 	now        uint64
 	loaded     bool
+
+	// The work-proportional run loop's node scheduler (see wake.go):
+	// nodes executing 1-cycle instructions live on the sorted running
+	// list and step every cycle; nodes inside a multi-cycle operation
+	// sleep in the wake queue keyed by absolute wake cycle. Unused by
+	// the reference loop, which keeps the per-node relative busy
+	// counters instead.
+	running  []int // ascending node ids
+	wakeq    wakeQueue
+	dueBuf   []int // popDue scratch, reused across cycles
+	mergeBuf []int // running+due merge scratch, reused across cycles
 
 	// Observability (nil unless enabled; see observe.go).
 	tracer     *trace.Tracer
@@ -112,6 +132,9 @@ func New(cfg Config) (*Machine, error) {
 	heapArena := mem.NewArena(m.Layout.HeapStart, m.Layout.End)
 	prof := cfg.Profile
 	m.Sched = rts.NewScheduler(m.Mem, &prof, cfg.Lazy, cfg.Nodes, stackArena, heapArena, cfg.Out)
+	// The reference cost profile keeps every O(machine size) scan the
+	// pre-overhaul loop paid, including the idle steal probe.
+	m.Sched.ScanSteal = cfg.DisableFastForward
 
 	if cfg.Alewife != nil {
 		if err := m.initAlewife(); err != nil {
@@ -148,6 +171,13 @@ func New(cfg Config) (*Machine, error) {
 		engine.Globals[isa.GAllocLimit-isa.NumFrameRegs] = isa.Word(limit)
 		engine.Globals[isa.GSelf-isa.NumFrameRegs] = isa.MakeFixnum(int32(i))
 	}
+	m.wakeq.init(cfg.Nodes)
+	m.running = make([]int, cfg.Nodes)
+	for i := range m.running {
+		m.running[i] = i
+	}
+	m.dueBuf = make([]int, 0, cfg.Nodes)
+	m.mergeBuf = make([]int, 0, cfg.Nodes)
 	return m, nil
 }
 
@@ -165,6 +195,13 @@ func (m *Machine) Load(prog *isa.Program) error {
 	m.Sched.MainExitPC = mainExit
 	for _, n := range m.Nodes {
 		n.Proc.Prog = prog
+	}
+	if !m.Cfg.DisablePredecode {
+		// One predecoded image, shared read-only by every node.
+		micro := prog.Predecode()
+		for _, n := range m.Nodes {
+			n.Proc.SetMicro(micro)
+		}
 	}
 	main := m.Sched.NewThread(0)
 	main.PC = prog.Entry
@@ -194,7 +231,18 @@ func (m *Machine) Run() (Result, error) {
 	if !m.loaded {
 		return Result{}, errors.New("sim: no program loaded")
 	}
-	fast := !m.Cfg.DisableFastForward
+	if m.Cfg.DisableFastForward {
+		return m.runReference()
+	}
+	return m.runFast()
+}
+
+// runReference is the oracle loop: one iteration per simulated cycle,
+// visiting every node to decrement its relative busy counter or Step
+// it. The work-proportional loop (runFast) must stay bit-identical to
+// this one — the differential tests in fastforward_test.go hold the
+// two to that.
+func (m *Machine) runReference() (Result, error) {
 	// Deadlock detection is incremental: lastProgress tracks the last
 	// cycle any node retired an instruction (updated per Step from the
 	// per-node retirement counters, so no periodic all-node stats scan
@@ -209,21 +257,6 @@ func (m *Machine) Run() (Result, error) {
 		}
 		if m.now >= m.Cfg.MaxCycles {
 			return Result{}, fmt.Errorf("sim: exceeded cycle budget %d", m.Cfg.MaxCycles)
-		}
-		if fast {
-			limit := m.Cfg.MaxCycles
-			// Never jump past a sampling boundary: capping a skip shorter
-			// cannot change simulated state (skips compose), it only makes
-			// the sampler observe it.
-			if m.sampler != nil && m.sampler.NextBoundary() < limit {
-				limit = m.sampler.NextBoundary()
-			}
-			m.fastForwardUntil(limit)
-			// A capped jump can land exactly on the budget; the naive
-			// loop errors out before executing that cycle, so match it.
-			if m.now >= m.Cfg.MaxCycles {
-				return Result{}, fmt.Errorf("sim: exceeded cycle budget %d", m.Cfg.MaxCycles)
-			}
 		}
 		for _, n := range m.Nodes {
 			if n.busy > 0 {
@@ -255,6 +288,102 @@ func (m *Machine) Run() (Result, error) {
 				ErrDeadlock, m.Sched.LiveThreads(), m.Sched.ReadyCount(), m.Sched.BlockedCount())
 		}
 	}
+	return m.finish(), nil
+}
+
+// runFast is the work-proportional loop: nodes executing 1-cycle
+// instructions step every cycle off the sorted running list, nodes
+// inside a multi-cycle operation sleep in a min-queue keyed by
+// absolute wake cycle, and whole stretches where nothing can happen
+// are crossed in one fastForwardUntil jump. Each iteration visits only
+// the nodes that actually step. Step order within a cycle is ascending
+// node id, exactly as in runReference (the running list and the due
+// set are disjoint ascending sequences; their merge preserves order).
+func (m *Machine) runFast() (Result, error) {
+	lastProgress := m.now
+	for !m.Sched.MainDone {
+		if m.sampler != nil && m.now >= m.sampler.NextBoundary() {
+			m.sample()
+			m.sampler.Advance(m.now)
+		}
+		if m.now >= m.Cfg.MaxCycles {
+			return Result{}, fmt.Errorf("sim: exceeded cycle budget %d", m.Cfg.MaxCycles)
+		}
+		limit := m.Cfg.MaxCycles
+		// Never jump past a sampling boundary: capping a skip shorter
+		// cannot change simulated state (skips compose), it only makes
+		// the sampler observe it.
+		if m.sampler != nil && m.sampler.NextBoundary() < limit {
+			limit = m.sampler.NextBoundary()
+		}
+		m.fastForwardUntil(limit)
+		// A capped jump can land exactly on the boundary; the reference
+		// loop samples before executing that cycle, so match it here
+		// rather than waiting for the next iteration's top-of-loop check.
+		if m.sampler != nil && m.now >= m.sampler.NextBoundary() {
+			m.sample()
+			m.sampler.Advance(m.now)
+		}
+		// Likewise a jump can land exactly on the budget; the reference
+		// loop errors out before executing that cycle, so match it.
+		if m.now >= m.Cfg.MaxCycles {
+			return Result{}, fmt.Errorf("sim: exceeded cycle budget %d", m.Cfg.MaxCycles)
+		}
+		due := m.dueBuf[:0]
+		if m.wakeq.next() <= m.now {
+			due = m.wakeq.popDue(m.now, due)
+		}
+		m.dueBuf = due
+		steps := m.running
+		switch {
+		case len(due) == 0:
+		case len(m.running) == 0:
+			steps = due
+		default:
+			m.mergeBuf = mergeSorted(m.mergeBuf[:0], m.running, due)
+			steps = m.mergeBuf
+		}
+		// Rebuild the running list as we go: 1-cycle nodes stay on it,
+		// multi-cycle ones move to the wake queue. In-place compaction is
+		// safe when steps aliases m.running (writes never pass reads).
+		keep := m.running[:0]
+		for _, id := range steps {
+			n := m.Nodes[id]
+			retired := n.Proc.Stats.Instructions
+			c, err := n.Proc.Step()
+			if err != nil {
+				return Result{}, fmt.Errorf("cycle %d node %d: %w", m.now, n.Proc.ID, err)
+			}
+			if c > 1 {
+				// busy = c-1 in the reference loop means the node next
+				// Steps c cycles from now.
+				m.wakeq.push(id, m.now+uint64(c))
+			} else {
+				keep = append(keep, id)
+			}
+			if n.Proc.Stats.Instructions != retired {
+				lastProgress = m.now
+			}
+			if m.Sched.MainDone {
+				break
+			}
+		}
+		m.running = keep
+		if m.net != nil {
+			m.net.tick()
+		}
+		m.now++
+
+		if m.now-lastProgress > deadlockWindow {
+			return Result{}, fmt.Errorf("%w: %d threads live, %d ready, %d blocked",
+				ErrDeadlock, m.Sched.LiveThreads(), m.Sched.ReadyCount(), m.Sched.BlockedCount())
+		}
+	}
+	return m.finish(), nil
+}
+
+// finish closes the final sampling window and packages the result.
+func (m *Machine) finish() Result {
 	if m.sampler != nil {
 		// Final partial window: the series now sums to the end-of-run
 		// Stats exactly.
@@ -265,37 +394,36 @@ func (m *Machine) Run() (Result, error) {
 		Cycles:    m.now,
 		Value:     v,
 		Formatted: m.Nodes[0].RT.Heap.Format(v),
-	}, nil
+	}
 }
 
 // fastForwardUntil advances simulated time across cycles that are
-// provably uneventful, never past limit. When every node is sleeping on
-// a busy counter, no node Steps until the smallest counter reaches
-// zero; and when the memory fabric's next event lies beyond that, the
-// per-cycle ticks in between are no-ops too. The naive loop spends one
-// iteration per such cycle (decrement each counter, tick the idle
-// network); this jumps m.now to the next cycle where anything can
-// happen in one step. Simulated state after the jump is bit-identical
-// to stepping cycle by cycle — the differential tests in
-// fastforward_test.go hold the two loops to that.
+// provably uneventful, never past limit. Until the earliest scheduled
+// wake, no node Steps; and when the memory fabric's next event lies
+// beyond that, the per-cycle ticks in between are no-ops too. The
+// reference loop spends one iteration per such cycle (decrement each
+// busy counter, tick the idle network); this jumps m.now to the next
+// cycle where anything can happen in one step. Simulated state after
+// the jump is bit-identical to stepping cycle by cycle — the
+// differential tests in fastforward_test.go hold the two loops to
+// that.
 func (m *Machine) fastForwardUntil(limit uint64) {
-	skip := uint64(0)
-	for _, n := range m.Nodes {
-		if n.busy == 0 {
-			return // this node Steps on the current cycle
-		}
-		if b := uint64(n.busy); skip == 0 || b < skip {
-			skip = b
-		}
+	if len(m.running) > 0 {
+		return // a running node Steps on the current cycle
 	}
+	next := m.wakeq.next()
+	if next <= m.now {
+		return // a sleeping node wakes on the current cycle
+	}
+	skip := next - m.now
 	if m.net != nil {
 		// Ticks run with the fabric clock at m.now+1 .. m.now+skip; all
 		// of them must end strictly before the fabric's next event.
-		next := m.net.nextEvent()
-		if next <= m.now+1 {
+		ne := m.net.nextEvent()
+		if ne <= m.now+1 {
 			return
 		}
-		if d := next - m.now - 1; d < skip {
+		if d := ne - m.now - 1; d < skip {
 			skip = d
 		}
 	}
@@ -306,9 +434,6 @@ func (m *Machine) fastForwardUntil(limit uint64) {
 	}
 	if skip == 0 {
 		return
-	}
-	for _, n := range m.Nodes {
-		n.busy -= int(skip)
 	}
 	if m.net != nil {
 		m.net.advance(skip)

@@ -17,6 +17,12 @@ func (m *Machine) LoadRaw(prog *isa.Program) {
 	for _, n := range m.Nodes {
 		n.Proc.Prog = prog
 	}
+	if !m.Cfg.DisablePredecode {
+		micro := prog.Predecode()
+		for _, n := range m.Nodes {
+			n.Proc.SetMicro(micro)
+		}
+	}
 	m.loaded = true
 }
 
@@ -45,28 +51,62 @@ func (m *Machine) RunFor(cycles uint64) error {
 	if !m.loaded {
 		return errors.New("sim: no program loaded")
 	}
-	fast := !m.Cfg.DisableFastForward
 	end := m.now + cycles
-	for m.now < end {
-		if fast {
-			m.fastForwardUntil(end)
-			if m.now >= end {
-				break
+	if m.Cfg.DisableFastForward {
+		for m.now < end {
+			for _, n := range m.Nodes {
+				if n.busy > 0 {
+					n.busy--
+					continue
+				}
+				c, err := n.Proc.Step()
+				if err != nil {
+					return fmt.Errorf("cycle %d node %d: %w", m.now, n.Proc.ID, err)
+				}
+				if c > 1 {
+					n.busy = c - 1
+				}
 			}
+			if m.net != nil {
+				m.net.tick()
+			}
+			m.now++
 		}
-		for _, n := range m.Nodes {
-			if n.busy > 0 {
-				n.busy--
-				continue
-			}
+		return nil
+	}
+	for m.now < end {
+		m.fastForwardUntil(end)
+		if m.now >= end {
+			break
+		}
+		due := m.dueBuf[:0]
+		if m.wakeq.next() <= m.now {
+			due = m.wakeq.popDue(m.now, due)
+		}
+		m.dueBuf = due
+		steps := m.running
+		switch {
+		case len(due) == 0:
+		case len(m.running) == 0:
+			steps = due
+		default:
+			m.mergeBuf = mergeSorted(m.mergeBuf[:0], m.running, due)
+			steps = m.mergeBuf
+		}
+		keep := m.running[:0]
+		for _, id := range steps {
+			n := m.Nodes[id]
 			c, err := n.Proc.Step()
 			if err != nil {
 				return fmt.Errorf("cycle %d node %d: %w", m.now, n.Proc.ID, err)
 			}
 			if c > 1 {
-				n.busy = c - 1
+				m.wakeq.push(id, m.now+uint64(c))
+			} else {
+				keep = append(keep, id)
 			}
 		}
+		m.running = keep
 		if m.net != nil {
 			m.net.tick()
 		}

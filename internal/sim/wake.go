@@ -1,0 +1,113 @@
+package sim
+
+// wakeQueue schedules sleeping nodes' wake-ups by absolute simulated
+// cycle: a binary min-heap of (wake, node) pairs. Together with the
+// machine's sorted running list (nodes executing 1-cycle instructions,
+// which step every cycle and never touch the heap) it replaces the
+// per-node relative busy counters the lockstep loop used to decrement
+// every cycle — the loop visits only the nodes that actually step, so
+// the host cost of a simulated cycle is proportional to the work done
+// in it, not to the machine size, and heap traffic is paid once per
+// multi-cycle sleep rather than once per cycle per node.
+//
+// Determinism: the heap orders ties by node id, and the run loop never
+// lets simulated time pass a scheduled wake (it steps cycle by cycle
+// once next() == now), so popDue always yields nodes in ascending id
+// order — exactly the order the reference loop steps them in.
+type wakeQueue struct {
+	heap []wakeEntry
+}
+
+type wakeEntry struct {
+	wake uint64
+	node int32
+}
+
+// noWake is next()'s empty-queue sentinel (matches network.NoEvent).
+const noWake = ^uint64(0)
+
+// init empties the queue, reserving room for every node.
+func (q *wakeQueue) init(nodes int) {
+	q.heap = make([]wakeEntry, 0, nodes)
+}
+
+func (e wakeEntry) less(o wakeEntry) bool {
+	return e.wake < o.wake || (e.wake == o.wake && e.node < o.node)
+}
+
+// next reports the earliest scheduled wake cycle, or noWake when no
+// node sleeps.
+func (q *wakeQueue) next() uint64 {
+	if len(q.heap) == 0 {
+		return noWake
+	}
+	return q.heap[0].wake
+}
+
+// push schedules node to wake at the given cycle.
+func (q *wakeQueue) push(node int, wake uint64) {
+	q.heap = append(q.heap, wakeEntry{wake: wake, node: int32(node)})
+	i := len(q.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.heap[i].less(q.heap[parent]) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+// popDue removes every node due at exactly cycle now and appends their
+// ids to buf (in ascending id order). A wake earlier than now would
+// mean the run loop skipped a scheduled step — a determinism bug — so
+// it panics loudly instead of silently reordering.
+func (q *wakeQueue) popDue(now uint64, buf []int) []int {
+	for len(q.heap) > 0 && q.heap[0].wake <= now {
+		if q.heap[0].wake < now {
+			panic("sim: wake queue entry in the past (missed node step)")
+		}
+		buf = append(buf, int(q.heap[0].node))
+		q.pop()
+	}
+	return buf
+}
+
+// mergeSorted appends the merge of two ascending, disjoint id lists to
+// dst (which must not alias a or b).
+func mergeSorted(dst, a, b []int) []int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+func (q *wakeQueue) pop() {
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(q.heap) && q.heap[l].less(q.heap[small]) {
+			small = l
+		}
+		if r < len(q.heap) && q.heap[r].less(q.heap[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		q.heap[i], q.heap[small] = q.heap[small], q.heap[i]
+		i = small
+	}
+}
