@@ -194,22 +194,29 @@ func BenchmarkNetworkLatency(b *testing.B) {
 				}
 				rng := rand.New(rand.NewSource(1))
 				n := tor.Nodes()
+				var buf []*network.Message
+				var pend []int
+				drain := func() {
+					pend = tor.PendingNodes(pend[:0])
+					for _, node := range pend {
+						buf = tor.Deliveries(node, buf[:0])
+						tor.Recycle(buf)
+					}
+				}
 				for c := 0; c < 5000; c++ {
 					for node := 0; node < n; node++ {
 						if rng.Float64() < load {
-							tor.Send(&network.Message{Src: node, Dst: rng.Intn(n), Size: 4})
+							m := tor.Alloc()
+							m.Src, m.Dst, m.Size = node, rng.Intn(n), 4
+							tor.Send(m)
 						}
 					}
 					tor.Tick()
-					for node := 0; node < n; node++ {
-						tor.Deliveries(node)
-					}
+					drain()
 				}
 				for j := 0; j < 100000 && tor.InFlight() > 0; j++ {
 					tor.Tick()
-					for node := 0; node < n; node++ {
-						tor.Deliveries(node)
-					}
+					drain()
 				}
 				avg = tor.Stats().AvgLatency()
 			}

@@ -38,7 +38,7 @@ func run() int {
 		frames  = flag.Bool("frames", false, "run the task-frame ablation (E9) instead of Table 3")
 		workers = flag.Int("workers", 0, "parallel host workers (0 = one per core)")
 		naive   = flag.Bool("naive", false, "use the reference per-cycle loop and switch interpreter (no fast-forward, no predecode)")
-		perf    = flag.Bool("perf", false, "measure simulator throughput (naive/serial vs fast/parallel, plus a 64-node ALEWIFE run) and write BENCH_simperf.json")
+		perf    = flag.Bool("perf", false, "measure simulator throughput and host allocator pressure (naive/serial vs fast/parallel, plus a 64-node ALEWIFE run) and write BENCH_simperf.json")
 		perfOut = flag.String("perf-out", "BENCH_simperf.json", "output path for -perf")
 
 		statsJSON = flag.String("stats-json", "", "write every grid run's full statistics (totals, per-node, throughput) as JSON to this path")

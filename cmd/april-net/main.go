@@ -50,23 +50,30 @@ func measure(geo network.Geometry, size int, load float64, cycles int, seed int6
 	}
 	rng := rand.New(rand.NewSource(seed))
 	n := geo.Nodes()
+	var buf []*network.Message
+	var pend []int
 	for c := 0; c < cycles; c++ {
 		for node := 0; node < n; node++ {
 			if rng.Float64() < load {
-				dst := rng.Intn(n)
-				tor.Send(&network.Message{Src: node, Dst: dst, Size: size})
+				m := tor.Alloc()
+				m.Src, m.Dst, m.Size = node, rng.Intn(n), size
+				tor.Send(m)
 			}
 		}
 		tor.Tick()
-		for node := 0; node < n; node++ {
-			tor.Deliveries(node)
+		pend = tor.PendingNodes(pend[:0])
+		for _, node := range pend {
+			buf = tor.Deliveries(node, buf[:0])
+			tor.Recycle(buf)
 		}
 	}
 	// Drain in-flight packets so the average includes queued ones.
 	for i := 0; i < 200000 && tor.InFlight() > 0; i++ {
 		tor.Tick()
-		for node := 0; node < n; node++ {
-			tor.Deliveries(node)
+		pend = tor.PendingNodes(pend[:0])
+		for _, node := range pend {
+			buf = tor.Deliveries(node, buf[:0])
+			tor.Recycle(buf)
 		}
 	}
 	s := tor.Stats()

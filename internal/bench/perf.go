@@ -69,6 +69,10 @@ type AlewifeRow struct {
 // reference selects the pre-overhaul cost profile: reference stepping
 // loop, opcode-switch interpreter, eagerly materialized memory.
 func alewifeOnce(src string, nodes int, reference bool) (runOut, error) {
+	// The GC bracket matches the wall-clock bracket: it covers machine
+	// construction too, so the baseline pays for eager materialization
+	// where the optimized side demand-pages only the touched footprint.
+	gcBefore := proc.TakeGCSnapshot()
 	start := time.Now()
 	m, err := sim.New(sim.Config{
 		Nodes:              nodes,
@@ -94,11 +98,13 @@ func alewifeOnce(src string, nodes int, reference bool) (runOut, error) {
 	if err != nil {
 		return runOut{}, err
 	}
+	gcAfter := proc.TakeGCSnapshot()
 	out := runOut{
 		cycles: res.Cycles,
 		result: res.Formatted,
 		perf:   proc.NewPerf(res.Cycles, m.TotalStats().Instructions, time.Since(start)),
 	}
+	out.perf.SetGC(gcBefore, gcAfter)
 	for _, n := range m.Nodes {
 		out.stats.PerNode = append(out.stats.PerNode, n.Proc.Stats)
 	}
@@ -146,18 +152,22 @@ func Table3Perf(cfg Table3Config, sizesName string) (PerfReport, error) {
 
 	base := cfg
 	base.Naive, base.Workers, base.Perf = true, 1, &rep.Baseline
+	gcBefore := proc.TakeGCSnapshot()
 	baseRows, err := Table3(base)
 	if err != nil {
 		return PerfReport{}, fmt.Errorf("baseline grid: %w", err)
 	}
+	rep.Baseline.SetGC(gcBefore, proc.TakeGCSnapshot())
 
 	opt := cfg
 	opt.Naive, opt.Perf = false, &rep.Optimized
 	rep.Workers = harness.Workers(opt.Workers)
+	gcBefore = proc.TakeGCSnapshot()
 	optRows, err := Table3(opt)
 	if err != nil {
 		return PerfReport{}, fmt.Errorf("optimized grid: %w", err)
 	}
+	rep.Optimized.SetGC(gcBefore, proc.TakeGCSnapshot())
 
 	rep.RowsIdentical = reflect.DeepEqual(baseRows, optRows)
 	if rep.Optimized.WallSeconds > 0 {
@@ -193,6 +203,10 @@ func (r PerfReport) Summary() string {
 	}
 	s := fmt.Sprintf("baseline %.2fs -> optimized %.2fs (%.2fx, %d workers, results %s)",
 		r.Baseline.WallSeconds, r.Optimized.WallSeconds, r.Speedup, r.Workers, ident)
+	s += fmt.Sprintf("\n  gc: %.0f -> %.0f allocs/Mcycle, %.0f -> %.0f KB/Mcycle, %d -> %d GCs",
+		r.Baseline.AllocsPerMcycle, r.Optimized.AllocsPerMcycle,
+		r.Baseline.BytesPerMcycle/1024, r.Optimized.BytesPerMcycle/1024,
+		r.Baseline.HostNumGC, r.Optimized.HostNumGC)
 	if a := r.Alewife; a != nil {
 		aident := "IDENTICAL"
 		if !a.Identical {
@@ -200,6 +214,9 @@ func (r PerfReport) Summary() string {
 		}
 		s += fmt.Sprintf("\n  alewife %s %dp: %.2fs -> %.2fs (%.2fx, results %s)",
 			a.Benchmark, a.Nodes, a.Baseline.WallSeconds, a.Optimized.WallSeconds, a.Speedup, aident)
+		s += fmt.Sprintf("\n  alewife gc: %.0f -> %.0f allocs/Mcycle, %.0f -> %.0f KB/Mcycle",
+			a.Baseline.AllocsPerMcycle, a.Optimized.AllocsPerMcycle,
+			a.Baseline.BytesPerMcycle/1024, a.Optimized.BytesPerMcycle/1024)
 	}
 	return s
 }

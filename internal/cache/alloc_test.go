@@ -1,0 +1,28 @@
+package cache
+
+import "testing"
+
+// The cache hit path runs on every simulated memory access; it must
+// not allocate. (Insert may allocate only through set growth at
+// construction time, which New performs up front.)
+func TestHitPathAllocFree(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, evicted := c.Insert(7, Exclusive); evicted {
+		t.Fatal("unexpected eviction in empty cache")
+	}
+	hit := func() {
+		if _, ok := c.Lookup(7); !ok {
+			t.Fatal("lookup missed a resident block")
+		}
+		c.MarkDirty(7)
+		if !c.Dirty(7) {
+			t.Fatal("block not dirty after MarkDirty")
+		}
+	}
+	if n := testing.AllocsPerRun(1000, hit); n != 0 {
+		t.Errorf("cache hit allocates %v/op, want 0", n)
+	}
+}

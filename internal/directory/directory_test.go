@@ -1,6 +1,7 @@
 package directory
 
 import (
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -116,5 +117,61 @@ func TestKindNames(t *testing.T) {
 		if k.String() == "" {
 			t.Errorf("kind %d has no name", k)
 		}
+	}
+}
+
+func TestBlocksSortedAscending(t *testing.T) {
+	d := New()
+	// Insertion order scrambled relative to block numbers, with enough
+	// blocks to force at least one table growth.
+	blocks := []uint32{77, 3, 1029, 5, 64, 2, 500, 12, 9999, 1}
+	for i := uint32(0); i < 100; i++ {
+		blocks = append(blocks, 2000+i*37)
+	}
+	for _, b := range blocks {
+		d.Entry(b)
+	}
+	got := d.Blocks()
+	if len(got) != len(blocks) {
+		t.Fatalf("Blocks() returned %d blocks, want %d", len(got), len(blocks))
+	}
+	if !slices.IsSorted(got) {
+		t.Errorf("Blocks() not ascending: %v", got)
+	}
+	want := append([]uint32(nil), blocks...)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Errorf("Blocks() = %v, want %v", got, want)
+	}
+}
+
+// Steady-state directory traffic — entry lookups on resident blocks and
+// sharer-set updates within the inline 64-node word — must not allocate.
+func TestSteadyStateOpsAllocFree(t *testing.T) {
+	d := New()
+	for b := uint32(0); b < 128; b++ {
+		d.Entry(b)
+	}
+	var targets []int
+	ops := func() {
+		e := d.Entry(77)
+		e.Sharers.Add(5)
+		e.Sharers.Add(63)
+		if e.Sharers.CountExcept(5) != 1 {
+			t.Fatal("CountExcept wrong")
+		}
+		targets = e.Sharers.AppendMembers(targets[:0], 5)
+		if len(targets) != 1 || targets[0] != 63 {
+			t.Fatalf("AppendMembers = %v", targets)
+		}
+		e.Sharers.Remove(5)
+		e.Sharers.Remove(63)
+		if _, ok := d.Probe(77); !ok {
+			t.Fatal("Probe missed a resident block")
+		}
+	}
+	ops() // size the scratch buffer
+	if n := testing.AllocsPerRun(1000, ops); n != 0 {
+		t.Errorf("steady-state directory ops allocate %v/op, want 0", n)
 	}
 }

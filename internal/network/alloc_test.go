@@ -1,0 +1,65 @@
+package network
+
+import "testing"
+
+// The pooled message API must make a steady-state send -> deliver ->
+// recycle round trip allocation-free: the pool recycles Message
+// objects (and their route slices), Deliveries appends into the
+// caller's reusable buffer, and the channel queues keep their backing
+// arrays across pops. One warm-up round fills the pool and grows every
+// buffer to its working size; after that, zero allocations.
+
+func TestTorusRoundTripAllocFree(t *testing.T) {
+	tor, err := NewTorus(Geometry{Dim: 2, Radix: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []*Message
+	var pend []int
+	round := func() {
+		m := tor.Alloc()
+		m.Src, m.Dst, m.Size = 0, 5, 4
+		tor.Send(m)
+		for i := 0; i < 1000 && tor.InFlight() > 0; i++ {
+			tor.Tick()
+			pend = tor.PendingNodes(pend[:0])
+			for _, node := range pend {
+				buf = tor.Deliveries(node, buf[:0])
+				tor.Recycle(buf)
+			}
+		}
+		if tor.InFlight() > 0 {
+			t.Fatal("message not delivered")
+		}
+	}
+	round() // fill the pool and size every scratch buffer
+	if n := testing.AllocsPerRun(100, round); n != 0 {
+		t.Errorf("torus round trip allocates %v/op in steady state, want 0", n)
+	}
+}
+
+func TestIdealRoundTripAllocFree(t *testing.T) {
+	net := NewIdeal(8, 3)
+	var buf []*Message
+	var pend []int
+	round := func() {
+		m := net.Alloc()
+		m.Src, m.Dst, m.Size = 1, 6, 4
+		net.Send(m)
+		for i := 0; i < 100 && net.InFlight() > 0; i++ {
+			net.Tick()
+			pend = net.PendingNodes(pend[:0])
+			for _, node := range pend {
+				buf = net.Deliveries(node, buf[:0])
+				net.Recycle(buf)
+			}
+		}
+		if net.InFlight() > 0 {
+			t.Fatal("message not delivered")
+		}
+	}
+	round()
+	if n := testing.AllocsPerRun(100, round); n != 0 {
+		t.Errorf("ideal round trip allocates %v/op in steady state, want 0", n)
+	}
+}

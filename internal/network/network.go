@@ -15,25 +15,42 @@ import (
 	"april/internal/trace"
 )
 
-// Message is one network packet.
+// Message is one network packet. Messages are pooled: obtain one with
+// Alloc, fill Src/Dst/Size/Payload, and pass it to Send; the network
+// owns it until Deliveries lends it to the consumer, who returns it
+// with Recycle. Stack- or literal-constructed Messages also work (the
+// pool adopts them at Recycle).
 type Message struct {
 	Src, Dst int
 	Size     int // flits
-	Payload  interface{}
+	Payload  Payload
 
-	sentAt uint64
-	route  []int // remaining channel hops (channel ids)
+	sentAt   uint64
+	route    []int // channel hops (channel ids); next hop is route[hop]
+	hop      int
+	recycled bool // on the freelist; guards double-recycle / stale Send
 }
 
 // Network moves messages between nodes, one Tick per machine cycle.
 type Network interface {
+	// Alloc returns a message from the network's freelist (or a fresh
+	// one). Fields other than route capacity are unspecified; the
+	// caller must set Src, Dst, Size, and Payload before Send.
+	Alloc() *Message
 	// Send injects a message (takes effect during subsequent Ticks).
 	Send(m *Message)
+	// Recycle returns delivered messages to the freelist. Callers must
+	// not touch a message after recycling it; see msgPool for the
+	// ownership rules.
+	Recycle(ms []*Message)
 	// Tick advances one cycle and returns the messages delivered this
 	// cycle, grouped by destination via Deliveries.
 	Tick()
-	// Deliveries drains the messages that have arrived at node.
-	Deliveries(node int) []*Message
+	// Deliveries appends the messages that have arrived at node to buf
+	// (caller-owned, reused across calls) and returns the result. The
+	// messages remain pool-owned loans: copy what you need and Recycle
+	// the batch.
+	Deliveries(node int, buf []*Message) []*Message
 	// PendingNodes appends the ids of nodes with undrained deliveries
 	// to buf, in ascending node order, and returns the result. It lets
 	// a caller drain exactly the inboxes that have work instead of
@@ -101,11 +118,17 @@ func (g Geometry) Nodes() int {
 // Coords converts a node id to its n-dimensional coordinates.
 func (g Geometry) Coords(node int) []int {
 	c := make([]int, g.Dim)
+	g.CoordsInto(c, node)
+	return c
+}
+
+// CoordsInto fills c (length at least Dim) with node's coordinates,
+// the allocation-free form of Coords.
+func (g Geometry) CoordsInto(c []int, node int) {
 	for i := 0; i < g.Dim; i++ {
 		c[i] = node % g.Radix
 		node /= g.Radix
 	}
-	return c
 }
 
 // Node converts coordinates back to a node id.
@@ -181,6 +204,7 @@ type Ideal struct {
 
 	pendNodes []int // nodes with undrained inboxes, ascending
 	inPend    []bool
+	pool      msgPool
 
 	// refScan selects the pre-overhaul cost profile: Tick compacts the
 	// whole pending slice and NextEvent/InFlight scan every inbox and
@@ -206,8 +230,17 @@ func NewIdeal(nodes int, latency int) *Ideal {
 	}
 }
 
+// Alloc implements Network.
+func (n *Ideal) Alloc() *Message { return n.pool.alloc() }
+
+// Recycle implements Network.
+func (n *Ideal) Recycle(ms []*Message) { n.pool.recycle(ms) }
+
 // Send implements Network.
 func (n *Ideal) Send(m *Message) {
+	if m.recycled {
+		panic("network: Send of a recycled message")
+	}
 	m.sentAt = n.now
 	n.pending = append(n.pending, m)
 	n.stats.Messages++
@@ -271,15 +304,21 @@ func (n *Ideal) account(m *Message) {
 	n.trace.Emit(m.Dst, trace.KNetDeliver, int32(m.Src), int32(m.Size), int32(lat), 0)
 }
 
-// Deliveries implements Network.
-func (n *Ideal) Deliveries(node int) []*Message {
-	out := n.inbox[node]
-	n.inbox[node] = nil
+// Deliveries implements Network. The inbox keeps its capacity: its
+// contents are copied into buf and the slice is truncated, so the
+// steady state drains without allocating.
+func (n *Ideal) Deliveries(node int, buf []*Message) []*Message {
+	box := n.inbox[node]
+	buf = append(buf, box...)
+	for i := range box {
+		box[i] = nil
+	}
+	n.inbox[node] = box[:0]
 	if n.inPend[node] {
 		n.inPend[node] = false
 		n.pendNodes = removeSorted(n.pendNodes, node)
 	}
-	return out
+	return buf
 }
 
 // PendingNodes implements Network.

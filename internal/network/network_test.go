@@ -91,7 +91,7 @@ func deliverAll(t *testing.T, n Network, maxTicks int) map[int][]*Message {
 	for i := 0; i < maxTicks; i++ {
 		n.Tick()
 		for node := 0; node < n.Nodes(); node++ {
-			out[node] = append(out[node], n.Deliveries(node)...)
+			out[node] = n.Deliveries(node, out[node])
 		}
 	}
 	return out
@@ -99,10 +99,10 @@ func deliverAll(t *testing.T, n Network, maxTicks int) map[int][]*Message {
 
 func TestTorusDelivery(t *testing.T) {
 	tor, _ := NewTorus(Geometry{Dim: 2, Radix: 3})
-	m := &Message{Src: 0, Dst: 8, Size: 4, Payload: "hello"}
+	m := &Message{Src: 0, Dst: 8, Size: 4, Payload: RawPayload(0x4e110)}
 	tor.Send(m)
 	got := deliverAll(t, tor, 100)
-	if len(got[8]) != 1 || got[8][0].Payload != "hello" {
+	if len(got[8]) != 1 || got[8][0].Payload != RawPayload(0x4e110) {
 		t.Fatalf("delivery failed: %+v", got)
 	}
 	// Unloaded latency = hops * size (store and forward).
@@ -117,16 +117,15 @@ func TestTorusAllPairs(t *testing.T) {
 	n := tor.Nodes()
 	for s := 0; s < n; s++ {
 		for d := 0; d < n; d++ {
-			tor.Send(&Message{Src: s, Dst: d, Size: 1, Payload: [2]int{s, d}})
+			tor.Send(&Message{Src: s, Dst: d, Size: 1, Payload: RawPayload(uint64(s)<<16 | uint64(d))})
 		}
 	}
 	got := deliverAll(t, tor, 10000)
 	total := 0
 	for node, ms := range got {
 		for _, m := range ms {
-			p := m.Payload.([2]int)
-			if p[1] != node {
-				t.Fatalf("message for %d delivered to %d", p[1], node)
+			if dst := int(m.Payload.Word & 0xffff); dst != node {
+				t.Fatalf("message for %d delivered to %d", dst, node)
 			}
 			total++
 		}
@@ -171,16 +170,16 @@ func TestContentionRaisesLatency(t *testing.T) {
 
 func TestIdealNetwork(t *testing.T) {
 	n := NewIdeal(4, 10)
-	n.Send(&Message{Src: 0, Dst: 3, Size: 4, Payload: 42})
+	n.Send(&Message{Src: 0, Dst: 3, Size: 4, Payload: RawPayload(42)})
 	for i := 0; i < 9; i++ {
 		n.Tick()
-		if got := n.Deliveries(3); len(got) != 0 {
+		if got := n.Deliveries(3, nil); len(got) != 0 {
 			t.Fatalf("delivered after %d ticks, want 10", i+1)
 		}
 	}
 	n.Tick()
-	got := n.Deliveries(3)
-	if len(got) != 1 || got[0].Payload != 42 {
+	got := n.Deliveries(3, nil)
+	if len(got) != 1 || got[0].Payload != RawPayload(42) {
 		t.Fatalf("ideal delivery failed: %v", got)
 	}
 	if n.Stats().AvgLatency() != 10 {
@@ -190,7 +189,7 @@ func TestIdealNetwork(t *testing.T) {
 
 func TestLoopback(t *testing.T) {
 	tor, _ := NewTorus(Geometry{Dim: 1, Radix: 4})
-	tor.Send(&Message{Src: 2, Dst: 2, Size: 4, Payload: "self"})
+	tor.Send(&Message{Src: 2, Dst: 2, Size: 4, Payload: RawPayload(7)})
 	got := deliverAll(t, tor, 5)
 	if len(got[2]) != 1 {
 		t.Fatal("loopback not delivered")

@@ -1,0 +1,65 @@
+package network
+
+import "april/internal/directory"
+
+// msgPool is the per-network message freelist. Ownership discipline:
+// the sender obtains a Message from Alloc, fills it, and hands it to
+// Send — from that point the network owns it. Deliveries lends the
+// delivered messages to the consumer, who must copy out anything it
+// needs and return the whole batch with Recycle before the next Tick;
+// after Recycle the pointers are dead (and poisoned in poison mode).
+type msgPool struct {
+	free []*Message
+}
+
+// poisonRecycle, when set, scrambles every field of a recycled message
+// so a consumer that illegally retains a *Message past its Recycle
+// sees impossible values (negative nodes, payloadPoisoned kind) and
+// diverges from a clean run. Test-only; flip with SetPoisonRecycle.
+var poisonRecycle bool
+
+// SetPoisonRecycle toggles poisoning of recycled messages. It is a
+// process-wide debugging aid for aliasing tests: with it on, any
+// consumer holding a message past the recycle point reads garbage
+// instead of silently stale data.
+func SetPoisonRecycle(on bool) { poisonRecycle = on }
+
+func (p *msgPool) alloc() *Message {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		m.recycled = false
+		return m
+	}
+	return &Message{}
+}
+
+func (p *msgPool) recycle(ms []*Message) {
+	for _, m := range ms {
+		if m == nil {
+			continue
+		}
+		if m.recycled {
+			panic("network: message recycled twice")
+		}
+		route := m.route[:0]
+		*m = Message{route: route, recycled: true}
+		if poisonRecycle {
+			m.Src, m.Dst, m.Size = -1, -1, -1
+			m.sentAt = ^uint64(0)
+			m.hop = 1 << 30
+			m.Payload = Payload{
+				Kind: payloadPoisoned,
+				Coh: directory.Msg{
+					Kind:      directory.MsgKind(0xff),
+					Block:     0xdeadbeef,
+					From:      -1,
+					Requester: -1,
+				},
+				Word: 0xdeaddeaddeaddead,
+			}
+		}
+		p.free = append(p.free, m)
+	}
+}

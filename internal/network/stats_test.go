@@ -54,7 +54,7 @@ func TestTorusStatsKnownRoute(t *testing.T) {
 	if s.Hops != uint64(hops) {
 		t.Errorf("hops %d, want %d", s.Hops, hops)
 	}
-	if got := len(tor.Deliveries(dst)); got != 1 {
+	if got := len(tor.Deliveries(dst, nil)); got != 1 {
 		t.Fatalf("deliveries at %d: %d, want 1", dst, got)
 	}
 	if tor.InFlight() != 0 {
@@ -116,7 +116,7 @@ func TestIdealStatsAndInFlight(t *testing.T) {
 	if n.InFlight() != 1 {
 		t.Errorf("in flight %d with undrained inbox, want 1", n.InFlight())
 	}
-	if got := len(n.Deliveries(3)); got != 1 {
+	if got := len(n.Deliveries(3, nil)); got != 1 {
 		t.Fatalf("deliveries %d, want 1", got)
 	}
 	if n.InFlight() != 0 {

@@ -41,6 +41,9 @@ type Torus struct {
 
 	moved     []*Message // Tick scratch, reused across cycles
 	movedFrom []int
+	pool      msgPool
+	curBuf    []int // routeInto coordinate scratch, length Dim
+	dstBuf    []int
 
 	// refScan selects the pre-overhaul cost profile: Tick, NextEvent,
 	// Advance and InFlight scan every channel and inbox instead of the
@@ -53,9 +56,39 @@ type Torus struct {
 // scanning implementations. Call before any traffic is injected.
 func (t *Torus) SetReferenceScan(on bool) { t.refScan = on }
 
+// channel is one output link: a FIFO of queued packets plus the busy
+// countdown of the one being transmitted. The queue pops from a head
+// index with amortized-O(1) compaction so the steady state neither
+// reallocates (as append after a `queue[1:]` reslice eventually would)
+// nor copies more than it pops.
 type channel struct {
-	queue []*Message
+	queue []*Message // live entries are queue[head:]
+	head  int
 	busy  int // cycles left transmitting the head packet
+}
+
+func (c *channel) qlen() int       { return len(c.queue) - c.head }
+func (c *channel) qhead() *Message { return c.queue[c.head] }
+
+func (c *channel) push(m *Message) { c.queue = append(c.queue, m) }
+
+func (c *channel) pop() *Message {
+	m := c.queue[c.head]
+	c.queue[c.head] = nil
+	c.head++
+	switch {
+	case c.head == len(c.queue):
+		c.queue = c.queue[:0]
+		c.head = 0
+	case c.head > len(c.queue)/2:
+		k := copy(c.queue, c.queue[c.head:])
+		for i := k; i < len(c.queue); i++ {
+			c.queue[i] = nil
+		}
+		c.queue = c.queue[:k]
+		c.head = 0
+	}
+	return m
 }
 
 // channel ids: node*2n + dim*2 + dir (dir 0 = +, 1 = -).
@@ -75,6 +108,8 @@ func NewTorus(g Geometry) (*Torus, error) {
 		inbox:    make([][]*Message, n),
 		inAct:    make([]bool, n*2*g.Dim),
 		inPend:   make([]bool, n),
+		curBuf:   make([]int, g.Dim),
+		dstBuf:   make([]int, g.Dim),
 	}, nil
 }
 
@@ -118,11 +153,21 @@ func (t *Torus) deliver(m *Message) {
 	t.account(m)
 }
 
-// route computes the dimension-order channel sequence from src to dst.
+// route computes the dimension-order channel sequence from src to dst
+// (test helper; the Send path uses routeInto with the message's own
+// hop buffer).
 func (t *Torus) route(src, dst int) []int {
-	var hops []int
-	cur := t.geo.Coords(src)
-	dstC := t.geo.Coords(dst)
+	return t.routeInto(nil, src, dst)
+}
+
+// routeInto appends the dimension-order channel sequence from src to
+// dst onto hops, using the torus's coordinate scratch buffers so the
+// hot path allocates nothing once the message's route capacity has
+// grown to its working size.
+func (t *Torus) routeInto(hops []int, src, dst int) []int {
+	cur, dstC := t.curBuf, t.dstBuf
+	t.geo.CoordsInto(cur, src)
+	t.geo.CoordsInto(dstC, dst)
 	k := t.geo.Radix
 	node := src
 	for dim := 0; dim < t.geo.Dim; dim++ {
@@ -144,8 +189,17 @@ func (t *Torus) route(src, dst int) []int {
 	return hops
 }
 
+// Alloc implements Network.
+func (t *Torus) Alloc() *Message { return t.pool.alloc() }
+
+// Recycle implements Network.
+func (t *Torus) Recycle(ms []*Message) { t.pool.recycle(ms) }
+
 // Send implements Network.
 func (t *Torus) Send(m *Message) {
+	if m.recycled {
+		panic("network: Send of a recycled message")
+	}
 	if m.Size < 1 {
 		m.Size = 1
 	}
@@ -155,14 +209,15 @@ func (t *Torus) Send(m *Message) {
 	t.trace.Emit(m.Src, trace.KNetInject, int32(m.Dst), int32(m.Size), 0, 0)
 	if m.Src == m.Dst {
 		// Loopback: delivered next tick without using the network.
-		m.route = nil
+		m.route = m.route[:0]
+		m.hop = 0
 		t.deliver(m)
 		return
 	}
-	m.route = t.route(m.Src, m.Dst)
+	m.route = t.routeInto(m.route[:0], m.Src, m.Dst)
 	first := m.route[0]
-	m.route = m.route[1:]
-	t.channels[first].queue = append(t.channels[first].queue, m)
+	m.hop = 1
+	t.channels[first].push(m)
 	if !t.refScan {
 		t.activate(first)
 	}
@@ -181,15 +236,13 @@ func (t *Torus) Tick() {
 		// Dense scan: every channel, every cycle.
 		for i := range t.channels {
 			c := &t.channels[i]
-			if c.busy == 0 && len(c.queue) > 0 {
-				c.busy = c.queue[0].Size
+			if c.busy == 0 && c.qlen() > 0 {
+				c.busy = c.qhead().Size
 			}
 			if c.busy > 0 {
 				c.busy--
 				if c.busy == 0 {
-					m := c.queue[0]
-					c.queue = c.queue[1:]
-					moved = append(moved, m)
+					moved = append(moved, c.pop())
 					movedFrom = append(movedFrom, i)
 				}
 			}
@@ -201,19 +254,17 @@ func (t *Torus) Tick() {
 		keep := t.active[:0]
 		for _, id := range t.active {
 			c := &t.channels[id]
-			if c.busy == 0 && len(c.queue) > 0 {
-				c.busy = c.queue[0].Size
+			if c.busy == 0 && c.qlen() > 0 {
+				c.busy = c.qhead().Size
 			}
 			if c.busy > 0 {
 				c.busy--
 				if c.busy == 0 {
-					m := c.queue[0]
-					c.queue = c.queue[1:]
-					moved = append(moved, m)
+					moved = append(moved, c.pop())
 					movedFrom = append(movedFrom, id)
 				}
 			}
-			if c.busy > 0 || len(c.queue) > 0 {
+			if c.busy > 0 || c.qlen() > 0 {
 				keep = append(keep, id)
 			} else {
 				t.inAct[id] = false
@@ -224,15 +275,15 @@ func (t *Torus) Tick() {
 	// Phase 2: apply the moves, re-activating next-hop channels.
 	for i, m := range moved {
 		t.stats.Hops++
-		if len(m.route) == 0 {
+		if m.hop >= len(m.route) {
 			t.deliver(m)
 		} else {
 			// Intermediate hop: attributed to the node owning the
 			// channel the packet just left.
 			t.trace.Emit(movedFrom[i]/(2*t.geo.Dim), trace.KNetHop, int32(m.Dst), int32(m.Size), 0, 0)
-			next := m.route[0]
-			m.route = m.route[1:]
-			t.channels[next].queue = append(t.channels[next].queue, m)
+			next := m.route[m.hop]
+			m.hop++
+			t.channels[next].push(m)
 			if !t.refScan {
 				t.activate(next)
 			}
@@ -255,15 +306,21 @@ func (t *Torus) account(m *Message) {
 	t.trace.Emit(m.Dst, trace.KNetDeliver, int32(m.Src), int32(m.Size), int32(lat), 0)
 }
 
-// Deliveries implements Network.
-func (t *Torus) Deliveries(node int) []*Message {
-	out := t.inbox[node]
-	t.inbox[node] = nil
+// Deliveries implements Network. The inbox keeps its capacity: its
+// contents are copied into buf and the slice is truncated, so the
+// steady state drains without allocating.
+func (t *Torus) Deliveries(node int, buf []*Message) []*Message {
+	box := t.inbox[node]
+	buf = append(buf, box...)
+	for i := range box {
+		box[i] = nil
+	}
+	t.inbox[node] = box[:0]
 	if t.inPend[node] {
 		t.inPend[node] = false
 		t.pendNodes = removeSorted(t.pendNodes, node)
 	}
-	return out
+	return buf
 }
 
 // PendingNodes implements Network.
@@ -290,7 +347,7 @@ func (t *Torus) InFlight() int {
 	n := 0
 	if t.refScan {
 		for i := range t.channels {
-			n += len(t.channels[i].queue)
+			n += t.channels[i].qlen()
 		}
 		for _, box := range t.inbox {
 			n += len(box)
@@ -298,7 +355,7 @@ func (t *Torus) InFlight() int {
 		return n
 	}
 	for _, id := range t.active {
-		n += len(t.channels[id].queue)
+		n += t.channels[id].qlen()
 	}
 	for _, node := range t.pendNodes {
 		n += len(t.inbox[node])
@@ -330,8 +387,8 @@ func (t *Torus) NextEvent() uint64 {
 		switch {
 		case c.busy > 0:
 			left = c.busy
-		case len(c.queue) > 0:
-			left = c.queue[0].Size
+		case c.qlen() > 0:
+			left = c.qhead().Size
 		default:
 			continue
 		}
@@ -355,8 +412,8 @@ func (t *Torus) Advance(k uint64) {
 	if t.refScan {
 		for i := range t.channels {
 			c := &t.channels[i]
-			if c.busy == 0 && len(c.queue) > 0 {
-				c.busy = c.queue[0].Size
+			if c.busy == 0 && c.qlen() > 0 {
+				c.busy = c.qhead().Size
 			}
 			if c.busy > 0 {
 				c.busy -= int(k)
@@ -366,8 +423,8 @@ func (t *Torus) Advance(k uint64) {
 	}
 	for _, id := range t.active {
 		c := &t.channels[id]
-		if c.busy == 0 && len(c.queue) > 0 {
-			c.busy = c.queue[0].Size
+		if c.busy == 0 && c.qlen() > 0 {
+			c.busy = c.qhead().Size
 		}
 		if c.busy > 0 {
 			c.busy -= int(k)
@@ -390,8 +447,8 @@ func (t *Torus) nextEventRef() uint64 {
 		switch {
 		case c.busy > 0:
 			left = c.busy
-		case len(c.queue) > 0:
-			left = c.queue[0].Size
+		case c.qlen() > 0:
+			left = c.qhead().Size
 		default:
 			continue
 		}

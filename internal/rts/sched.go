@@ -48,6 +48,9 @@ type Scheduler struct {
 	threads []*Thread
 	ready   [][]int // per-node LIFO (newest at the end)
 	waiters map[uint32][]int
+	// waiterPool recycles waiter slices freed by Resolve so the
+	// block/resolve steady state does not churn the allocator.
+	waiterPool [][]int
 
 	// readyQueues counts nonempty ready queues, so an idle node's steal
 	// probe is O(1) when the whole machine is out of work — the common
@@ -136,10 +139,16 @@ func (s *Scheduler) PushReady(t *Thread) {
 // satisfy it (the paper's switch-spin starvation problem).
 func (s *Scheduler) PushReadyOldest(t *Thread) {
 	t.State = ThreadReady
-	if len(s.ready[t.Home]) == 0 {
+	q := s.ready[t.Home]
+	if len(q) == 0 {
 		s.readyQueues++
 	}
-	s.ready[t.Home] = append([]int{t.ID}, s.ready[t.Home]...)
+	// In-place prepend: this runs on every failed synchronization
+	// retry, so it must not allocate a fresh slice each time.
+	q = append(q, 0)
+	copy(q[1:], q)
+	q[0] = t.ID
+	s.ready[t.Home] = q
 }
 
 // PopReadyLocal takes the newest ready thread of node, if any.
@@ -167,8 +176,13 @@ func (s *Scheduler) StealReady(node int) *Thread {
 	for d := 1; d < n; d++ {
 		v := (node + d) % n
 		if len(s.ready[v]) > 0 {
-			id := s.ready[v][0]
-			s.ready[v] = s.ready[v][1:]
+			q := s.ready[v]
+			id := q[0]
+			// Shift down instead of reslicing q[1:]: reslicing loses
+			// front capacity, so later pushes would reallocate; queues
+			// are short, so the copy is cheap.
+			copy(q, q[1:])
+			s.ready[v] = q[:len(q)-1]
 			if len(s.ready[v]) == 0 {
 				s.readyQueues--
 			}
@@ -191,7 +205,14 @@ func (s *Scheduler) ReadyCount() int {
 // AddWaiter blocks thread t on the future object at addr.
 func (s *Scheduler) AddWaiter(addr uint32, t *Thread) {
 	t.State = ThreadBlocked
-	s.waiters[addr] = append(s.waiters[addr], t.ID)
+	q, ok := s.waiters[addr]
+	if !ok && len(s.waiterPool) > 0 {
+		n := len(s.waiterPool) - 1
+		q = s.waiterPool[n]
+		s.waiterPool[n] = nil
+		s.waiterPool = s.waiterPool[:n]
+	}
+	s.waiters[addr] = append(q, t.ID)
 	s.Stats.Blocks++
 }
 
@@ -217,7 +238,10 @@ func (s *Scheduler) Resolve(f isa.Word, value isa.Word) error {
 			s.Trace.Emit(t.Home, trace.KWake, int32(t.ID), int32(base), 0, 0)
 		}
 	}
-	delete(s.waiters, base)
+	if q, ok := s.waiters[base]; ok {
+		s.waiterPool = append(s.waiterPool, q[:0])
+		delete(s.waiters, base)
+	}
 	return nil
 }
 

@@ -2,7 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"april/internal/cache"
 	"april/internal/directory"
@@ -77,8 +77,9 @@ type netFabric struct {
 	// dirtyIDs (unsorted; tick sorts its snapshot).
 	dirtyCtl  []bool
 	dirtyIDs  []int
-	idScratch []int // tick's sorted snapshot, reused
-	pendBuf   []int // PendingNodes scratch, reused
+	idScratch []int              // tick's sorted snapshot, reused
+	pendBuf   []int              // PendingNodes scratch, reused
+	delivBuf  []*network.Message // Deliveries scratch, reused
 
 	// reference selects the pre-overhaul cost profile: tick and
 	// nextEvent scan every controller each cycle instead of the dirty
@@ -139,7 +140,7 @@ func (m *Machine) newCachePort(node int) proc.MemPort {
 		fabric:     f,
 		cache:      c,
 		dir:        directory.New(),
-		pending:    map[uint32]*missState{},
+		pending:    map[uint32]missState{},
 		homeTx:     map[uint32]*homeTx{},
 		locked:     map[uint32]uint64{},
 		lockWindow: uint64(4*prof.Frames*(prof.SwitchCycles+prof.TrapEntry) + 64),
@@ -156,9 +157,7 @@ func (f *netFabric) tick() {
 	if f.reference {
 		// Pre-overhaul dense scan: every node's inbox, every controller.
 		for node, ctl := range f.ctls {
-			for _, nm := range f.net.Deliveries(node) {
-				ctl.handle(nm.Payload.(directory.Msg))
-			}
+			f.drainInto(node, ctl)
 		}
 		for _, ctl := range f.ctls {
 			ctl.processRecalls()
@@ -168,11 +167,7 @@ func (f *netFabric) tick() {
 	}
 	f.pendBuf = f.net.PendingNodes(f.pendBuf[:0])
 	for _, node := range f.pendBuf {
-		ctl := f.ctls[node]
-		for _, nm := range f.net.Deliveries(node) {
-			msg := nm.Payload.(directory.Msg)
-			ctl.handle(msg)
-		}
+		f.drainInto(node, f.ctls[node])
 	}
 	if len(f.dirtyIDs) == 0 {
 		return
@@ -182,7 +177,7 @@ func (f *netFabric) tick() {
 	// Controllers that still have (or regain) work re-mark themselves
 	// through the append-site hooks.
 	ids := append(f.idScratch[:0], f.dirtyIDs...)
-	sort.Ints(ids)
+	slices.Sort(ids)
 	f.idScratch = ids
 	f.dirtyIDs = f.dirtyIDs[:0]
 	for _, id := range ids {
@@ -193,6 +188,19 @@ func (f *netFabric) tick() {
 		ctl.processRecalls()
 		ctl.flushOutbox()
 	}
+}
+
+// drainInto is the consumer loop for one node's deliveries: the typed
+// coherence payloads are copied out by value into the handler, then the
+// whole batch is recycled — the explicit recycle point after which no
+// *Message from this drain may be touched.
+func (f *netFabric) drainInto(node int, ctl *cacheCtl) {
+	buf := f.net.Deliveries(node, f.delivBuf[:0])
+	for _, nm := range buf {
+		ctl.handle(nm.Payload.Coh)
+	}
+	f.net.Recycle(buf)
+	f.delivBuf = buf[:0]
 }
 
 // nextEvent returns the earliest fabric cycle at which a tick could do
@@ -273,12 +281,30 @@ type missState struct {
 	poisoned bool
 }
 
-// homeTx tracks a home-side multi-party transaction.
+// homeTx tracks a home-side multi-party transaction. Completed
+// transactions return to the controller's freelist so the steady state
+// reuses both the object and its queued-request capacity.
 type homeTx struct {
 	write     bool
 	requester int
 	acksLeft  int
 	queued    []directory.Msg
+}
+
+func (c *cacheCtl) newTx(write bool, requester, acksLeft int) *homeTx {
+	if n := len(c.txFree); n > 0 {
+		tx := c.txFree[n-1]
+		c.txFree[n-1] = nil
+		c.txFree = c.txFree[:n-1]
+		tx.write, tx.requester, tx.acksLeft = write, requester, acksLeft
+		return tx
+	}
+	return &homeTx{write: write, requester: requester, acksLeft: acksLeft}
+}
+
+func (c *cacheCtl) freeTx(tx *homeTx) {
+	tx.queued = tx.queued[:0]
+	c.txFree = append(c.txFree, tx)
 }
 
 // CtlStats aggregates one controller's behavior.
@@ -297,10 +323,13 @@ type cacheCtl struct {
 	cache  *cache.Cache
 	dir    *directory.Directory
 
-	pending map[uint32]*missState
-	homeTx  map[uint32]*homeTx
-	outbox  []outMsg
-	fence   int // outstanding flush writebacks (Section 3.4)
+	pending  map[uint32]missState // by value: missState is two words, no box
+	homeTx   map[uint32]*homeTx
+	txFree   []*homeTx // retired homeTx objects, recycled with their queued capacity
+	outbox   []outMsg
+	outSpare []outMsg // flushOutbox double buffer
+	keepQ    []outMsg // flushOutbox not-yet-matured scratch
+	fence    int      // outstanding flush writebacks (Section 3.4)
 
 	// locked implements the anti-"cache tag" interlock of Section 3.1:
 	// a freshly installed line is protected from recalls until the
@@ -309,9 +338,11 @@ type cacheCtl struct {
 	// block. The window must exceed a switch-spinning thread's retry
 	// period — all resident frames rotating through context switches —
 	// or every line is stolen before its requester returns.
-	locked     map[uint32]uint64 // block -> protection expiry cycle
-	lockWindow uint64
-	recallQ    []pendingRecall // recalls deferred by the interlock or a miss
+	locked      map[uint32]uint64 // block -> protection expiry cycle
+	lockWindow  uint64
+	recallQ     []pendingRecall // recalls deferred by the interlock or a miss
+	recallSpare []pendingRecall // processRecalls double buffer
+	targetsBuf  []int           // homeRequest invalidation-target scratch
 
 	Stats CtlStats
 }
@@ -352,9 +383,11 @@ func (c *cacheCtl) flushOutbox() {
 	// Handling a local delivery may append fresh messages to c.outbox;
 	// take ownership of the current batch first so they are not lost
 	// (they go out on the next cycle, like a real controller pipeline).
+	// The batch and the not-yet-matured keeps swap between persistent
+	// buffers so the steady state allocates nothing.
 	box := c.outbox
-	c.outbox = nil
-	var keep []outMsg
+	c.outbox = c.outSpare[:0]
+	keep := c.keepQ[:0]
 	for _, om := range box {
 		if om.readyAt > c.fabric.now {
 			keep = append(keep, om)
@@ -365,14 +398,16 @@ func (c *cacheCtl) flushOutbox() {
 			c.handle(om.msg)
 			continue
 		}
-		c.fabric.net.Send(&network.Message{
-			Src:     c.node,
-			Dst:     om.dst,
-			Size:    om.msg.Size(c.fabric.cfg.Cache.BlockBytes),
-			Payload: om.msg,
-		})
+		nm := c.fabric.net.Alloc()
+		nm.Src = c.node
+		nm.Dst = om.dst
+		nm.Size = om.msg.Size(c.fabric.cfg.Cache.BlockBytes)
+		nm.Payload = network.CoherencePayload(om.msg)
+		c.fabric.net.Send(nm)
 	}
 	c.outbox = append(c.outbox, keep...)
+	c.keepQ = keep[:0]
+	c.outSpare = box[:0]
 	if len(c.outbox) > 0 {
 		c.fabric.markDirty(c.node)
 	}
@@ -418,7 +453,7 @@ func (c *cacheCtl) Access(addr uint32, f isa.MemFlavor, store bool, value isa.Wo
 		}
 		// Home here, but third parties hold the block: run the home
 		// transaction against ourselves as requester.
-		c.pending[block] = &missState{write: needWrite, start: c.fabric.now}
+		c.pending[block] = missState{write: needWrite, start: c.fabric.now}
 		c.fabric.trace.Emit(c.node, trace.KMissStart, int32(block), b2i(needWrite), int32(home), 0)
 		kind := directory.ReadReq
 		if needWrite {
@@ -429,7 +464,7 @@ func (c *cacheCtl) Access(addr uint32, f isa.MemFlavor, store bool, value isa.Wo
 	}
 
 	// Remote home: issue the request.
-	c.pending[block] = &missState{write: needWrite, start: c.fabric.now}
+	c.pending[block] = missState{write: needWrite, start: c.fabric.now}
 	c.fabric.trace.Emit(c.node, trace.KMissStart, int32(block), b2i(needWrite), int32(home), 0)
 	kind := directory.ReadReq
 	if needWrite {
@@ -467,16 +502,8 @@ func (c *cacheCtl) tryLocal(block uint32, write bool) (stall int, ok bool) {
 	switch e.State {
 	case directory.Uncached:
 	case directory.Shared:
-		if write {
-			others := 0
-			e.Sharers.ForEach(func(n int) {
-				if n != self {
-					others++
-				}
-			})
-			if others > 0 {
-				return 0, false
-			}
+		if write && e.Sharers.CountExcept(self) > 0 {
+			return 0, false
 		}
 	case directory.Exclusive:
 		if e.Owner != self {
@@ -553,8 +580,8 @@ func (c *cacheCtl) handle(msg directory.Msg) {
 		c.homeAck(msg)
 
 	case directory.Data, directory.DataEx:
-		ms := c.pending[msg.Block]
-		if ms == nil {
+		ms, busy := c.pending[msg.Block]
+		if !busy {
 			return // stale duplicate; drop
 		}
 		delete(c.pending, msg.Block)
@@ -594,6 +621,7 @@ func (c *cacheCtl) handleRecall(msg directory.Msg) {
 			return
 		}
 		ms.poisoned = true
+		c.pending[msg.Block] = ms
 	}
 	if exp, held := c.locked[msg.Block]; held && c.fabric.now < exp {
 		c.recallQ = append(c.recallQ, pendingRecall{msg: msg, deadline: c.fabric.now + recallWait})
@@ -612,7 +640,7 @@ func (c *cacheCtl) processRecalls() {
 		return
 	}
 	q := c.recallQ
-	c.recallQ = nil
+	c.recallQ = c.recallSpare[:0]
 	for _, pr := range q {
 		block := pr.msg.Block
 		if exp, held := c.locked[block]; held && c.fabric.now < exp {
@@ -627,9 +655,11 @@ func (c *cacheCtl) processRecalls() {
 		}
 		if busy {
 			ms.poisoned = true
+			c.pending[block] = ms
 		}
 		c.recall(pr.msg)
 	}
+	c.recallSpare = q[:0]
 	if len(c.recallQ) > 0 {
 		c.fabric.markDirty(c.node)
 	}
@@ -679,7 +709,7 @@ func (c *cacheCtl) homeRequest(req directory.Msg) {
 				return
 			}
 			c.dir.Fetches++
-			c.homeTx[req.Block] = &homeTx{write: false, requester: req.From, acksLeft: 1}
+			c.homeTx[req.Block] = c.newTx(false, req.From, 1)
 			c.send(e.Owner, directory.Msg{Kind: directory.Fetch, Block: req.Block, Requester: req.From, Write: false}, 0)
 		}
 		return
@@ -692,12 +722,8 @@ func (c *cacheCtl) homeRequest(req directory.Msg) {
 		e.Owner = req.From
 		c.send(req.From, directory.Msg{Kind: directory.DataEx, Block: req.Block}, lat)
 	case directory.Shared:
-		var targets []int
-		e.Sharers.ForEach(func(n int) {
-			if n != req.From {
-				targets = append(targets, n)
-			}
-		})
+		targets := e.Sharers.AppendMembers(c.targetsBuf[:0], req.From)
+		c.targetsBuf = targets[:0]
 		if len(targets) == 0 {
 			e.State = directory.Exclusive
 			e.Owner = req.From
@@ -706,7 +732,7 @@ func (c *cacheCtl) homeRequest(req directory.Msg) {
 			return
 		}
 		c.dir.InvalsSent += uint64(len(targets))
-		c.homeTx[req.Block] = &homeTx{write: true, requester: req.From, acksLeft: len(targets)}
+		c.homeTx[req.Block] = c.newTx(true, req.From, len(targets))
 		for _, t := range targets {
 			c.send(t, directory.Msg{Kind: directory.Inv, Block: req.Block, Requester: req.From}, 0)
 		}
@@ -716,7 +742,7 @@ func (c *cacheCtl) homeRequest(req directory.Msg) {
 			return
 		}
 		c.dir.Fetches++
-		c.homeTx[req.Block] = &homeTx{write: true, requester: req.From, acksLeft: 1}
+		c.homeTx[req.Block] = c.newTx(true, req.From, 1)
 		c.send(e.Owner, directory.Msg{Kind: directory.Fetch, Block: req.Block, Requester: req.From, Write: true}, 0)
 	}
 }
@@ -752,11 +778,14 @@ func (c *cacheCtl) homeAck(msg directory.Msg) {
 		c.send(tx.requester, directory.Msg{Kind: directory.Data, Block: msg.Block}, lat)
 	}
 	c.dirTrans(msg.Block, old, e.State, tx.requester)
-	// Serve queued requests in arrival order.
-	queued := tx.queued
-	for _, q := range queued {
+	// Serve queued requests in arrival order. A served request may open
+	// a fresh transaction on the same block; its queue is a different
+	// homeTx, so iterating tx.queued stays safe. Retire tx (keeping its
+	// queued capacity) only after the loop.
+	for _, q := range tx.queued {
 		c.homeRequest(q)
 	}
+	c.freeTx(tx)
 }
 
 // Flush implements proc.MemPort: software-enforced writeback and

@@ -1,0 +1,134 @@
+package sim_test
+
+// Allocation-regression tests: the simulator's steady state must not
+// churn the Go allocator. Message pooling, value-typed payloads, the
+// flat directory table, and the recycled scheduler/controller scratch
+// buffers together pin the per-cycle allocation rate of a full
+// 64-node ALEWIFE run at (near) zero — the residual budget covers only
+// thread creation (Thread objects are semantically identified by ID
+// and deliberately not pooled) and amortized map/table growth.
+
+import (
+	"testing"
+
+	"april/internal/bench"
+	"april/internal/mult"
+	"april/internal/network"
+	"april/internal/rts"
+	"april/internal/sim"
+)
+
+// loadedQueens64 builds a 64-node ALEWIFE machine loaded with the
+// queens benchmark (the longest-running program that fits the default
+// arenas at this node count; queens(7) runs ~30k cycles).
+func loadedQueens64(t testing.TB) *sim.Machine {
+	t.Helper()
+	m, err := sim.New(sim.Config{
+		Nodes:   64,
+		Profile: rts.APRIL,
+		Alewife: &sim.AlewifeConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := mult.Compile(bench.QueensSource(7), mult.Mode{HardwareFutures: true}, m.StaticHeap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAlewifeSteadyStateAllocRate(t *testing.T) {
+	m := loadedQueens64(t)
+	// Run past the growth phase: demand paging of the working set,
+	// message-pool and scratch-buffer sizing, and the task tree's
+	// expansion (each new task allocates its Thread object). By 26k
+	// cycles every pool and buffer has reached its working size and the
+	// per-window allocation count measures exactly zero; the run is
+	// deterministic, so this boundary is stable.
+	if done, err := m.RunWindow(26_000); err != nil {
+		t.Fatal(err)
+	} else if done {
+		t.Fatal("program finished during warm-up")
+	}
+	const window = 600
+	var werr error
+	run := func() {
+		if _, err := m.RunWindow(window); err != nil {
+			werr = err
+		}
+	}
+	// 6 windows (1 warm-up + 5 measured) x 600 cycles on top of the
+	// 26k warm-up ends at cycle 29,600, inside queens(7)'s 30,290-cycle
+	// run, so the program never finishes mid-measure.
+	allocsPerWindow := testing.AllocsPerRun(5, run)
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	perCycle := allocsPerWindow / window
+	t.Logf("steady state: %.1f allocs per %d-cycle window (%.4f allocs/cycle)",
+		allocsPerWindow, window, perCycle)
+	// The tiny epsilon tolerates a stray runtime-internal allocation;
+	// the simulator itself contributes none — the seed's
+	// per-message/per-payload/per-map-entry churn was ~100 allocs per
+	// 600-cycle window at this machine size.
+	if perCycle > 0.01 {
+		t.Errorf("steady-state allocation rate %.4f allocs/cycle, want ~0 (<= 0.01)", perCycle)
+	}
+}
+
+// BenchmarkAlewifeSteadyWindow reports the steady-state cost of one
+// simulated cycle at 64 nodes; with -benchmem its allocs/op column is
+// the headline number this package pins at zero. The machine is
+// rebuilt whenever the program runs out of cycles, outside the timer.
+func BenchmarkAlewifeSteadyWindow(b *testing.B) {
+	const window = 500
+	m := loadedQueens64(b)
+	warm := func() {
+		if done, err := m.RunWindow(26_000); err != nil {
+			b.Fatal(err)
+		} else if done {
+			b.Fatal("program finished during warm-up")
+		}
+	}
+	warm()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done, err := m.RunWindow(window)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if done {
+			b.StopTimer()
+			m = loadedQueens64(b)
+			warm()
+			b.StartTimer()
+		}
+	}
+}
+
+// TestPoisonedRecycleIdentity proves no consumer retains a pooled
+// message past its recycle point: with poison-on-recycle enabled every
+// recycled message is overwritten with garbage, so any handler that
+// read a payload after handing the message back would diverge. The
+// poisoned run must match the plain run bit for bit, on both run
+// loops.
+func TestPoisonedRecycleIdentity(t *testing.T) {
+	src := bench.QueensSource(5)
+	for _, naive := range []bool{false, true} {
+		name := "fast"
+		if naive {
+			name = "reference"
+		}
+		t.Run(name, func(t *testing.T) {
+			plain := runDifferential(t, src, ffConfig{nodes: 8, alewife: true, naive: naive})
+			network.SetPoisonRecycle(true)
+			defer network.SetPoisonRecycle(false)
+			poisoned := runDifferential(t, src, ffConfig{nodes: 8, alewife: true, naive: naive})
+			compareOutcomes(t, poisoned, plain)
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"april/internal/bench"
 	"april/internal/mult"
+	"april/internal/network"
 	"april/internal/proc"
 	"april/internal/rts"
 	"april/internal/sim"
@@ -132,6 +133,26 @@ func TestFastForwardMatchesNaiveLoop(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestPooledPayloadIdentity runs the fast-vs-reference comparison with
+// poison-on-recycle enabled, so the bit-identity of the two loops is
+// established while every recycled message is being overwritten with
+// garbage: the coherence handlers must be consuming payload VALUES
+// copied out of the network's pooled messages, never references into
+// them. Any handler retaining a pooled message (or a pointer-typed
+// payload) past its recycle point would diverge here.
+func TestPooledPayloadIdentity(t *testing.T) {
+	network.SetPoisonRecycle(true)
+	defer network.SetPoisonRecycle(false)
+	for _, nodes := range []int{4, 64} {
+		t.Run(fmt.Sprintf("%dp", nodes), func(t *testing.T) {
+			src := bench.QueensSource(6)
+			fast := runDifferential(t, src, ffConfig{nodes: nodes, alewife: true})
+			naive := runDifferential(t, src, ffConfig{nodes: nodes, alewife: true, naive: true})
+			compareOutcomes(t, fast, naive)
+		})
 	}
 }
 

@@ -226,23 +226,71 @@ type Result struct {
 // a single instruction before Run declares a deadlock.
 const deadlockWindow = 3_000_000
 
-// Run drives the machine until the main thread exits.
+// Run drives the machine until the main thread exits. Calling Run
+// after the program already completed (e.g. under RunWindow) returns
+// the final Result immediately.
 func (m *Machine) Run() (Result, error) {
 	if !m.loaded {
 		return Result{}, errors.New("sim: no program loaded")
 	}
+	var hit bool
+	var err error
 	if m.Cfg.DisableFastForward {
-		return m.runReference()
+		hit, err = m.runReferenceUntil(m.Cfg.MaxCycles)
+	} else {
+		hit, err = m.runFastUntil(m.Cfg.MaxCycles)
 	}
-	return m.runFast()
+	if err != nil {
+		return Result{}, err
+	}
+	if hit {
+		return Result{}, fmt.Errorf("sim: exceeded cycle budget %d", m.Cfg.MaxCycles)
+	}
+	return m.finish(), nil
 }
 
-// runReference is the oracle loop: one iteration per simulated cycle,
-// visiting every node to decrement its relative busy counter or Step
-// it. The work-proportional loop (runFast) must stay bit-identical to
-// this one — the differential tests in fastforward_test.go hold the
-// two to that.
-func (m *Machine) runReference() (Result, error) {
+// RunWindow advances the machine by at most n cycles, stopping early
+// when the main thread exits, and reports whether the program
+// completed. It is the measurement entry point: allocation-regression
+// tests drive a steady-state window at a time inside
+// testing.AllocsPerRun. Deadlock detection restarts per window, so
+// only windows longer than deadlockWindow can report a deadlock. After
+// RunWindow reports done, call Run to obtain the final Result (it
+// returns immediately).
+func (m *Machine) RunWindow(n uint64) (bool, error) {
+	if !m.loaded {
+		return false, errors.New("sim: no program loaded")
+	}
+	if m.Sched.MainDone {
+		return true, nil
+	}
+	limit := m.now + n
+	if limit > m.Cfg.MaxCycles {
+		limit = m.Cfg.MaxCycles
+	}
+	var hit bool
+	var err error
+	if m.Cfg.DisableFastForward {
+		hit, err = m.runReferenceUntil(limit)
+	} else {
+		hit, err = m.runFastUntil(limit)
+	}
+	if err != nil {
+		return false, err
+	}
+	if hit && m.now >= m.Cfg.MaxCycles {
+		return false, fmt.Errorf("sim: exceeded cycle budget %d", m.Cfg.MaxCycles)
+	}
+	return m.Sched.MainDone, nil
+}
+
+// runReferenceUntil is the oracle loop: one iteration per simulated
+// cycle, visiting every node to decrement its relative busy counter or
+// Step it. The work-proportional loop (runFastUntil) must stay
+// bit-identical to this one — the differential tests in
+// fastforward_test.go hold the two to that. It returns hitLimit=true
+// when m.now reaches limit before the main thread exits.
+func (m *Machine) runReferenceUntil(limit uint64) (hitLimit bool, err error) {
 	// Deadlock detection is incremental: lastProgress tracks the last
 	// cycle any node retired an instruction (updated per Step from the
 	// per-node retirement counters, so no periodic all-node stats scan
@@ -255,8 +303,8 @@ func (m *Machine) runReference() (Result, error) {
 			m.sample()
 			m.sampler.Advance(m.now)
 		}
-		if m.now >= m.Cfg.MaxCycles {
-			return Result{}, fmt.Errorf("sim: exceeded cycle budget %d", m.Cfg.MaxCycles)
+		if m.now >= limit {
+			return true, nil
 		}
 		for _, n := range m.Nodes {
 			if n.busy > 0 {
@@ -266,7 +314,7 @@ func (m *Machine) runReference() (Result, error) {
 			retired := n.Proc.Stats.Instructions
 			c, err := n.Proc.Step()
 			if err != nil {
-				return Result{}, fmt.Errorf("cycle %d node %d: %w", m.now, n.Proc.ID, err)
+				return false, fmt.Errorf("cycle %d node %d: %w", m.now, n.Proc.ID, err)
 			}
 			if c > 1 {
 				n.busy = c - 1
@@ -284,39 +332,41 @@ func (m *Machine) runReference() (Result, error) {
 		m.now++
 
 		if m.now-lastProgress > deadlockWindow {
-			return Result{}, fmt.Errorf("%w: %d threads live, %d ready, %d blocked",
+			return false, fmt.Errorf("%w: %d threads live, %d ready, %d blocked",
 				ErrDeadlock, m.Sched.LiveThreads(), m.Sched.ReadyCount(), m.Sched.BlockedCount())
 		}
 	}
-	return m.finish(), nil
+	return false, nil
 }
 
-// runFast is the work-proportional loop: nodes executing 1-cycle
+// runFastUntil is the work-proportional loop: nodes executing 1-cycle
 // instructions step every cycle off the sorted running list, nodes
 // inside a multi-cycle operation sleep in a min-queue keyed by
 // absolute wake cycle, and whole stretches where nothing can happen
 // are crossed in one fastForwardUntil jump. Each iteration visits only
 // the nodes that actually step. Step order within a cycle is ascending
-// node id, exactly as in runReference (the running list and the due
-// set are disjoint ascending sequences; their merge preserves order).
-func (m *Machine) runFast() (Result, error) {
+// node id, exactly as in runReferenceUntil (the running list and the
+// due set are disjoint ascending sequences; their merge preserves
+// order). It returns hitLimit=true when m.now reaches limit before the
+// main thread exits.
+func (m *Machine) runFastUntil(limit uint64) (hitLimit bool, err error) {
 	lastProgress := m.now
 	for !m.Sched.MainDone {
 		if m.sampler != nil && m.now >= m.sampler.NextBoundary() {
 			m.sample()
 			m.sampler.Advance(m.now)
 		}
-		if m.now >= m.Cfg.MaxCycles {
-			return Result{}, fmt.Errorf("sim: exceeded cycle budget %d", m.Cfg.MaxCycles)
+		if m.now >= limit {
+			return true, nil
 		}
-		limit := m.Cfg.MaxCycles
+		jumpLimit := limit
 		// Never jump past a sampling boundary: capping a skip shorter
 		// cannot change simulated state (skips compose), it only makes
 		// the sampler observe it.
-		if m.sampler != nil && m.sampler.NextBoundary() < limit {
-			limit = m.sampler.NextBoundary()
+		if m.sampler != nil && m.sampler.NextBoundary() < jumpLimit {
+			jumpLimit = m.sampler.NextBoundary()
 		}
-		m.fastForwardUntil(limit)
+		m.fastForwardUntil(jumpLimit)
 		// A capped jump can land exactly on the boundary; the reference
 		// loop samples before executing that cycle, so match it here
 		// rather than waiting for the next iteration's top-of-loop check.
@@ -324,10 +374,10 @@ func (m *Machine) runFast() (Result, error) {
 			m.sample()
 			m.sampler.Advance(m.now)
 		}
-		// Likewise a jump can land exactly on the budget; the reference
-		// loop errors out before executing that cycle, so match it.
-		if m.now >= m.Cfg.MaxCycles {
-			return Result{}, fmt.Errorf("sim: exceeded cycle budget %d", m.Cfg.MaxCycles)
+		// Likewise a jump can land exactly on the limit; the reference
+		// loop stops before executing that cycle, so match it.
+		if m.now >= limit {
+			return true, nil
 		}
 		due := m.dueBuf[:0]
 		if m.wakeq.next() <= m.now {
@@ -352,7 +402,7 @@ func (m *Machine) runFast() (Result, error) {
 			retired := n.Proc.Stats.Instructions
 			c, err := n.Proc.Step()
 			if err != nil {
-				return Result{}, fmt.Errorf("cycle %d node %d: %w", m.now, n.Proc.ID, err)
+				return false, fmt.Errorf("cycle %d node %d: %w", m.now, n.Proc.ID, err)
 			}
 			if c > 1 {
 				// busy = c-1 in the reference loop means the node next
@@ -375,11 +425,11 @@ func (m *Machine) runFast() (Result, error) {
 		m.now++
 
 		if m.now-lastProgress > deadlockWindow {
-			return Result{}, fmt.Errorf("%w: %d threads live, %d ready, %d blocked",
+			return false, fmt.Errorf("%w: %d threads live, %d ready, %d blocked",
 				ErrDeadlock, m.Sched.LiveThreads(), m.Sched.ReadyCount(), m.Sched.BlockedCount())
 		}
 	}
-	return m.finish(), nil
+	return false, nil
 }
 
 // finish closes the final sampling window and packages the result.
