@@ -20,6 +20,7 @@
 package april
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -28,6 +29,7 @@ import (
 	"april/internal/abi"
 	"april/internal/bench"
 	"april/internal/core"
+	"april/internal/fault"
 	"april/internal/isa"
 	"april/internal/model"
 	"april/internal/mult"
@@ -70,6 +72,36 @@ func (mt MachineType) profile() (rts.Profile, error) {
 // zero-latency shared memory.
 type AlewifeOptions = sim.AlewifeConfig
 
+// FaultOptions arms the seeded perturbation plan (internal/fault):
+// bounded per-hop delay jitter, transient link stalls, and delayed
+// directory replies. Perturbations shift timing only — under any seed
+// the program computes the same answer, just in a different number of
+// cycles. The fault matrix (FaultMatrix) holds the simulator to that.
+type FaultOptions = fault.Config
+
+// DefaultFaultOptions returns a moderate perturbation plan for the
+// given seed: up to 3 cycles of per-hop jitter, a transient 1-32 cycle
+// stall roughly every 50th transmission, and directory replies delayed
+// up to 8 cycles.
+func DefaultFaultOptions(seed uint64) FaultOptions { return fault.Default(seed) }
+
+// FaultReport is the crash-forensics snapshot attached to run-ending
+// errors: per-node PC/thread/outstanding-miss state, scheduler queues,
+// the network census, recorded invariant violations, and trace-ring
+// tails. Render it with its Render method or `cmd/april -autopsy`.
+type FaultReport = fault.Report
+
+// Autopsy extracts the crash report from a run error, if it carries
+// one (deadlock, livelock, cycle-budget exhaustion, invariant
+// violation, or a recovered memory fault).
+func Autopsy(err error) (*FaultReport, bool) {
+	var ce *sim.CrashError
+	if errors.As(err, &ce) {
+		return ce.Report, true
+	}
+	return nil, false
+}
+
 // Options configures a run.
 type Options struct {
 	// Processors is the machine size (default 1).
@@ -98,6 +130,19 @@ type Options struct {
 	// are bit-identical either way; this exists for differential
 	// debugging of the simulator itself.
 	Reference bool
+	// Faults, when non-nil, arms seeded timing perturbations (see
+	// FaultOptions). Requires Alewife; perfect memory has no network to
+	// perturb.
+	Faults *FaultOptions
+	// Check enables the runtime invariant checkers: coherence state
+	// agreement on every protocol transition, full/empty consistency at
+	// trap boundaries, scheduler thread conservation, and message-pool
+	// ownership. Violations abort the run with a crash report. Checking
+	// never perturbs simulated results.
+	Check bool
+	// DeadlockWindow overrides the watchdog's no-retirement window in
+	// cycles (0 = the 3M default).
+	DeadlockWindow uint64
 }
 
 // TraceOptions selects a run's observability outputs. Any nil writer
@@ -172,6 +217,9 @@ func (o Options) build() (*sim.Machine, *isa.Program, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if o.Faults != nil && o.Alewife == nil {
+		return nil, nil, errors.New("april: Faults requires Alewife (perfect memory has no network to perturb)")
+	}
 	m, err := sim.New(sim.Config{
 		Nodes:              max(1, o.Processors),
 		Profile:            prof,
@@ -182,6 +230,9 @@ func (o Options) build() (*sim.Machine, *isa.Program, error) {
 		Alewife:            o.Alewife,
 		DisableFastForward: o.Reference,
 		DisablePredecode:   o.Reference,
+		Faults:             o.Faults,
+		Check:              o.Check,
+		DeadlockWindow:     o.DeadlockWindow,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -8,6 +8,12 @@
 // worker vs. fast-forward on all workers — plus a 64-node ALEWIFE
 // comparison, and writes the throughput report to BENCH_simperf.json.
 //
+// -fault-matrix runs the robustness grid instead: fib/queens on
+// perfect and ALEWIFE memory at several machine sizes, each ALEWIFE
+// cell repeated under seeded fault plans with the invariant checkers
+// armed; any answer drift, invariant violation, or wedge fails the
+// run.
+//
 // -cpuprofile and -memprofile write pprof profiles of whatever mode
 // ran (see README.md, "Profiling the simulator").
 package main
@@ -42,6 +48,9 @@ func run() int {
 		perfOut = flag.String("perf-out", "BENCH_simperf.json", "output path for -perf")
 
 		statsJSON = flag.String("stats-json", "", "write every grid run's full statistics (totals, per-node, throughput) as JSON to this path")
+
+		faultMatrix = flag.Bool("fault-matrix", false, "run the robustness fault matrix (fib/queens × perfect/alewife × machine sizes × seeded fault plans, invariant checkers armed) instead of Table 3; exit 1 on any failing cell")
+		faultSeeds  = flag.Int("fault-seeds", 8, "seeded fault plans per ALEWIFE cell for -fault-matrix")
 
 		traceOut    = flag.String("trace", "", "trace one representative run (see -trace-bench) instead of the grid; writes Chrome trace-event JSON to this path")
 		timelineOut = flag.String("timeline", "", "like -trace but for the per-node utilization timeline (CSV, or JSON rows with a .json extension)")
@@ -97,16 +106,40 @@ func run() int {
 		return 0
 	}
 
-	cfg := april.DefaultTable3Config()
+	var benchSizes april.Table3Sizes
 	switch *sizes {
 	case "paper":
-		cfg.Sizes = april.PaperSizes
+		benchSizes = april.PaperSizes
 	case "test":
-		cfg.Sizes = april.TestSizes
+		benchSizes = april.TestSizes
 	default:
 		fmt.Fprintf(os.Stderr, "april-bench: unknown -sizes %q\n", *sizes)
 		return 2
 	}
+
+	if *faultMatrix {
+		mcfg := april.DefaultFaultMatrixConfig()
+		mcfg.Seeds = *faultSeeds
+		mcfg.Sizes = benchSizes
+		mcfg.Workers = *workers
+		if *verbose {
+			mcfg.Verbose = true
+			mcfg.Out = os.Stderr
+		}
+		res, err := april.FaultMatrix(mcfg)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("Fault matrix (-sizes %s, %d seeds per ALEWIFE cell, invariant checkers on):\n\n", *sizes, mcfg.Seeds)
+		fmt.Print(april.FormatFaultMatrix(res))
+		if res.Failures > 0 {
+			return fail(fmt.Errorf("%d failing cells", res.Failures))
+		}
+		return 0
+	}
+
+	cfg := april.DefaultTable3Config()
+	cfg.Sizes = benchSizes
 	var log io.Writer
 	if *verbose {
 		log = os.Stderr

@@ -9,6 +9,8 @@
 //	april -n 16 -lazy -machine april-custom prog.mt
 //	april -n 8 -alewife -stats prog.mt
 //	april -n 8 -alewife -trace trace.json -timeline util.csv prog.mt
+//	april -n 8 -alewife -faults -fault-seed 3 -check prog.mt
+//	april -n 8 -alewife -check -autopsy prog.mt
 //	april -interp prog.mt           # reference interpreter
 package main
 
@@ -35,6 +37,11 @@ func main() {
 		asm     = flag.Bool("asm", false, "treat the input as raw APRIL assembly instead of Mul-T")
 		cycles  = flag.Uint64("max-cycles", 0, "simulation cycle budget (0 = default)")
 		ref     = flag.Bool("reference", false, "run the simulator's oracle paths (per-cycle loop, switch interpreter); results are bit-identical, only slower")
+
+		faults    = flag.Bool("faults", false, "arm seeded timing perturbations (requires -alewife): hop jitter, transient link stalls, delayed directory replies; answers are unaffected, cycle counts shift")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for -faults")
+		check     = flag.Bool("check", false, "enable runtime invariant checkers (coherence, full/empty, scheduler conservation, message-pool ownership)")
+		autopsy   = flag.Bool("autopsy", false, "on a crashed run (deadlock, livelock, cycle budget, invariant violation), print the full machine snapshot")
 
 		traceOut    = flag.String("trace", "", "write the event trace as Chrome trace-event JSON (open in Perfetto) to this path")
 		timelineOut = flag.String("timeline", "", "write the per-node utilization timeline to this path (CSV, or JSON rows with a .json extension)")
@@ -74,6 +81,11 @@ func main() {
 	}
 	if *alewife {
 		opts.Alewife = &april.AlewifeOptions{}
+	}
+	opts.Check = *check
+	if *faults {
+		fc := april.DefaultFaultOptions(*faultSeed)
+		opts.Faults = &fc
 	}
 
 	var traceFiles []*os.File
@@ -116,6 +128,11 @@ func main() {
 		res, err = april.Run(src, opts)
 	}
 	if err != nil {
+		if *autopsy {
+			if r, ok := april.Autopsy(err); ok {
+				fmt.Fprint(os.Stderr, r.Render())
+			}
+		}
 		fatal(err)
 	}
 	for _, f := range traceFiles {

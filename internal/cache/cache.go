@@ -224,6 +224,18 @@ func (c *Cache) Occupancy() int {
 	return n
 }
 
+// ForEach calls fn for every valid line, in set order. Cold path: the
+// fault checker's coherence audits iterate whole caches with it.
+func (c *Cache) ForEach(fn func(block uint32, st State, dirty bool)) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].state != Invalid {
+				fn(set[i].block, set[i].state, set[i].dirty)
+			}
+		}
+	}
+}
+
 // MissRatio is misses / (hits + misses).
 func (c *Cache) MissRatio() float64 {
 	t := c.Hits + c.Misses

@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// InvariantError is one recorded invariant violation. Checkers record
+// violations instead of panicking so the run loop can stop at a clean
+// cycle boundary and attach a full crash Report.
+type InvariantError struct {
+	Name   string // invariant identifier, e.g. "coherence/single-writer"
+	Node   int    // node the violation was observed on (-1: machine-wide)
+	Cycle  uint64 // simulated cycle of the observation
+	Block  uint32 // memory block involved (0 if not applicable)
+	Detail string // human-readable specifics
+}
+
+func (e *InvariantError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariant %s violated at cycle %d", e.Name, e.Cycle)
+	if e.Node >= 0 {
+		fmt.Fprintf(&b, " on node %d", e.Node)
+	}
+	if e.Block != 0 {
+		fmt.Fprintf(&b, " (block %#x)", e.Block)
+	}
+	if e.Detail != "" {
+		b.WriteString(": ")
+		b.WriteString(e.Detail)
+	}
+	return b.String()
+}
+
+// checkerLimit bounds how many violations a Checker retains. The first
+// violation is the interesting one; later ones are usually cascade
+// noise, so past the limit only the count advances.
+const checkerLimit = 32
+
+// Checker accumulates invariant violations. It is entirely passive —
+// the simulator calls Violate when a check fails, and the run loop
+// polls Total to decide whether to abort. A nil *Checker is inert:
+// every method is safe to call and Violate on nil panics only if the
+// caller skipped the enabled-check, so call sites gate on
+// Checker != nil (which also keeps the fast path free of the
+// formatting cost).
+type Checker struct {
+	clock      *uint64 // simulated cycle source (the machine's clock)
+	violations []*InvariantError
+	total      int
+}
+
+// NewChecker builds a checker reading the simulated cycle from clock.
+func NewChecker(clock *uint64) *Checker {
+	return &Checker{clock: clock}
+}
+
+// Violate records a violation. Allocation happens only on this cold
+// path, never during clean runs.
+func (c *Checker) Violate(name string, node int, block uint32, format string, args ...any) {
+	c.total++
+	if len(c.violations) >= checkerLimit {
+		return
+	}
+	var cycle uint64
+	if c.clock != nil {
+		cycle = *c.clock
+	}
+	c.violations = append(c.violations, &InvariantError{
+		Name:   name,
+		Node:   node,
+		Cycle:  cycle,
+		Block:  block,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Total returns the number of violations recorded so far (including
+// any dropped past the retention limit). The run loop polls this.
+func (c *Checker) Total() int {
+	if c == nil {
+		return 0
+	}
+	return c.total
+}
+
+// Violations returns the retained violations, oldest first.
+func (c *Checker) Violations() []*InvariantError {
+	if c == nil {
+		return nil
+	}
+	return c.violations
+}
+
+// Err returns the first violation as an error, or nil if clean.
+func (c *Checker) Err() error {
+	if c == nil || len(c.violations) == 0 {
+		return nil
+	}
+	return c.violations[0]
+}

@@ -1,0 +1,140 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanDeterministicAndBounded(t *testing.T) {
+	cfg := Default(42)
+	p := NewPlan(cfg)
+	q := NewPlan(cfg)
+	for ch := 0; ch < 8; ch++ {
+		for seq := uint64(0); seq < 1000; seq++ {
+			a, b := p.TxPenalty(ch, seq), q.TxPenalty(ch, seq)
+			if a != b {
+				t.Fatalf("TxPenalty(%d,%d) not deterministic: %d vs %d", ch, seq, a, b)
+			}
+			if a < 0 || a > cfg.MaxHopJitter+cfg.StallCycles {
+				t.Fatalf("TxPenalty(%d,%d) = %d out of bounds", ch, seq, a)
+			}
+		}
+	}
+	for seq := uint64(0); seq < 1000; seq++ {
+		if a, b := p.MsgJitter(seq), q.MsgJitter(seq); a != b {
+			t.Fatalf("MsgJitter(%d) not deterministic: %d vs %d", seq, a, b)
+		}
+		for node := 0; node < 4; node++ {
+			d := p.ReplyDelay(node, seq)
+			if d != q.ReplyDelay(node, seq) {
+				t.Fatalf("ReplyDelay(%d,%d) not deterministic", node, seq)
+			}
+			if d < 0 || d > cfg.MaxReplyDelay {
+				t.Fatalf("ReplyDelay(%d,%d) = %d out of bounds", node, seq, d)
+			}
+		}
+	}
+}
+
+func TestPlanSeedsDiffer(t *testing.T) {
+	p := NewPlan(Default(1))
+	q := NewPlan(Default(2))
+	same := 0
+	const n = 256
+	for seq := uint64(0); seq < n; seq++ {
+		if p.TxPenalty(0, seq) == q.TxPenalty(0, seq) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical penalty streams")
+	}
+}
+
+func TestPlanZeroConfigIsQuiet(t *testing.T) {
+	p := NewPlan(Config{Seed: 99})
+	for seq := uint64(0); seq < 100; seq++ {
+		if p.TxPenalty(3, seq) != 0 || p.MsgJitter(seq) != 0 || p.ReplyDelay(1, seq) != 0 {
+			t.Fatal("zero config must not perturb anything")
+		}
+	}
+}
+
+func TestPlanStalledLinks(t *testing.T) {
+	p := NewPlan(Config{StallLinks: []int{7, 3}})
+	if !p.Stalled(3) || !p.Stalled(7) || p.Stalled(5) {
+		t.Fatalf("Stalled membership wrong: %v", p.StalledLinks())
+	}
+	if got := p.TxPenalty(3, 0); got != PermanentStall {
+		t.Fatalf("stalled link penalty = %d, want PermanentStall", got)
+	}
+	if got := p.StalledLinks(); len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("StalledLinks = %v, want sorted [3 7]", got)
+	}
+}
+
+func TestCheckerRecordsAndLimits(t *testing.T) {
+	var clock uint64 = 123
+	c := NewChecker(&clock)
+	if c.Total() != 0 || c.Err() != nil {
+		t.Fatal("fresh checker not clean")
+	}
+	c.Violate("coherence/single-writer", 2, 0x40, "nodes %v both exclusive", []int{1, 2})
+	if c.Total() != 1 {
+		t.Fatalf("Total = %d, want 1", c.Total())
+	}
+	err := c.Err()
+	if err == nil {
+		t.Fatal("Err nil after violation")
+	}
+	for _, want := range []string{"coherence/single-writer", "cycle 123", "node 2", "0x40"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("violation %q missing %q", err.Error(), want)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		c.Violate("x", -1, 0, "cascade")
+	}
+	if c.Total() != 101 {
+		t.Fatalf("Total = %d, want 101", c.Total())
+	}
+	if len(c.Violations()) != checkerLimit {
+		t.Fatalf("retained %d, want limit %d", len(c.Violations()), checkerLimit)
+	}
+	var nilC *Checker
+	if nilC.Total() != 0 || nilC.Err() != nil || nilC.Violations() != nil {
+		t.Fatal("nil checker must be inert")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	r := &Report{
+		Reason:  ReasonDeadlock,
+		Cycle:   5000,
+		Message: "no instruction retired",
+		Nodes: []NodeStatus{{
+			Node: 1, PC: 0x200, Frame: 2, ThreadID: 5, Resident: 3, Ready: 1,
+			Retired: 900, LastRetired: 4200,
+			Outstanding: []MissStatus{{Block: 0x1a0, Home: 0, Write: true, Age: 800}},
+		}},
+		Sched: SchedStatus{Live: 4, Ready: 1, Blocked: 2,
+			Waiters: []WaiterStatus{{Addr: 0x3000, Threads: []int{7, 9}}}},
+		Net: &NetStatus{InFlight: 1, Live: 1,
+			Links:        []LinkState{{Channel: 6, Node: 1, Dim: 1, Dir: 0, Busy: 1 << 30, Queued: 2, Stalled: true}},
+			StalledLinks: []int{6}},
+	}
+	out := r.Render()
+	for _, want := range []string{
+		"autopsy: deadlock at cycle 5000",
+		"scheduler: 4 live, 1 ready, 2 blocked",
+		"wait 0x3000: threads [7 9]",
+		"node  1:",
+		"miss block 0x1a0 home=0 write age=800",
+		"STALLED (fault plan)",
+		"permanently stalls links [6]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -203,19 +203,42 @@ func (m *Memory) Access(addr uint32, store bool, value isa.Word) (prev isa.Word,
 	return prev, full, nil
 }
 
-// MustLoad and MustStore panic on error; they are for simulator-internal
-// structures whose addresses are known valid (run-time system state).
+// Fault is the panic value raised by the Must* accessors: a runtime
+// access to simulator-internal state went outside the simulated arena.
+// Carrying the operation, address, and memory size lets the machine's
+// run loop recover it into a structured crash report instead of a
+// bare stack trace.
+type Fault struct {
+	Op   string // "load", "store", "fe", "set-fe"
+	Addr uint32
+	Size uint32 // simulated memory size
+	Err  error  // the underlying ErrUnaligned / ErrOutOfRange
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mem: %s at %#x (memory size %#x): %v", f.Op, f.Addr, f.Size, f.Err)
+}
+
+func (f *Fault) Unwrap() error { return f.Err }
+
+func (m *Memory) fault(op string, addr uint32, err error) {
+	panic(&Fault{Op: op, Addr: addr, Size: m.size, Err: err})
+}
+
+// MustLoad and MustStore panic with a *Fault on error; they are for
+// simulator-internal structures whose addresses are known valid
+// (run-time system state).
 func (m *Memory) MustLoad(addr uint32) isa.Word {
 	w, err := m.LoadWord(addr)
 	if err != nil {
-		panic(err)
+		m.fault("load", addr, err)
 	}
 	return w
 }
 
 func (m *Memory) MustStore(addr uint32, w isa.Word) {
 	if err := m.StoreWord(addr, w); err != nil {
-		panic(err)
+		m.fault("store", addr, err)
 	}
 }
 
@@ -223,13 +246,13 @@ func (m *Memory) MustStore(addr uint32, w isa.Word) {
 func (m *Memory) MustFE(addr uint32) bool {
 	b, err := m.FE(addr)
 	if err != nil {
-		panic(err)
+		m.fault("fe", addr, err)
 	}
 	return b
 }
 
 func (m *Memory) MustSetFE(addr uint32, full bool) {
 	if err := m.SetFE(addr, full); err != nil {
-		panic(err)
+		m.fault("set-fe", addr, err)
 	}
 }

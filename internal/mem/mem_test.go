@@ -175,3 +175,37 @@ func TestDistribution(t *testing.T) {
 		t.Error("single-node home must be 0")
 	}
 }
+
+func TestInvariantMustAccessorsRaiseTypedFault(t *testing.T) {
+	m := New(1024)
+	cases := []struct {
+		op  string
+		run func()
+	}{
+		{"load", func() { m.MustLoad(4096) }},
+		{"store", func() { m.MustStore(4096, 1) }},
+		{"fe", func() { m.MustFE(4096) }},
+		{"set-fe", func() { m.MustSetFE(4097, false) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				r := recover()
+				f, ok := r.(*Fault)
+				if !ok {
+					t.Fatalf("%s: panic value %T (%v), want *Fault", tc.op, r, r)
+				}
+				if f.Op != tc.op {
+					t.Errorf("fault op %q, want %q", f.Op, tc.op)
+				}
+				if f.Addr != 4096 && f.Addr != 4097 {
+					t.Errorf("%s: fault addr %#x, want the faulting address", tc.op, f.Addr)
+				}
+				if !errors.Is(f, ErrOutOfRange) && !errors.Is(f, ErrUnaligned) {
+					t.Errorf("%s: fault does not unwrap to a mem error: %v", tc.op, f.Err)
+				}
+			}()
+			tc.run()
+		}()
+	}
+}

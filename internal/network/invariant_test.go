@@ -1,0 +1,48 @@
+package network
+
+// Guard tests for the Advance contract: Advance(k) may only skip
+// cycles that are provably uneventful; crossing (or landing on) the
+// next event must panic rather than silently dropping a delivery. Both
+// backends share the guard.
+
+import (
+	"strings"
+	"testing"
+)
+
+func wantCrossPanic(t *testing.T, advance func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Advance across an event did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "crosses event") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	advance()
+}
+
+func TestInvariantAdvanceCrossesEventIdeal(t *testing.T) {
+	n := NewIdeal(4, 10)
+	n.Send(&Message{Src: 0, Dst: 3, Size: 4})
+
+	// Skipping to just before the delivery is legal...
+	n.Advance(9)
+	if got := n.Deliveries(3, nil); len(got) != 0 {
+		t.Fatalf("Advance(9) delivered early: %v", got)
+	}
+	// ...skipping onto it is not.
+	wantCrossPanic(t, func() { n.Advance(1) })
+}
+
+func TestInvariantAdvanceCrossesEventTorus(t *testing.T) {
+	tor, err := NewTorus(Geometry{Dim: 2, Radix: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor.Send(&Message{Src: 0, Dst: 1, Size: 4})
+	wantCrossPanic(t, func() { tor.Advance(1000) })
+}

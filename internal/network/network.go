@@ -12,6 +12,7 @@ package network
 import (
 	"fmt"
 
+	"april/internal/fault"
 	"april/internal/trace"
 )
 
@@ -26,7 +27,8 @@ type Message struct {
 	Payload  Payload
 
 	sentAt   uint64
-	route    []int // channel hops (channel ids); next hop is route[hop]
+	arriveAt uint64 // ideal backend: delivery cycle (sentAt+latency+jitter)
+	route    []int  // channel hops (channel ids); next hop is route[hop]
 	hop      int
 	recycled bool // on the freelist; guards double-recycle / stale Send
 }
@@ -66,6 +68,17 @@ type Network interface {
 	// SetTracer attaches an event tracer (nil detaches). The network
 	// emits inject/hop/deliver events; tracing never changes timing.
 	SetTracer(t *trace.Tracer)
+	// SetFaultPlan attaches a timing-perturbation plan (nil detaches;
+	// the default). Call before any traffic is injected. With a plan
+	// attached, transmissions and flights take extra, plan-drawn
+	// cycles; without one, behavior is bit-identical to a plan-free
+	// build.
+	SetFaultPlan(p *fault.Plan)
+	// LiveMessages counts pool-tracked messages currently checked out
+	// (allocated and not yet recycled). At a tick boundary with all
+	// inboxes drained it must equal InFlight; the fault checker
+	// asserts this to catch leaked or double-owned messages.
+	LiveMessages() int
 
 	// NextEvent returns the earliest internal cycle (in the network's
 	// own Tick count) at which a Tick could deliver a message or change
@@ -211,7 +224,34 @@ type Ideal struct {
 	// message, instead of the head-index queue. Same simulated
 	// behavior; the differential oracle and throughput baseline.
 	refScan bool
+
+	// Fault injection. A plan adds per-message flight jitter, which
+	// breaks the FIFO-prefix property the head-index queue depends on;
+	// jittered mode therefore delivers via a dense arriveAt scan (head
+	// stays 0) that still maintains the pendNodes bookkeeping. Jitter
+	// must not reorder messages between the same (src, dst) pair — the
+	// coherence protocol relies on point-to-point ordering (e.g. a
+	// writeback notification must not be overtaken by the same node's
+	// re-request), and the torus preserves it structurally via FIFO
+	// channels on deterministic routes — so arrival times are clamped
+	// monotone per pair through lastArr.
+	plan     *fault.Plan
+	jittered bool
+	sendSeq  uint64
+	lastArr  []uint64 // per (src*nodes+dst) latest arrival time
 }
+
+// SetFaultPlan implements Network.
+func (n *Ideal) SetFaultPlan(p *fault.Plan) {
+	n.plan = p
+	n.jittered = p != nil
+	if p != nil && n.lastArr == nil {
+		n.lastArr = make([]uint64, n.nodes*n.nodes)
+	}
+}
+
+// LiveMessages implements Network.
+func (n *Ideal) LiveMessages() int { return n.pool.liveCount() }
 
 // SetReferenceScan switches between the head-index queue and the dense
 // scanning implementation. Call before any traffic is injected.
@@ -242,13 +282,25 @@ func (n *Ideal) Send(m *Message) {
 		panic("network: Send of a recycled message")
 	}
 	m.sentAt = n.now
+	m.arriveAt = n.now + n.latency
+	if n.plan != nil {
+		m.arriveAt += uint64(n.plan.MsgJitter(n.sendSeq))
+		n.sendSeq++
+		pair := m.Src*n.nodes + m.Dst
+		if m.arriveAt < n.lastArr[pair] {
+			m.arriveAt = n.lastArr[pair]
+		}
+		n.lastArr[pair] = m.arriveAt
+	}
 	n.pending = append(n.pending, m)
 	n.stats.Messages++
 	n.stats.FlitsSent += uint64(m.Size)
 	n.trace.Emit(m.Src, trace.KNetInject, int32(m.Dst), int32(m.Size), 0, 0)
 }
 
-// Tick implements Network: deliver the matured prefix.
+// Tick implements Network: deliver the matured prefix (or, in jittered
+// mode, the matured subset — jitter makes arrival order diverge from
+// send order, so maturity is no longer a prefix property).
 func (n *Ideal) Tick() {
 	n.now++
 	if n.refScan {
@@ -256,7 +308,7 @@ func (n *Ideal) Tick() {
 		// stays 0 in this mode).
 		rest := n.pending[:0]
 		for _, m := range n.pending {
-			if n.now-m.sentAt >= n.latency {
+			if n.now >= m.arriveAt {
 				n.inbox[m.Dst] = append(n.inbox[m.Dst], m)
 				n.account(m)
 			} else {
@@ -269,7 +321,30 @@ func (n *Ideal) Tick() {
 		n.pending = rest
 		return
 	}
-	for n.head < len(n.pending) && n.now-n.pending[n.head].sentAt >= n.latency {
+	if n.jittered {
+		// Dense scan in send order (matching the refScan branch, so
+		// both run loops deliver same-tick messages identically), with
+		// the fast mode's pendNodes bookkeeping maintained.
+		rest := n.pending[:0]
+		for _, m := range n.pending {
+			if n.now >= m.arriveAt {
+				if !n.inPend[m.Dst] {
+					n.inPend[m.Dst] = true
+					n.pendNodes = insertSorted(n.pendNodes, m.Dst)
+				}
+				n.inbox[m.Dst] = append(n.inbox[m.Dst], m)
+				n.account(m)
+			} else {
+				rest = append(rest, m)
+			}
+		}
+		for i := len(rest); i < len(n.pending); i++ {
+			n.pending[i] = nil
+		}
+		n.pending = rest
+		return
+	}
+	for n.head < len(n.pending) && n.now >= n.pending[n.head].arriveAt {
 		m := n.pending[n.head]
 		n.pending[n.head] = nil
 		n.head++
@@ -346,8 +421,8 @@ func (n *Ideal) NextEvent() uint64 {
 		}
 		next := uint64(NoEvent)
 		for _, m := range n.pending {
-			if at := m.sentAt + n.latency; at < next {
-				next = at
+			if m.arriveAt < next {
+				next = m.arriveAt
 			}
 		}
 		return next
@@ -355,8 +430,17 @@ func (n *Ideal) NextEvent() uint64 {
 	if len(n.pendNodes) > 0 {
 		return n.now
 	}
+	if n.jittered {
+		next := uint64(NoEvent)
+		for _, m := range n.pending {
+			if m.arriveAt < next {
+				next = m.arriveAt
+			}
+		}
+		return next
+	}
 	if n.head < len(n.pending) {
-		return n.pending[n.head].sentAt + n.latency
+		return n.pending[n.head].arriveAt
 	}
 	return NoEvent
 }

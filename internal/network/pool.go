@@ -10,7 +10,13 @@ import "april/internal/directory"
 // after Recycle the pointers are dead (and poisoned in poison mode).
 type msgPool struct {
 	free []*Message
+	live int // messages checked out (allocated, not yet recycled)
 }
+
+// liveCount reports how many messages are checked out of the pool.
+// At a tick boundary with every inbox drained this equals the
+// network's InFlight count; the fault checker asserts exactly that.
+func (p *msgPool) liveCount() int { return p.live }
 
 // poisonRecycle, when set, scrambles every field of a recycled message
 // so a consumer that illegally retains a *Message past its Recycle
@@ -25,6 +31,7 @@ var poisonRecycle bool
 func SetPoisonRecycle(on bool) { poisonRecycle = on }
 
 func (p *msgPool) alloc() *Message {
+	p.live++
 	if n := len(p.free); n > 0 {
 		m := p.free[n-1]
 		p.free[n-1] = nil
@@ -43,6 +50,7 @@ func (p *msgPool) recycle(ms []*Message) {
 		if m.recycled {
 			panic("network: message recycled twice")
 		}
+		p.live--
 		route := m.route[:0]
 		*m = Message{route: route, recycled: true}
 		if poisonRecycle {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"april/internal/fault"
 	"april/internal/trace"
 )
 
@@ -50,6 +51,38 @@ type Torus struct {
 	// active lists. Same simulated behavior, O(nodes·2n) host cost —
 	// the differential oracle and throughput baseline.
 	refScan bool
+
+	// Fault injection. Transmission penalties are drawn per channel
+	// from (plan, channel id, txSeq[channel]); the counter advances
+	// once per transmission start, in simulated-time order, whether the
+	// start happens in Tick or in Advance's normalization — so the fast
+	// and reference run loops draw identical penalty streams.
+	plan  *fault.Plan
+	txSeq []uint64
+}
+
+// SetFaultPlan implements Network.
+func (t *Torus) SetFaultPlan(p *fault.Plan) {
+	t.plan = p
+	if p != nil && t.txSeq == nil {
+		t.txSeq = make([]uint64, len(t.channels))
+	}
+}
+
+// LiveMessages implements Network.
+func (t *Torus) LiveMessages() int { return t.pool.liveCount() }
+
+// startTx begins transmitting the head packet of channel id: the base
+// cost is the packet's flit count, plus any plan-drawn penalty (hop
+// jitter, a transient stall, or fault.PermanentStall for wedged
+// links). Callers invoke it exactly once per transmission, so the
+// per-channel draw sequence is a pure function of traffic order.
+func (t *Torus) startTx(id int, c *channel) {
+	c.busy = c.qhead().Size
+	if t.plan != nil {
+		c.busy += t.plan.TxPenalty(id, t.txSeq[id])
+		t.txSeq[id]++
+	}
 }
 
 // SetReferenceScan switches between the work-proportional and dense
@@ -237,7 +270,7 @@ func (t *Torus) Tick() {
 		for i := range t.channels {
 			c := &t.channels[i]
 			if c.busy == 0 && c.qlen() > 0 {
-				c.busy = c.qhead().Size
+				t.startTx(i, c)
 			}
 			if c.busy > 0 {
 				c.busy--
@@ -255,7 +288,7 @@ func (t *Torus) Tick() {
 		for _, id := range t.active {
 			c := &t.channels[id]
 			if c.busy == 0 && c.qlen() > 0 {
-				c.busy = c.qhead().Size
+				t.startTx(id, c)
 			}
 			if c.busy > 0 {
 				c.busy--
@@ -413,7 +446,7 @@ func (t *Torus) Advance(k uint64) {
 		for i := range t.channels {
 			c := &t.channels[i]
 			if c.busy == 0 && c.qlen() > 0 {
-				c.busy = c.qhead().Size
+				t.startTx(i, c)
 			}
 			if c.busy > 0 {
 				c.busy -= int(k)
@@ -424,7 +457,7 @@ func (t *Torus) Advance(k uint64) {
 	for _, id := range t.active {
 		c := &t.channels[id]
 		if c.busy == 0 && c.qlen() > 0 {
-			c.busy = c.qhead().Size
+			t.startTx(id, c)
 		}
 		if c.busy > 0 {
 			c.busy -= int(k)
@@ -457,6 +490,29 @@ func (t *Torus) nextEventRef() uint64 {
 		}
 	}
 	return next
+}
+
+// Links appends the state of every non-idle channel (busy or queued)
+// to buf for crash reports, in ascending channel-id order, marking
+// channels the fault plan permanently stalls. Cold path: called only
+// when building a fault.Report.
+func (t *Torus) Links(buf []fault.LinkState) []fault.LinkState {
+	for i := range t.channels {
+		c := &t.channels[i]
+		if c.busy == 0 && c.qlen() == 0 {
+			continue
+		}
+		buf = append(buf, fault.LinkState{
+			Channel: i,
+			Node:    i / (2 * t.geo.Dim),
+			Dim:     (i / 2) % t.geo.Dim,
+			Dir:     i % 2,
+			Busy:    c.busy,
+			Queued:  c.qlen(),
+			Stalled: t.plan != nil && t.plan.Stalled(i),
+		})
+	}
+	return buf
 }
 
 var _ Network = (*Torus)(nil)

@@ -5,6 +5,7 @@ import (
 
 	"april/internal/abi"
 	"april/internal/core"
+	"april/internal/fault"
 	"april/internal/heap"
 	"april/internal/isa"
 	"april/internal/mem"
@@ -26,6 +27,12 @@ type NodeRT struct {
 	// Trace records scheduler events and context-switch causes; nil
 	// when tracing is disabled.
 	Trace *trace.Tracer
+
+	// Check, when non-nil, validates full/empty-bit consistency at trap
+	// boundaries: a TrapEmpty must observe the bit empty and a
+	// TrapFullStore must observe it full (trap raise and handling are
+	// atomic within one Step, so nothing can legally intervene).
+	Check *fault.Checker
 
 	// stuck tracks, per task frame, how many times the loaded thread
 	// has consecutively retried the same trapping PC without success;
@@ -110,6 +117,9 @@ func (n *NodeRT) HandleTrap(p *proc.Processor, t core.Trap) (int, error) {
 	case core.TrapFuture, core.TrapAddrFuture:
 		return n.touch(p, t.Value, t.Reg, t.PC, false)
 	case core.TrapEmpty, core.TrapFullStore:
+		if n.Check != nil {
+			n.checkSyncFault(t)
+		}
 		return n.syncFault(p, t.PC)
 	case core.TrapCacheMiss:
 		// The controller forces a context switch while it services the
@@ -128,6 +138,26 @@ func (n *NodeRT) HandleTrap(p *proc.Processor, t core.Trap) (int, error) {
 		return n.Prof.TrapEntry, nil
 	}
 	return 0, fmt.Errorf("rts: unhandled trap %v", t)
+}
+
+// checkSyncFault validates the full/empty bit against the trap that
+// just fired: the bit state the access observed must still hold when
+// the handler runs.
+func (n *NodeRT) checkSyncFault(t core.Trap) {
+	full, err := n.Sched.Mem.FE(t.Addr)
+	if err != nil {
+		n.Check.Violate("fe/trap-address", n.Node, 0,
+			"sync fault at pc=%d addr=%#x but FE lookup failed: %v", t.PC, t.Addr, err)
+		return
+	}
+	if t.Kind == core.TrapEmpty && full {
+		n.Check.Violate("fe/empty-trap-on-full", n.Node, 0,
+			"TrapEmpty at pc=%d but addr %#x is full", t.PC, t.Addr)
+	}
+	if t.Kind == core.TrapFullStore && !full {
+		n.Check.Violate("fe/full-trap-on-empty", n.Node, 0,
+			"TrapFullStore at pc=%d but addr %#x is empty", t.PC, t.Addr)
+	}
 }
 
 // touch handles a future touch: resolved futures are replaced in the

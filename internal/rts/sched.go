@@ -3,6 +3,7 @@ package rts
 import (
 	"fmt"
 	"io"
+	"slices"
 
 	"april/internal/abi"
 	"april/internal/isa"
@@ -200,6 +201,34 @@ func (s *Scheduler) ReadyCount() int {
 		n += len(q)
 	}
 	return n
+}
+
+// ReadyOn reports the number of ready threads queued on one node
+// (crash-report detail; ReadyCount gives the machine-wide total).
+func (s *Scheduler) ReadyOn(node int) int { return len(s.ready[node]) }
+
+// ForEachWaiter calls fn for every blocked-waiter list in ascending
+// address order. Cold path (crash reports and end-of-run audits): the
+// key sort allocates.
+func (s *Scheduler) ForEachWaiter(fn func(addr uint32, threads []int)) {
+	addrs := make([]uint32, 0, len(s.waiters))
+	for a := range s.waiters {
+		addrs = append(addrs, a)
+	}
+	slices.Sort(addrs)
+	for _, a := range addrs {
+		fn(a, s.waiters[a])
+	}
+}
+
+// BlockedByNode counts blocked threads by home node into counts
+// (len(counts) must cover every node id). Cold path: crash reports.
+func (s *Scheduler) BlockedByNode(counts []int) {
+	for _, ids := range s.waiters {
+		for _, id := range ids {
+			counts[s.threads[id].Home]++
+		}
+	}
 }
 
 // AddWaiter blocks thread t on the future object at addr.

@@ -6,6 +6,7 @@ import (
 
 	"april/internal/cache"
 	"april/internal/directory"
+	"april/internal/fault"
 	"april/internal/isa"
 	"april/internal/mem"
 	"april/internal/network"
@@ -85,6 +86,12 @@ type netFabric struct {
 	// nextEvent scan every controller each cycle instead of the dirty
 	// set, as the differential oracle and throughput baseline.
 	reference bool
+
+	// plan perturbs timing (directory-reply delays here; the network
+	// draws its own penalties) and check records invariant violations.
+	// Both nil by default; clean runs take one nil test per hook.
+	plan  *fault.Plan
+	check *fault.Checker
 }
 
 // markDirty records that a controller has queued work (outbox or
@@ -117,6 +124,7 @@ func (m *Machine) initAlewife() error {
 		t.SetReferenceScan(m.Cfg.DisableFastForward)
 		net = t
 	}
+	net.SetFaultPlan(m.plan)
 	m.net = &netFabric{
 		m:         m,
 		cfg:       cfg,
@@ -124,6 +132,8 @@ func (m *Machine) initAlewife() error {
 		dist:      mem.Distribution{Nodes: m.Cfg.Nodes, BlockSize: cfg.Cache.BlockBytes},
 		dirtyCtl:  make([]bool, m.Cfg.Nodes),
 		reference: m.Cfg.DisableFastForward,
+		plan:      m.plan,
+		check:     m.checker,
 	}
 	return nil
 }
@@ -152,6 +162,13 @@ func (m *Machine) newCachePort(node int) proc.MemPort {
 // tick advances the interconnect one cycle and runs the controllers'
 // message handling.
 func (f *netFabric) tick() {
+	f.tickInner()
+	if f.check != nil {
+		f.checkPool()
+	}
+}
+
+func (f *netFabric) tickInner() {
 	f.now++
 	f.net.Tick()
 	if f.reference {
@@ -344,6 +361,11 @@ type cacheCtl struct {
 	recallSpare []pendingRecall // processRecalls double buffer
 	targetsBuf  []int           // homeRequest invalidation-target scratch
 
+	// replySeq numbers this node's directory data replies for the fault
+	// plan's reply-delay draws; it advances in send order, which both
+	// run loops reproduce identically.
+	replySeq uint64
+
 	Stats CtlStats
 }
 
@@ -366,6 +388,11 @@ type outMsg struct {
 
 func (c *cacheCtl) send(dst int, msg directory.Msg, delay int) {
 	msg.From = c.node
+	if p := c.fabric.plan; p != nil && (msg.Kind == directory.Data || msg.Kind == directory.DataEx) {
+		// A slow memory controller: data grants leave the home late.
+		delay += p.ReplyDelay(c.node, c.replySeq)
+		c.replySeq++
+	}
 	c.outbox = append(c.outbox, outMsg{msg: msg, dst: dst, readyAt: c.fabric.now + uint64(delay)})
 	c.fabric.markDirty(c.node)
 	c.fabric.trace.Emit(c.node, trace.KProtoSend,
@@ -419,6 +446,14 @@ func (c *cacheCtl) blockOf(addr uint32) uint32 { return addr / c.fabric.cfg.Cach
 
 // Access implements proc.MemPort.
 func (c *cacheCtl) Access(addr uint32, f isa.MemFlavor, store bool, value isa.Word) (proc.MemResult, error) {
+	res, err := c.access(addr, f, store, value)
+	if c.fabric.check != nil {
+		c.fabric.checkBlock(c.blockOf(addr))
+	}
+	return res, err
+}
+
+func (c *cacheCtl) access(addr uint32, f isa.MemFlavor, store bool, value isa.Word) (proc.MemResult, error) {
 	needWrite := store || f.ResetFE || f.SetFE
 	block := c.blockOf(addr)
 
@@ -548,6 +583,13 @@ func (c *cacheCtl) install(block uint32, write bool) {
 
 // handle processes one protocol message at this controller.
 func (c *cacheCtl) handle(msg directory.Msg) {
+	c.handleMsg(msg)
+	if c.fabric.check != nil {
+		c.fabric.checkBlock(msg.Block)
+	}
+}
+
+func (c *cacheCtl) handleMsg(msg directory.Msg) {
 	switch msg.Kind {
 	case directory.ReadReq, directory.WriteReq:
 		c.homeRequest(msg)
@@ -680,6 +722,11 @@ func (c *cacheCtl) recall(msg directory.Msg) {
 		}
 		c.send(msg.From, directory.Msg{Kind: directory.FetchAck, Block: msg.Block, Requester: msg.Requester}, 0)
 	}
+	if c.fabric.check != nil {
+		// Recalls applied from processRecalls mutate cache state outside
+		// the handle path; audit the block here to cover both routes.
+		c.fabric.checkBlock(msg.Block)
+	}
 }
 
 // homeRequest runs the directory state machine for a request arriving
@@ -792,6 +839,14 @@ func (c *cacheCtl) homeAck(msg directory.Msg) {
 // invalidation (Section 3.4). Dirty lines raise the fence counter
 // until the home acknowledges.
 func (c *cacheCtl) Flush(addr uint32) int {
+	n := c.flush(addr)
+	if c.fabric.check != nil {
+		c.fabric.checkBlock(c.blockOf(addr))
+	}
+	return n
+}
+
+func (c *cacheCtl) flush(addr uint32) int {
 	block := c.blockOf(addr)
 	dirty, present := c.cache.Invalidate(block)
 	if !present {

@@ -22,9 +22,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"april/internal/abi"
 	"april/internal/core"
+	"april/internal/fault"
 	"april/internal/heap"
 	"april/internal/isa"
 	"april/internal/mem"
@@ -60,6 +62,26 @@ type Config struct {
 	// DisableFastForward, simulated results are bit-identical either
 	// way; the switch interpreter is the differential oracle.
 	DisablePredecode bool
+
+	// Faults, when non-nil, arms the seeded perturbation plan: bounded
+	// per-hop delay jitter, transient link stalls, and delayed directory
+	// replies (see internal/fault). Timing shifts, results must not:
+	// under any seed the simulated program computes the same answer,
+	// only cycle counts may differ.
+	Faults *fault.Config
+
+	// Check enables the runtime invariant checkers (see check.go):
+	// coherence state agreement on every protocol transition, full/empty
+	// consistency at trap boundaries, scheduler thread conservation, and
+	// message-pool ownership. Violations abort the run with a structured
+	// crash report rather than panicking.
+	Check bool
+
+	// DeadlockWindow overrides how many cycles the machine may go
+	// without retiring a single instruction before the watchdog declares
+	// a deadlock (0 = the 3M-cycle default). Tests inducing wedges use a
+	// short window to fail fast.
+	DeadlockWindow uint64
 }
 
 // ErrDeadlock is returned when the machine stops making progress.
@@ -73,6 +95,11 @@ type Node struct {
 	busy int
 
 	cache *cacheCtl // nil in perfect-memory mode
+
+	// lastRetired is the cycle of this node's most recent instruction
+	// retirement — per-node progress for the deadlock report (the
+	// machine-wide watchdog only knows the newest retirement anywhere).
+	lastRetired uint64
 }
 
 // Machine is a configured multiprocessor.
@@ -103,6 +130,13 @@ type Machine struct {
 	tracer     *trace.Tracer
 	sampler    *trace.Sampler
 	lastSample []proc.Stats // per-node stats at the previous sample
+
+	// Robustness (see check.go, autopsy.go, internal/fault).
+	plan           *fault.Plan    // nil unless Cfg.Faults armed a plan
+	checker        *fault.Checker // nil unless Cfg.Check
+	deadlockWin    uint64         // cycles without retirement before ErrDeadlock
+	nextSchedCheck uint64         // next scheduler-conservation watermark
+	nextWedgeCheck uint64         // next stuck-remote-op (livelock) scan
 }
 
 // New builds a machine. Compile programs against StaticHeap(), then
@@ -136,6 +170,22 @@ func New(cfg Config) (*Machine, error) {
 	// pre-overhaul loop paid, including the idle steal probe.
 	m.Sched.ScanSteal = cfg.DisableFastForward
 
+	// The fault plan and checker must exist before initAlewife wires the
+	// fabric: the network backends and cache controllers capture them at
+	// construction.
+	if cfg.Faults != nil {
+		m.plan = fault.NewPlan(*cfg.Faults)
+	}
+	if cfg.Check {
+		m.checker = fault.NewChecker(&m.now)
+	}
+	m.deadlockWin = cfg.DeadlockWindow
+	if m.deadlockWin == 0 {
+		m.deadlockWin = deadlockWindow
+	}
+	m.nextSchedCheck = schedCheckInterval
+	m.nextWedgeCheck = wedgeInterval
+
 	if cfg.Alewife != nil {
 		if err := m.initAlewife(); err != nil {
 			return nil, err
@@ -148,6 +198,7 @@ func New(cfg Config) (*Machine, error) {
 		if err != nil {
 			return nil, err
 		}
+		nrt.Check = m.checker
 		var port proc.MemPort = &proc.PerfectPort{Mem: m.Mem}
 		if cfg.Alewife != nil {
 			port = m.newCachePort(i)
@@ -223,8 +274,19 @@ type Result struct {
 }
 
 // deadlockWindow is how many cycles the machine may go without retiring
-// a single instruction before Run declares a deadlock.
+// a single instruction before Run declares a deadlock
+// (Config.DeadlockWindow overrides it).
 const deadlockWindow = 3_000_000
+
+// The livelock watchdog distinguishes "nothing retires" (deadlock) from
+// "instructions retire but a remote operation never completes". Every
+// wedgeInterval cycles it scans outstanding misses; one older than
+// wedgeWindow — far beyond any protocol bound, which is tens of cycles
+// per hop — means the memory system wedged while processors spin.
+const (
+	wedgeInterval = 65_536
+	wedgeWindow   = 1_000_000
+)
 
 // Run drives the machine until the main thread exits. Calling Run
 // after the program already completed (e.g. under RunWindow) returns
@@ -233,18 +295,21 @@ func (m *Machine) Run() (Result, error) {
 	if !m.loaded {
 		return Result{}, errors.New("sim: no program loaded")
 	}
-	var hit bool
-	var err error
-	if m.Cfg.DisableFastForward {
-		hit, err = m.runReferenceUntil(m.Cfg.MaxCycles)
-	} else {
-		hit, err = m.runFastUntil(m.Cfg.MaxCycles)
-	}
+	hit, err := m.runGuarded(m.Cfg.MaxCycles)
 	if err != nil {
 		return Result{}, err
 	}
 	if hit {
-		return Result{}, fmt.Errorf("sim: exceeded cycle budget %d", m.Cfg.MaxCycles)
+		return Result{}, m.crash(fault.ReasonBudget,
+			fmt.Errorf("sim: exceeded cycle budget %d", m.Cfg.MaxCycles))
+	}
+	if m.checker != nil {
+		// End-of-run sweep: audit every block the machine still holds
+		// plus final thread conservation.
+		m.auditFinal()
+		if m.checker.Total() > 0 {
+			return Result{}, m.crash(fault.ReasonInvariant, m.checker.Err())
+		}
 	}
 	return m.finish(), nil
 }
@@ -268,20 +333,115 @@ func (m *Machine) RunWindow(n uint64) (bool, error) {
 	if limit > m.Cfg.MaxCycles {
 		limit = m.Cfg.MaxCycles
 	}
-	var hit bool
-	var err error
-	if m.Cfg.DisableFastForward {
-		hit, err = m.runReferenceUntil(limit)
-	} else {
-		hit, err = m.runFastUntil(limit)
-	}
+	hit, err := m.runGuarded(limit)
 	if err != nil {
 		return false, err
 	}
 	if hit && m.now >= m.Cfg.MaxCycles {
-		return false, fmt.Errorf("sim: exceeded cycle budget %d", m.Cfg.MaxCycles)
+		return false, m.crash(fault.ReasonBudget,
+			fmt.Errorf("sim: exceeded cycle budget %d", m.Cfg.MaxCycles))
 	}
 	return m.Sched.MainDone, nil
+}
+
+// runGuarded invokes the selected run loop behind a recover barrier
+// that converts runtime memory faults — *mem.Fault panics from the
+// Must* accessors — into a structured crash report. Any other panic
+// propagates unchanged: those are simulator bugs and should keep their
+// stack traces.
+func (m *Machine) runGuarded(limit uint64) (hit bool, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		f, ok := r.(*mem.Fault)
+		if !ok {
+			panic(r)
+		}
+		hit = false
+		err = m.crash(fault.ReasonMemFault, f)
+	}()
+	if m.Cfg.DisableFastForward {
+		return m.runReferenceUntil(limit)
+	}
+	return m.runFastUntil(limit)
+}
+
+// deadlockErr builds the deadlock error: the machine-wide counts the
+// one-line error always carried, extended with per-node ready/blocked
+// occupancy and each node's last retirement cycle so the wedge can be
+// localized from the message alone.
+func (m *Machine) deadlockErr() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d threads live, %d ready, %d blocked",
+		m.Sched.LiveThreads(), m.Sched.ReadyCount(), m.Sched.BlockedCount())
+	blocked := make([]int, len(m.Nodes))
+	m.Sched.BlockedByNode(blocked)
+	for i, n := range m.Nodes {
+		fmt.Fprintf(&b, "; node %d: %d ready, %d blocked, last retired @%d",
+			i, m.Sched.ReadyOn(i), blocked[i], n.lastRetired)
+	}
+	return fmt.Errorf("%w: %s", ErrDeadlock, b.String())
+}
+
+// checkWedge is the livelock watchdog: it scans each node's outstanding
+// remote operations for one stuck beyond wedgeWindow. Selection is
+// deterministic (first node ascending; within a node, the oldest miss,
+// ties broken by smallest block) so both run loops report identically.
+func (m *Machine) checkWedge() error {
+	for _, n := range m.Nodes {
+		if n.cache == nil {
+			continue
+		}
+		var worstBlock uint32
+		var worstAge uint64
+		found := false
+		for block, ms := range n.cache.pending {
+			age := m.net.now - ms.start
+			if age < wedgeWindow {
+				continue
+			}
+			if !found || age > worstAge || (age == worstAge && block < worstBlock) {
+				found, worstBlock, worstAge = true, block, age
+			}
+		}
+		if found {
+			return m.crash(fault.ReasonLivelock, fmt.Errorf(
+				"sim: livelock: node %d remote operation on block %#x outstanding for %d cycles",
+				n.Proc.ID, worstBlock, worstAge))
+		}
+	}
+	return nil
+}
+
+// watchdogs runs the per-cycle end-of-cycle checks shared by both run
+// loops: invariant-violation poll, scheduler-conservation watermark,
+// livelock scan, and the no-retirement deadlock window. A nil return
+// means keep running.
+func (m *Machine) watchdogs(lastProgress uint64) error {
+	if m.checker != nil {
+		if m.checker.Total() > 0 {
+			return m.crash(fault.ReasonInvariant, m.checker.Err())
+		}
+		if m.now >= m.nextSchedCheck {
+			m.checkSched()
+			m.nextSchedCheck = m.now + schedCheckInterval
+			if m.checker.Total() > 0 {
+				return m.crash(fault.ReasonInvariant, m.checker.Err())
+			}
+		}
+	}
+	if m.net != nil && m.now >= m.nextWedgeCheck {
+		if err := m.checkWedge(); err != nil {
+			return err
+		}
+		m.nextWedgeCheck = m.now + wedgeInterval
+	}
+	if m.now-lastProgress > m.deadlockWin {
+		return m.crash(fault.ReasonDeadlock, m.deadlockErr())
+	}
+	return nil
 }
 
 // runReferenceUntil is the oracle loop: one iteration per simulated
@@ -321,6 +481,7 @@ func (m *Machine) runReferenceUntil(limit uint64) (hitLimit bool, err error) {
 			}
 			if n.Proc.Stats.Instructions != retired {
 				lastProgress = m.now
+				n.lastRetired = m.now
 			}
 			if m.Sched.MainDone {
 				break
@@ -331,9 +492,8 @@ func (m *Machine) runReferenceUntil(limit uint64) (hitLimit bool, err error) {
 		}
 		m.now++
 
-		if m.now-lastProgress > deadlockWindow {
-			return false, fmt.Errorf("%w: %d threads live, %d ready, %d blocked",
-				ErrDeadlock, m.Sched.LiveThreads(), m.Sched.ReadyCount(), m.Sched.BlockedCount())
+		if err := m.watchdogs(lastProgress); err != nil {
+			return false, err
 		}
 	}
 	return false, nil
@@ -413,6 +573,7 @@ func (m *Machine) runFastUntil(limit uint64) (hitLimit bool, err error) {
 			}
 			if n.Proc.Stats.Instructions != retired {
 				lastProgress = m.now
+				n.lastRetired = m.now
 			}
 			if m.Sched.MainDone {
 				break
@@ -424,9 +585,8 @@ func (m *Machine) runFastUntil(limit uint64) (hitLimit bool, err error) {
 		}
 		m.now++
 
-		if m.now-lastProgress > deadlockWindow {
-			return false, fmt.Errorf("%w: %d threads live, %d ready, %d blocked",
-				ErrDeadlock, m.Sched.LiveThreads(), m.Sched.ReadyCount(), m.Sched.BlockedCount())
+		if err := m.watchdogs(lastProgress); err != nil {
+			return false, err
 		}
 	}
 	return false, nil

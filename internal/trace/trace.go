@@ -23,6 +23,8 @@
 // occur, not host time.
 package trace
 
+import "fmt"
+
 // Kind enumerates the traced event types. Each event carries four
 // int32 arguments A-D whose meaning is per-kind (documented on the
 // constants); keeping the event fixed-size keeps the ring index-stored
@@ -169,6 +171,12 @@ type Event struct {
 	B     int32
 	C     int32
 	D     int32
+}
+
+// String renders an event one-per-line for crash-report trace tails.
+func (e Event) String() string {
+	return fmt.Sprintf("[%d] node %d %s a=%d b=%d c=%d d=%d",
+		e.Cycle, e.Node, e.Kind, e.A, e.B, e.C, e.D)
 }
 
 // Ring is a fixed-capacity event buffer; once full, new events
