@@ -143,6 +143,11 @@ type Options struct {
 	// DeadlockWindow overrides the watchdog's no-retirement window in
 	// cycles (0 = the 3M default).
 	DeadlockWindow uint64
+	// Shards splits the simulated machine's nodes across that many host
+	// goroutines (conservative parallel discrete-event simulation).
+	// Results are bit-identical at any shard count; <= 1 keeps the
+	// sequential loop. Forced to 1 under Reference or Check.
+	Shards int
 }
 
 // TraceOptions selects a run's observability outputs. Any nil writer
@@ -233,6 +238,7 @@ func (o Options) build() (*sim.Machine, *isa.Program, error) {
 		Faults:             o.Faults,
 		Check:              o.Check,
 		DeadlockWindow:     o.DeadlockWindow,
+		Shards:             o.Shards,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -3,10 +3,13 @@
 // Multimax baseline and on APRIL with normal and lazy task creation,
 // at 1-16 processors.
 //
-// The grid's independent runs are fanned across host cores (-workers);
-// -perf runs the whole grid twice — reference per-cycle loop on one
-// worker vs. fast-forward on all workers — plus a 64-node ALEWIFE
-// comparison, and writes the throughput report to BENCH_simperf.json.
+// The grid's independent runs are fanned across host cores (-workers),
+// and each machine can itself be sharded across goroutines (-shards;
+// workers*shards is budgeted against GOMAXPROCS). -perf runs the whole
+// grid twice — reference per-cycle loop on one worker vs. fast-forward
+// on all workers — plus a 64-node ALEWIFE comparison and a shard-count
+// sweep over 256/512/1024-node tori, and writes the throughput report
+// to BENCH_simperf.json.
 //
 // -fault-matrix runs the robustness grid instead: fib/queens on
 // perfect and ALEWIFE memory at several machine sizes, each ALEWIFE
@@ -43,6 +46,7 @@ func run() int {
 		verbose = flag.Bool("v", false, "log each measurement as it completes")
 		frames  = flag.Bool("frames", false, "run the task-frame ablation (E9) instead of Table 3")
 		workers = flag.Int("workers", 0, "parallel host workers (0 = one per core)")
+		shards  = flag.Int("shards", 1, "simulation shards per machine (sim.Config.Shards); results are bit-identical at any count; workers*shards is capped at GOMAXPROCS")
 		naive   = flag.Bool("naive", false, "use the reference per-cycle loop and switch interpreter (no fast-forward, no predecode)")
 		perf    = flag.Bool("perf", false, "measure simulator throughput and host allocator pressure (naive/serial vs fast/parallel, plus a 64-node ALEWIFE run) and write BENCH_simperf.json")
 		perfOut = flag.String("perf-out", "BENCH_simperf.json", "output path for -perf")
@@ -146,6 +150,7 @@ func run() int {
 	}
 	cfg.Verbose = log
 	cfg.Workers = *workers
+	cfg.Shards = *shards
 	cfg.Naive = *naive
 
 	if *traceOut != "" || *timelineOut != "" {
@@ -169,7 +174,7 @@ func run() int {
 		fmt.Printf("Simulator throughput on the full Table 3 grid (-sizes %s):\n  %s\n", *sizes, rep.Summary())
 		fmt.Printf("  baseline : %s\n  optimized: %s\n", rep.Baseline, rep.Optimized)
 		fmt.Println("written to", *perfOut)
-		if !rep.RowsIdentical || (rep.Alewife != nil && !rep.Alewife.Identical) {
+		if !rep.RowsIdentical || (rep.Alewife != nil && !rep.Alewife.Identical) || !rep.ShardsIdentical() {
 			return fail(fmt.Errorf("simulated results differ between loops"))
 		}
 		return 0

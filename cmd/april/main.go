@@ -8,6 +8,7 @@
 //	april -n 8 examples/progs/fib.mt
 //	april -n 16 -lazy -machine april-custom prog.mt
 //	april -n 8 -alewife -stats prog.mt
+//	april -n 256 -alewife -shards 4 prog.mt
 //	april -n 8 -alewife -trace trace.json -timeline util.csv prog.mt
 //	april -n 8 -alewife -faults -fault-seed 3 -check prog.mt
 //	april -n 8 -alewife -check -autopsy prog.mt
@@ -37,6 +38,7 @@ func main() {
 		asm     = flag.Bool("asm", false, "treat the input as raw APRIL assembly instead of Mul-T")
 		cycles  = flag.Uint64("max-cycles", 0, "simulation cycle budget (0 = default)")
 		ref     = flag.Bool("reference", false, "run the simulator's oracle paths (per-cycle loop, switch interpreter); results are bit-identical, only slower")
+		shards  = flag.Int("shards", 1, "split the simulated machine across this many host goroutines; results are bit-identical at any shard count (<= 1 keeps the sequential loop)")
 
 		faults    = flag.Bool("faults", false, "arm seeded timing perturbations (requires -alewife): hop jitter, transient link stalls, delayed directory replies; answers are unaffected, cycle counts shift")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for -faults")
@@ -78,6 +80,7 @@ func main() {
 		Output:      os.Stdout,
 		MaxCycles:   *cycles,
 		Reference:   *ref,
+		Shards:      *shards,
 	}
 	if *alewife {
 		opts.Alewife = &april.AlewifeOptions{}

@@ -32,7 +32,7 @@ func TestBenchmarkProgramsCorrect(t *testing.T) {
 				{HardwareFutures: true, Sequential: true},
 				{HardwareFutures: su.mode.HardwareFutures, Sequential: true},
 			} {
-				out, err := runOnce(src, mode, su.prof, false, 1, false)
+				out, err := runOnce(src, mode, su.prof, false, 1, false, 1)
 				if err != nil {
 					t.Fatalf("%s/%s seq: %v", name, su.sys, err)
 				}
@@ -42,7 +42,7 @@ func TestBenchmarkProgramsCorrect(t *testing.T) {
 			}
 			// Parallel at a couple of machine sizes.
 			for _, p := range []int{1, 4} {
-				out, err := runOnce(src, su.mode, su.prof, su.lazy, p, false)
+				out, err := runOnce(src, su.mode, su.prof, su.lazy, p, false, 1)
 				if err != nil {
 					t.Fatalf("%s/%s %dp: %v", name, su.sys, p, err)
 				}

@@ -46,6 +46,14 @@ type PerfReport struct {
 	// grid never reaches — where the work-proportional run loop,
 	// predecoded dispatch, and idle-router skip matter most.
 	Alewife *AlewifeRow `json:"alewife,omitempty"`
+
+	// ShardScaling sweeps the sharded run loop (sim.Config.Shards) over
+	// large ALEWIFE machines: one benchmark at several machine sizes,
+	// each size run at 1/2/4/8 shards with a bit-identity cross-check
+	// against the sequential run. Shard speedups only materialize when
+	// GOMAXPROCS grants the shards real cores; on a single-core host the
+	// sweep still proves determinism and records the barrier overhead.
+	ShardScaling []ShardRow `json:"shard_scaling,omitempty"`
 }
 
 // AlewifeRow is one ALEWIFE-mode throughput measurement: a single
@@ -65,10 +73,74 @@ type AlewifeRow struct {
 	Identical bool `json:"identical"`
 }
 
+// ShardRow is one cell of the shard-scaling sweep: a benchmark on an
+// ALEWIFE machine of Nodes nodes run with Shards host goroutines.
+// Speedup and Identical compare against the Shards=1 row at the same
+// machine size.
+type ShardRow struct {
+	Benchmark string    `json:"benchmark"`
+	Nodes     int       `json:"nodes"`
+	Shards    int       `json:"shards"`
+	Cycles    uint64    `json:"cycles"`
+	Result    string    `json:"result"`
+	Perf      proc.Perf `json:"perf"`
+	// CrossMessages counts coherence messages that crossed a shard
+	// boundary — the traffic the horizon barriers staged.
+	CrossMessages uint64  `json:"cross_shard_messages"`
+	Speedup       float64 `json:"speedup_vs_1shard"`
+	Identical     bool    `json:"identical"`
+}
+
+// ShardSweep measures ShardRows for one benchmark across machine sizes
+// and shard counts. Every row is cross-checked bit-identical (cycles,
+// result, per-node statistics) against the sequential run of the same
+// machine size.
+func ShardSweep(benchName string, sizes Sizes, nodeSizes, shardCounts []int) ([]ShardRow, error) {
+	src := sizes.Source(benchName)
+	var rows []ShardRow
+	for _, nodes := range nodeSizes {
+		var base runOut
+		for _, shards := range shardCounts {
+			// A quarter of simulated memory is the stack arena; eager
+			// task trees on hundreds of nodes need thousands of 64 KB
+			// stacks, so give large machines a 2 GB address space.
+			out, err := alewifeOnce(src, nodes, false, shards, 2<<30)
+			if err != nil {
+				return nil, fmt.Errorf("shard sweep %dp/%dshards: %w", nodes, shards, err)
+			}
+			row := ShardRow{
+				Benchmark:     benchName,
+				Nodes:         nodes,
+				Shards:        shards,
+				Cycles:        out.cycles,
+				Result:        out.result,
+				Perf:          out.perf,
+				CrossMessages: out.cross,
+			}
+			if shards <= 1 {
+				base = out
+				row.Speedup, row.Identical = 1, true
+			} else {
+				row.Identical = out.cycles == base.cycles && out.result == base.result &&
+					reflect.DeepEqual(out.stats.PerNode, base.stats.PerNode)
+				if out.perf.WallSeconds > 0 {
+					row.Speedup = base.perf.WallSeconds / out.perf.WallSeconds
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
 // alewifeOnce runs one benchmark on a fresh full-memory-system machine.
 // reference selects the pre-overhaul cost profile: reference stepping
-// loop, opcode-switch interpreter, eagerly materialized memory.
-func alewifeOnce(src string, nodes int, reference bool) (runOut, error) {
+// loop, opcode-switch interpreter, eagerly materialized memory. shards
+// > 1 runs the sharded loop (mutually exclusive with reference, which
+// forces one shard). memBytes sizes simulated memory (0 = the 256 MB
+// default); memory is demand-paged, so a large address space costs
+// only what the run touches.
+func alewifeOnce(src string, nodes int, reference bool, shards int, memBytes uint32) (runOut, error) {
 	// The GC bracket matches the wall-clock bracket: it covers machine
 	// construction too, so the baseline pays for eager materialization
 	// where the optimized side demand-pages only the touched footprint.
@@ -80,6 +152,8 @@ func alewifeOnce(src string, nodes int, reference bool) (runOut, error) {
 		Alewife:            &sim.AlewifeConfig{},
 		DisableFastForward: reference,
 		DisablePredecode:   reference,
+		Shards:             shards,
+		MemoryBytes:        memBytes,
 	})
 	if err != nil {
 		return runOut{}, err
@@ -103,6 +177,7 @@ func alewifeOnce(src string, nodes int, reference bool) (runOut, error) {
 		cycles: res.Cycles,
 		result: res.Formatted,
 		perf:   proc.NewPerf(res.Cycles, m.TotalStats().Instructions, time.Since(start)),
+		cross:  m.CrossShardMessages(),
 	}
 	out.perf.SetGC(gcBefore, gcAfter)
 	for _, n := range m.Nodes {
@@ -115,11 +190,11 @@ func alewifeOnce(src string, nodes int, reference bool) (runOut, error) {
 // ALEWIFE machine of the given size, reference vs optimized.
 func AlewifePerf(benchName string, sizes Sizes, nodes int) (AlewifeRow, error) {
 	src := sizes.Source(benchName)
-	base, err := alewifeOnce(src, nodes, true)
+	base, err := alewifeOnce(src, nodes, true, 1, 0)
 	if err != nil {
 		return AlewifeRow{}, fmt.Errorf("alewife reference run: %w", err)
 	}
-	opt, err := alewifeOnce(src, nodes, false)
+	opt, err := alewifeOnce(src, nodes, false, 1, 0)
 	if err != nil {
 		return AlewifeRow{}, fmt.Errorf("alewife optimized run: %w", err)
 	}
@@ -183,7 +258,26 @@ func Table3Perf(cfg Table3Config, sizesName string) (PerfReport, error) {
 		return PerfReport{}, err
 	}
 	rep.Alewife = &alw
+
+	// Shard-scaling sweep: large tori (the sizes Section 8's model
+	// targets and the Table 3 grid never reaches), each run at several
+	// shard counts with a bit-identity cross-check.
+	rep.ShardScaling, err = ShardSweep("queens", cfg.Sizes, []int{256, 512, 1024}, []int{1, 2, 4, 8})
+	if err != nil {
+		return PerfReport{}, err
+	}
 	return rep, nil
+}
+
+// ShardsIdentical reports whether every shard-scaling row reproduced
+// its sequential baseline bit-identically.
+func (r PerfReport) ShardsIdentical() bool {
+	for _, row := range r.ShardScaling {
+		if !row.Identical {
+			return false
+		}
+	}
+	return true
 }
 
 // JSON renders the report for BENCH_simperf.json.
@@ -217,6 +311,14 @@ func (r PerfReport) Summary() string {
 		s += fmt.Sprintf("\n  alewife gc: %.0f -> %.0f allocs/Mcycle, %.0f -> %.0f KB/Mcycle",
 			a.Baseline.AllocsPerMcycle, a.Optimized.AllocsPerMcycle,
 			a.Baseline.BytesPerMcycle/1024, a.Optimized.BytesPerMcycle/1024)
+	}
+	for _, row := range r.ShardScaling {
+		sident := "IDENTICAL"
+		if !row.Identical {
+			sident = "MISMATCH"
+		}
+		s += fmt.Sprintf("\n  shards %s %4dp x%d: %6.2fs (%.2fx vs 1 shard, %d cross msgs, results %s)",
+			row.Benchmark, row.Nodes, row.Shards, row.Perf.WallSeconds, row.Speedup, row.CrossMessages, sident)
 	}
 	return s
 }

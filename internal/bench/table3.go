@@ -47,6 +47,12 @@ type Table3Config struct {
 	// results are identical at any worker count.
 	Workers int
 
+	// Shards runs every machine in the grid with that many simulation
+	// shards (sim.Config.Shards); results are bit-identical at any
+	// value. The effective worker count is budgeted so that
+	// workers * shards never exceeds GOMAXPROCS (harness.Budget).
+	Shards int
+
 	// Naive forces every machine onto the reference per-cycle stepping
 	// loop and opcode-switch interpreter (sim.Config.DisableFastForward
 	// + DisablePredecode) — the A side of the before/after throughput
@@ -91,6 +97,7 @@ type runOut struct {
 	result string
 	perf   proc.Perf
 	stats  RunStats
+	cross  uint64 // cross-shard messages, when the run was sharded
 }
 
 // runOnce compiles and runs src on a fresh machine. naive selects the
@@ -98,10 +105,10 @@ type runOut struct {
 // opcode-switch interpreter, and eagerly materialized memory — so
 // Table3Perf's baseline measures what the simulator cost before the
 // throughput work; simulated results are identical either way.
-func runOnce(src string, mode mult.Mode, prof rts.Profile, lazy bool, nodes int, naive bool) (runOut, error) {
+func runOnce(src string, mode mult.Mode, prof rts.Profile, lazy bool, nodes int, naive bool, shards int) (runOut, error) {
 	start := time.Now()
 	m, err := sim.New(sim.Config{Nodes: nodes, Profile: prof, Lazy: lazy,
-		DisableFastForward: naive, DisablePredecode: naive})
+		DisableFastForward: naive, DisablePredecode: naive, Shards: shards})
 	if err != nil {
 		return runOut{}, err
 	}
@@ -201,10 +208,12 @@ type rowPlan struct {
 // and the parallel runs at each processor count, all normalized to
 // T seq.
 //
-// Every measurement is an independent single-goroutine machine, so the
-// whole grid is flattened into one run list and fanned across host
-// cores by the harness; rows are assembled (and cross-checked) in grid
-// order afterwards, making the output independent of worker count.
+// Every measurement is an independent machine (optionally itself
+// sharded via cfg.Shards), so the whole grid is flattened into one run
+// list and fanned across host cores by the harness under the
+// workers-times-shards budget; rows are assembled (and cross-checked)
+// in grid order afterwards, making the output independent of worker
+// count.
 func Table3(cfg Table3Config) ([]Row, error) {
 	start := time.Now()
 	var (
@@ -254,9 +263,9 @@ func Table3(cfg Table3Config) ([]Row, error) {
 		}
 	}
 
-	outs, err := harness.Map(cfg.Workers, len(specs), func(i int) (runOut, error) {
+	outs, err := harness.Map(harness.Budget(cfg.Workers, cfg.Shards), len(specs), func(i int) (runOut, error) {
 		s := specs[i]
-		out, err := runOnce(s.src, s.mode, s.prof, s.lazy, s.nodes, cfg.Naive)
+		out, err := runOnce(s.src, s.mode, s.prof, s.lazy, s.nodes, cfg.Naive, cfg.Shards)
 		if err != nil {
 			return runOut{}, fmt.Errorf("%s: %w", s.label, err)
 		}

@@ -113,6 +113,28 @@ func (m *Memory) Materialize() {
 // Size returns the memory size in bytes.
 func (m *Memory) Size() uint32 { return m.size }
 
+// InRange reports whether a word access at addr would pass the bounds
+// check (alignment aside). The sharded run loop's classifier uses it to
+// route out-of-range accesses — which must abort the run with the exact
+// reference error — to the sequential path.
+func (m *Memory) InRange(addr uint32) bool {
+	return addr/WordBytes < m.size/WordBytes
+}
+
+// PageResident reports whether the data page holding addr is already
+// materialized (false for out-of-range addresses). A store to a
+// non-resident page allocates the page as a side effect; the sharded
+// run loop only executes stores in its parallel phase when the page is
+// resident, so page materialization — a write to the page table itself
+// — always happens on the coordinating goroutine.
+func (m *Memory) PageResident(addr uint32) bool {
+	idx := addr / WordBytes
+	if idx >= m.size/WordBytes {
+		return false
+	}
+	return m.pages[idx>>pageShift] != nil
+}
+
 func (m *Memory) check(addr uint32) (uint32, error) {
 	if addr%WordBytes != 0 {
 		return 0, fmt.Errorf("%w: %#x", ErrUnaligned, addr)

@@ -1,0 +1,110 @@
+package network
+
+import "fmt"
+
+// Partition splits the node ids of a k-ary n-cube into contiguous
+// blocks, one per simulation shard. Node ids enumerate the cube with
+// dimension 0 varying fastest, so a contiguous id range is a contiguous
+// slab of the torus: shard boundaries cut along the highest dimension
+// and every shard's nodes are neighbors in the topology. The sharded
+// run loop in package sim steps each block on its own goroutine and
+// exchanges boundary messages at horizon barriers; messages whose
+// source and destination fall in different blocks are the cross-shard
+// traffic the lookahead window must cover.
+type Partition struct {
+	// bounds has one entry per shard plus a final sentinel: shard s owns
+	// nodes [bounds[s], bounds[s+1]).
+	bounds []int
+}
+
+// ComputePartition divides nodes 0..nodes-1 into at most shards
+// contiguous, non-empty, balanced blocks (block sizes differ by at most
+// one). shards is clamped to [1, nodes].
+func ComputePartition(nodes, shards int) Partition {
+	if nodes < 1 {
+		nodes = 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > nodes {
+		shards = nodes
+	}
+	bounds := make([]int, shards+1)
+	for s := 0; s <= shards; s++ {
+		bounds[s] = s * nodes / shards
+	}
+	return Partition{bounds: bounds}
+}
+
+// Shards is the number of blocks.
+func (p Partition) Shards() int { return len(p.bounds) - 1 }
+
+// Nodes is the total node count covered.
+func (p Partition) Nodes() int { return p.bounds[len(p.bounds)-1] }
+
+// Block returns shard s's node range [lo, hi).
+func (p Partition) Block(s int) (lo, hi int) { return p.bounds[s], p.bounds[s+1] }
+
+// Of returns the shard owning node (binary search over the bounds).
+func (p Partition) Of(node int) int {
+	lo, hi := 0, len(p.bounds)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if node >= p.bounds[mid] {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Cross reports whether a message from src to dst crosses a shard
+// boundary.
+func (p Partition) Cross(src, dst int) bool { return p.Of(src) != p.Of(dst) }
+
+// Validate checks the structural invariants: blocks are non-empty,
+// contiguous, and cover [0, Nodes) exactly once.
+func (p Partition) Validate() error {
+	if len(p.bounds) < 2 || p.bounds[0] != 0 {
+		return fmt.Errorf("network: partition bounds %v do not start at 0", p.bounds)
+	}
+	for s := 0; s < p.Shards(); s++ {
+		if p.bounds[s+1] <= p.bounds[s] {
+			return fmt.Errorf("network: partition shard %d is empty or out of order (%v)", s, p.bounds)
+		}
+	}
+	return nil
+}
+
+// String renders the block layout.
+func (p Partition) String() string {
+	return fmt.Sprintf("partition{%d nodes, %d shards, bounds %v}", p.Nodes(), p.Shards(), p.bounds)
+}
+
+// Lookahead is the conservative-PDES window of a network backend: the
+// minimum number of cycles between a message being sent and the
+// earliest cycle at which any other node can observe it. Within one
+// window, nodes in different shards cannot affect each other through
+// the interconnect, so the sharded run loop may execute them
+// concurrently between horizon barriers.
+//
+// The ideal backend delivers every message exactly `latency` cycles
+// after the send, so its lookahead is that latency. The torus forwards
+// one flit per cycle per channel with delivery on the tick after the
+// final hop completes; the smallest message (one flit, one hop — a
+// boundary channel between adjacent nodes in different shards) is
+// observable one tick after the send, so its lookahead is the one-hop
+// transit of a minimum-size packet. Both are at least 1, which is the
+// invariant the per-cycle horizon barrier relies on.
+func Lookahead(n Network) uint64 {
+	switch b := n.(type) {
+	case *Ideal:
+		return b.latency
+	case *Torus:
+		return 1
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,100 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestShardComputePartition(t *testing.T) {
+	for _, tc := range []struct {
+		nodes, shards int
+		wantShards    int
+	}{
+		{1, 1, 1},
+		{1, 8, 1},      // shards clamped to node count
+		{8, 0, 1},      // shards clamped up to 1
+		{8, -3, 1},     // negative shard counts clamp too
+		{8, 3, 3},      // non-dividing shard count
+		{27, 4, 4},     // 3-D cube, non-power-of-two
+		{100, 7, 7},    // 2-D-ish, uneven blocks
+		{256, 8, 8},    // even split
+		{60, 1000, 60}, // more shards than nodes
+	} {
+		t.Run(fmt.Sprintf("%dp/%dshards", tc.nodes, tc.shards), func(t *testing.T) {
+			p := ComputePartition(tc.nodes, tc.shards)
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if p.Shards() != tc.wantShards {
+				t.Fatalf("Shards() = %d, want %d", p.Shards(), tc.wantShards)
+			}
+			if p.Nodes() != tc.nodes {
+				t.Fatalf("Nodes() = %d, want %d", p.Nodes(), tc.nodes)
+			}
+			// Blocks are contiguous, balanced to within one node, and
+			// Of agrees with Block for every node.
+			minSz, maxSz := tc.nodes, 0
+			next := 0
+			for s := 0; s < p.Shards(); s++ {
+				lo, hi := p.Block(s)
+				if lo != next || hi <= lo {
+					t.Fatalf("shard %d block [%d,%d), want start %d", s, lo, hi, next)
+				}
+				if sz := hi - lo; sz < minSz {
+					minSz = sz
+				}
+				if sz := hi - lo; sz > maxSz {
+					maxSz = sz
+				}
+				for n := lo; n < hi; n++ {
+					if p.Of(n) != s {
+						t.Fatalf("Of(%d) = %d, want %d", n, p.Of(n), s)
+					}
+				}
+				next = hi
+			}
+			if next != tc.nodes {
+				t.Fatalf("cover ends at %d, want %d", next, tc.nodes)
+			}
+			if maxSz-minSz > 1 {
+				t.Fatalf("unbalanced blocks: sizes span [%d,%d]", minSz, maxSz)
+			}
+		})
+	}
+}
+
+func TestShardPartitionCross(t *testing.T) {
+	p := ComputePartition(8, 2) // blocks [0,4) and [4,8)
+	for _, tc := range []struct {
+		src, dst int
+		want     bool
+	}{
+		{0, 3, false},
+		{3, 0, false},
+		{4, 7, false},
+		{3, 4, true},
+		{4, 3, true},
+		{0, 7, true},
+		{5, 5, false},
+	} {
+		if got := p.Cross(tc.src, tc.dst); got != tc.want {
+			t.Errorf("Cross(%d,%d) = %v, want %v", tc.src, tc.dst, got, tc.want)
+		}
+	}
+}
+
+func TestShardLookahead(t *testing.T) {
+	if got := Lookahead(NewIdeal(8, 20)); got != 20 {
+		t.Errorf("ideal lookahead = %d, want the delivery latency 20", got)
+	}
+	tor, err := NewTorus(FitGeometry(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Lookahead(tor); got != 1 {
+		t.Errorf("torus lookahead = %d, want 1", got)
+	}
+	if got := Lookahead(nil); got != 1 {
+		t.Errorf("nil backend lookahead = %d, want the conservative 1", got)
+	}
+}

@@ -74,13 +74,27 @@ type netFabric struct {
 	trace *trace.Tracer
 
 	// Dirty-controller set. Invariant: every ctl whose outbox or
-	// recallQ is nonempty has dirtyCtl[node] set and appears in
-	// dirtyIDs (unsorted; tick sorts its snapshot).
+	// recallQ is nonempty has dirtyCtl[node] set and appears in exactly
+	// one bucket of dirty (unsorted; tick sorts its snapshot). The set
+	// is bucketed by shard so the sharded run loop's parallel phases can
+	// mark controllers dirty without synchronization: a worker only ever
+	// appends to its own shard's bucket. Unsharded machines use a single
+	// bucket, which is the old flat list.
 	dirtyCtl  []bool
-	dirtyIDs  []int
+	dirty     [][]int
+	shardOf   []int32            // node -> dirty bucket; nil = single bucket
 	idScratch []int              // tick's sorted snapshot, reused
 	pendBuf   []int              // PendingNodes scratch, reused
 	delivBuf  []*network.Message // Deliveries scratch, reused
+
+	// Sharded-tick support (see shard.go). part is non-nil when the
+	// machine shards this fabric; staging redirects flushOutbox's
+	// network sends into per-shard buffers (drained by the coordinator
+	// at the horizon barrier) while the controllers run in parallel.
+	part      *network.Partition
+	stages    []*fabricStage
+	staging   bool
+	crossMsgs uint64 // messages sent across a shard boundary
 
 	// reference selects the pre-overhaul cost profile: tick and
 	// nextEvent scan every controller each cycle instead of the dirty
@@ -102,8 +116,27 @@ func (f *netFabric) markDirty(node int) {
 	}
 	if !f.dirtyCtl[node] {
 		f.dirtyCtl[node] = true
-		f.dirtyIDs = append(f.dirtyIDs, node)
+		s := f.shardOf[node]
+		f.dirty[s] = append(f.dirty[s], node)
 	}
+}
+
+// gatherDirty snapshots the whole dirty set into idScratch in ascending
+// node id (the reference all-controllers order), clearing the flags and
+// buckets so controllers that still have work re-mark themselves. The
+// returned slice is valid until the next call.
+func (f *netFabric) gatherDirty() []int {
+	ids := f.idScratch[:0]
+	for s, bucket := range f.dirty {
+		ids = append(ids, bucket...)
+		f.dirty[s] = bucket[:0]
+	}
+	slices.Sort(ids)
+	f.idScratch = ids
+	for _, id := range ids {
+		f.dirtyCtl[id] = false
+	}
+	return ids
 }
 
 func (m *Machine) initAlewife() error {
@@ -125,16 +158,27 @@ func (m *Machine) initAlewife() error {
 		net = t
 	}
 	net.SetFaultPlan(m.plan)
-	m.net = &netFabric{
+	f := &netFabric{
 		m:         m,
 		cfg:       cfg,
 		net:       net,
 		dist:      mem.Distribution{Nodes: m.Cfg.Nodes, BlockSize: cfg.Cache.BlockBytes},
 		dirtyCtl:  make([]bool, m.Cfg.Nodes),
+		shardOf:   m.shardOf,
+		dirty:     make([][]int, m.part.Shards()),
 		reference: m.Cfg.DisableFastForward,
 		plan:      m.plan,
 		check:     m.checker,
 	}
+	if s := m.part.Shards(); s > 1 {
+		part := m.part
+		f.part = &part
+		f.stages = make([]*fabricStage, s)
+		for i := range f.stages {
+			f.stages[i] = &fabricStage{}
+		}
+	}
+	m.net = f
 	return nil
 }
 
@@ -186,21 +230,11 @@ func (f *netFabric) tickInner() {
 	for _, node := range f.pendBuf {
 		f.drainInto(node, f.ctls[node])
 	}
-	if len(f.dirtyIDs) == 0 {
-		return
-	}
 	// Snapshot and clear the dirty set, then run the controllers in
 	// ascending node id — the reference all-controllers order.
 	// Controllers that still have (or regain) work re-mark themselves
 	// through the append-site hooks.
-	ids := append(f.idScratch[:0], f.dirtyIDs...)
-	slices.Sort(ids)
-	f.idScratch = ids
-	f.dirtyIDs = f.dirtyIDs[:0]
-	for _, id := range ids {
-		f.dirtyCtl[id] = false
-	}
-	for _, id := range ids {
+	for _, id := range f.gatherDirty() {
 		ctl := f.ctls[id]
 		ctl.processRecalls()
 		ctl.flushOutbox()
@@ -231,34 +265,43 @@ func (f *netFabric) drainInto(node int, ctl *cacheCtl) {
 // re-evaluates), but it must never be later than a real event.
 func (f *netFabric) nextEvent() uint64 {
 	next := f.net.NextEvent()
-	ids := f.dirtyIDs
 	if f.reference {
-		ids = allCtlIDs(len(f.ctls), &f.idScratch)
-	}
-	for _, id := range ids {
-		ctl := f.ctls[id]
-		for i := range ctl.outbox {
-			// A matured entry flushes on the very next tick.
-			at := ctl.outbox[i].readyAt
-			if at <= f.now {
-				at = f.now + 1
-			}
-			if at < next {
-				next = at
-			}
+		for _, id := range allCtlIDs(len(f.ctls), &f.idScratch) {
+			next = f.ctlNextEvent(f.ctls[id], next)
 		}
-		for i := range ctl.recallQ {
-			pr := &ctl.recallQ[i]
-			at := pr.deadline
-			if exp, held := ctl.locked[pr.msg.Block]; held && exp < at {
-				at = exp
-			}
-			if at <= f.now {
-				at = f.now + 1
-			}
-			if at < next {
-				next = at
-			}
+		return next
+	}
+	for _, bucket := range f.dirty {
+		for _, id := range bucket {
+			next = f.ctlNextEvent(f.ctls[id], next)
+		}
+	}
+	return next
+}
+
+// ctlNextEvent folds one controller's queued-work deadlines into next.
+func (f *netFabric) ctlNextEvent(ctl *cacheCtl, next uint64) uint64 {
+	for i := range ctl.outbox {
+		// A matured entry flushes on the very next tick.
+		at := ctl.outbox[i].readyAt
+		if at <= f.now {
+			at = f.now + 1
+		}
+		if at < next {
+			next = at
+		}
+	}
+	for i := range ctl.recallQ {
+		pr := &ctl.recallQ[i]
+		at := pr.deadline
+		if exp, held := ctl.locked[pr.msg.Block]; held && exp < at {
+			at = exp
+		}
+		if at <= f.now {
+			at = f.now + 1
+		}
+		if at < next {
+			next = at
 		}
 	}
 	return next
@@ -425,12 +468,24 @@ func (c *cacheCtl) flushOutbox() {
 			c.handle(om.msg)
 			continue
 		}
-		nm := c.fabric.net.Alloc()
+		f := c.fabric
+		if f.staging {
+			// Parallel fabric phase: the network is shared, so queue the
+			// send for the coordinator to apply at the horizon barrier
+			// (tickSharded replays staged sends in the sequential order).
+			st := f.stages[f.shardOf[c.node]]
+			st.sends = append(st.sends, stagedSend{src: c.node, dst: om.dst, msg: om.msg})
+			continue
+		}
+		if f.part != nil && f.part.Cross(c.node, om.dst) {
+			f.crossMsgs++
+		}
+		nm := f.net.Alloc()
 		nm.Src = c.node
 		nm.Dst = om.dst
-		nm.Size = om.msg.Size(c.fabric.cfg.Cache.BlockBytes)
+		nm.Size = om.msg.Size(f.cfg.Cache.BlockBytes)
 		nm.Payload = network.CoherencePayload(om.msg)
-		c.fabric.net.Send(nm)
+		f.net.Send(nm)
 	}
 	c.outbox = append(c.outbox, keep...)
 	c.keepQ = keep[:0]

@@ -30,6 +30,7 @@ import (
 	"april/internal/heap"
 	"april/internal/isa"
 	"april/internal/mem"
+	"april/internal/network"
 	"april/internal/proc"
 	"april/internal/rts"
 	"april/internal/trace"
@@ -46,6 +47,26 @@ type Config struct {
 
 	// Alewife enables the full memory system; nil = perfect memory.
 	Alewife *AlewifeConfig
+
+	// Shards splits the machine's nodes into that many contiguous blocks
+	// and runs them on parallel worker goroutines (conservative PDES with
+	// per-cycle horizon barriers; see shard.go and DESIGN.md "Parallel
+	// simulation"). Simulated results — cycle counts, Stats, answers —
+	// are bit-identical for every shard count; the differential tests in
+	// shard_test.go hold the sharded loop to that. <= 1 keeps the
+	// sequential loop; values above Nodes are clamped. Forced to 1 when
+	// DisableFastForward (the oracle loop is the point of that flag) or
+	// Check (the invariant checkers read cross-node state on every
+	// transition, which would race across shards) is set.
+	Shards int
+
+	// ShardBatch is the minimum number of same-cycle work items (node
+	// steps, fabric deliveries + dirty controllers) before a sharded
+	// cycle's phase is dispatched to the workers; smaller cycles run
+	// inline on the coordinating goroutine, where the handoff would cost
+	// more than it buys. 0 means 8 per shard. Tests set 1 to force every
+	// eligible cycle through the parallel phases.
+	ShardBatch int
 
 	// DisableFastForward forces the reference stepping loop: one
 	// iteration per simulated cycle, visiting every node to decrement
@@ -137,6 +158,13 @@ type Machine struct {
 	deadlockWin    uint64         // cycles without retirement before ErrDeadlock
 	nextSchedCheck uint64         // next scheduler-conservation watermark
 	nextWedgeCheck uint64         // next stuck-remote-op (livelock) scan
+
+	// Sharded execution (see shard.go): the node partition (one block
+	// per worker; a single block when unsharded), each node's shard, and
+	// the lazily started worker pool.
+	part    network.Partition
+	shardOf []int32
+	shr     *shardRunner
 }
 
 // New builds a machine. Compile programs against StaticHeap(), then
@@ -185,6 +213,25 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m.nextSchedCheck = schedCheckInterval
 	m.nextWedgeCheck = wedgeInterval
+
+	// The shard layout exists for every machine (a single block when
+	// unsharded) so Partition() and the fabric's dirty buckets need no
+	// special cases. It is fixed before initAlewife, which wires it into
+	// the fabric. The oracle loop and the invariant checkers force one
+	// shard: the former is the sequential reference by definition, the
+	// latter read cross-node state on every protocol transition.
+	shards := cfg.Shards
+	if cfg.DisableFastForward || cfg.Check {
+		shards = 1
+	}
+	m.part = network.ComputePartition(cfg.Nodes, shards)
+	m.shardOf = make([]int32, cfg.Nodes)
+	for s := 0; s < m.part.Shards(); s++ {
+		lo, hi := m.part.Block(s)
+		for i := lo; i < hi; i++ {
+			m.shardOf[i] = int32(s)
+		}
+	}
 
 	if cfg.Alewife != nil {
 		if err := m.initAlewife(); err != nil {
@@ -365,8 +412,16 @@ func (m *Machine) runGuarded(limit uint64) (hit bool, err error) {
 	if m.Cfg.DisableFastForward {
 		return m.runReferenceUntil(limit)
 	}
+	if m.part.Shards() > 1 {
+		return m.runShardedUntil(limit)
+	}
 	return m.runFastUntil(limit)
 }
+
+// Partition exposes the machine's shard layout: contiguous node blocks,
+// one per worker goroutine (a single block covering every node when the
+// machine is unsharded).
+func (m *Machine) Partition() network.Partition { return m.part }
 
 // deadlockErr builds the deadlock error: the machine-wide counts the
 // one-line error always carried, extended with per-node ready/blocked

@@ -151,6 +151,8 @@ func (m *Machine) CounterRegistry() *trace.Registry {
 				"max_latency":   s.MaxLatency,
 				"hops":          s.Hops,
 				"in_flight":     uint64(net.InFlight()),
+				// Messages that crossed a shard boundary (0 unsharded).
+				"cross_shard_messages": m.CrossShardMessages(),
 			}
 		})
 	}
