@@ -33,6 +33,7 @@ import (
 	"april/internal/isa"
 	"april/internal/model"
 	"april/internal/mult"
+	"april/internal/obs"
 	"april/internal/proc"
 	"april/internal/rts"
 	"april/internal/sim"
@@ -148,6 +149,17 @@ type Options struct {
 	// Results are bit-identical at any shard count; <= 1 keeps the
 	// sequential loop. Forced to 1 under Reference or Check.
 	Shards int
+	// Serve, when non-empty, starts the live introspection server
+	// (internal/obs) on that host:port (":0" picks a free port) for the
+	// duration of the run: /progress, /counters, /metrics (Prometheus),
+	// /timeline (SSE), /trace. The run advances in RunWindow slices so
+	// handlers snapshot only quiescent machine state; the observatory is
+	// observation-only — simulated results are bit-identical with it on
+	// or off (the differential matrix in observatory_test.go proves it).
+	Serve string
+	// ServeNotify, when non-nil, receives the server's base URL (e.g.
+	// "http://127.0.0.1:41873") once it is listening.
+	ServeNotify func(url string)
 }
 
 // TraceOptions selects a run's observability outputs. Any nil writer
@@ -207,6 +219,109 @@ func (t *TraceOptions) write(m *sim.Machine, endCycle uint64) error {
 		}
 	}
 	return nil
+}
+
+// executeRun drives a loaded machine to completion: trace observers
+// on, then either one straight Run or — when Options.Serve names an
+// address — the windowed serve loop, then the trace outputs.
+func executeRun(m *sim.Machine, o Options) (sim.Result, error) {
+	if o.Trace != nil {
+		o.Trace.enable(m)
+	}
+	var res sim.Result
+	var err error
+	if o.Serve != "" {
+		res, err = runServed(m, o)
+	} else {
+		res, err = m.Run()
+	}
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if o.Trace != nil {
+		if err := o.Trace.write(m, res.Cycles); err != nil {
+			return sim.Result{}, err
+		}
+	}
+	return res, nil
+}
+
+// serveWindow is the introspection server's slice length in cycles:
+// the run advances this far between chances for HTTP handlers to
+// snapshot, so a curl waits at most one window (a few milliseconds of
+// host time) while the coordinator never blocks longer than one
+// snapshot.
+const serveWindow = 65536
+
+// runServed runs the machine under the live introspection server. The
+// sampler and tracer are armed if the caller hadn't (both are
+// observation-only), every machine advance happens inside srv.Step's
+// gate, and the server survives exactly as long as the run.
+func runServed(m *sim.Machine, o Options) (sim.Result, error) {
+	if m.Sampler() == nil {
+		var interval uint64
+		if o.Trace != nil {
+			interval = o.Trace.SampleInterval
+		}
+		m.EnableTimeline(interval)
+	}
+	if m.Tracer() == nil {
+		var capacity int
+		if o.Trace != nil {
+			capacity = o.Trace.Capacity
+		}
+		m.EnableTracing(capacity)
+	}
+	reg := m.CounterRegistry()
+	srv := obs.NewServer(obs.Hooks{
+		Progress: func() obs.Progress {
+			stats := m.TotalStats()
+			return obs.Progress{
+				Cycle:        m.Now(),
+				BudgetCycles: m.Cfg.MaxCycles,
+				Instructions: stats.Instructions,
+				Utilization:  stats.Utilization(),
+				Nodes:        len(m.Nodes),
+				Shards:       m.Partition().Shards(),
+			}
+		},
+		Counters: reg.Snapshot,
+		Timeline: func(from int) []trace.Sample {
+			rows := m.Sampler().Rows()
+			if from > len(rows) {
+				from = len(rows)
+			}
+			return rows[from:]
+		},
+		ChromeTrace: func(w io.Writer) error {
+			return trace.WriteChrome(w, m.Tracer(), m.Cfg.Profile.Frames, m.Now())
+		},
+	})
+	url, err := srv.Start(o.Serve)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	defer srv.Close()
+	if o.ServeNotify != nil {
+		o.ServeNotify(url)
+	}
+	var done bool
+	var runErr error
+	for !done && runErr == nil {
+		srv.Step(func() { done, runErr = m.RunWindow(serveWindow) })
+	}
+	if runErr != nil {
+		return sim.Result{}, runErr
+	}
+	// Package the final Result (and close the last sampler window)
+	// under the gate too; Run returns immediately once MainDone.
+	var res sim.Result
+	srv.Step(func() { res, runErr = m.Run() })
+	if runErr != nil {
+		return sim.Result{}, runErr
+	}
+	srv.Finish(res.Formatted)
+	return res, nil
 }
 
 func (o Options) mode() mult.Mode {
@@ -290,17 +405,9 @@ func Run(source string, o Options) (Result, error) {
 	if err := m.Load(prog); err != nil {
 		return Result{}, err
 	}
-	if o.Trace != nil {
-		o.Trace.enable(m)
-	}
-	res, err := m.Run()
+	res, err := executeRun(m, o)
 	if err != nil {
 		return Result{}, err
-	}
-	if o.Trace != nil {
-		if err := o.Trace.write(m, res.Cycles); err != nil {
-			return Result{}, err
-		}
 	}
 	stats := m.TotalStats()
 	var switches uint64
@@ -362,17 +469,9 @@ func RunAssembly(source string, o Options) (Result, error) {
 	if err := m.Load(prog); err != nil {
 		return Result{}, err
 	}
-	if o.Trace != nil {
-		o.Trace.enable(m)
-	}
-	res, err := m.Run()
+	res, err := executeRun(m, o)
 	if err != nil {
 		return Result{}, err
-	}
-	if o.Trace != nil {
-		if err := o.Trace.write(m, res.Cycles); err != nil {
-			return Result{}, err
-		}
 	}
 	stats := m.TotalStats()
 	return Result{
@@ -473,6 +572,26 @@ func Table3Perf(cfg Table3Config, sizesName string) (PerfReport, error) {
 
 // FormatTable3 renders rows in the paper's layout.
 func FormatTable3(rows []Table3Row, procs []int) string { return bench.FormatTable(rows, procs) }
+
+// ModelCheckConfig drives the measured-vs-model utilization grid
+// (april-bench -model-check): benchmarks on the full ALEWIFE memory
+// system, measured U(p)/m(p)/T(p) against the Section 8 analytical
+// model.
+type ModelCheckConfig = bench.ModelCheckConfig
+
+// ModelCheckReport is the measured-vs-predicted table with per-config
+// absolute and relative errors.
+type ModelCheckReport = bench.ModelCheckReport
+
+// DefaultModelCheckConfig covers fib and queens over the Figure 5
+// processor range.
+func DefaultModelCheckConfig() ModelCheckConfig { return bench.DefaultModelCheckConfig() }
+
+// ModelCheck runs the measured-vs-model grid.
+func ModelCheck(cfg ModelCheckConfig) (ModelCheckReport, error) { return bench.ModelCheck(cfg) }
+
+// FormatModelCheck renders the measured-vs-predicted table.
+func FormatModelCheck(r ModelCheckReport) string { return bench.FormatModelCheck(r) }
 
 // FramesSweepConfig drives the task-frame ablation (experiment E9):
 // utilization versus hardware task frames on the full memory system.

@@ -11,6 +11,12 @@
 // sweep over 256/512/1024-node tori, and writes the throughput report
 // to BENCH_simperf.json.
 //
+// -model-check cross-validates the Section 8 analytical model: it runs
+// fib/queens on the full ALEWIFE memory system across the Figure 5
+// processor range, measures the model's inputs (resident threads, miss
+// rate, remote latency) from each run, and reports measured vs.
+// predicted utilization with per-config errors.
+//
 // -fault-matrix runs the robustness grid instead: fib/queens on
 // perfect and ALEWIFE memory at several machine sizes, each ALEWIFE
 // cell repeated under seeded fault plans with the invariant checkers
@@ -53,6 +59,8 @@ func run() int {
 
 		statsJSON = flag.String("stats-json", "", "write every grid run's full statistics (totals, per-node, throughput) as JSON to this path")
 
+		modelCheck = flag.Bool("model-check", false, "run the measured-vs-model utilization grid (fib/queens on the full ALEWIFE memory system across the Figure 5 processor range) and compare measured U(p) against the Section 8 analytical model; writes the report to -stats-json (default BENCH_modelcheck.json)")
+
 		faultMatrix = flag.Bool("fault-matrix", false, "run the robustness fault matrix (fib/queens × perfect/alewife × machine sizes × seeded fault plans, invariant checkers armed) instead of Table 3; exit 1 on any failing cell")
 		faultSeeds  = flag.Int("fault-seeds", 8, "seeded fault plans per ALEWIFE cell for -fault-matrix")
 
@@ -61,6 +69,7 @@ func run() int {
 		traceBench  = flag.String("trace-bench", "fib", "benchmark for the traced run: fib | factor | queens | speech")
 		traceProcs  = flag.Int("trace-procs", 8, "processor count for the traced run")
 		sample      = flag.Uint64("sample", 0, "timeline sampling interval in cycles (0 = default 4096)")
+		serve       = flag.String("serve", "", "run one representative benchmark (see -trace-bench/-trace-procs/-shards) with the live introspection server on this host:port: /progress, /counters, /metrics, /timeline, /trace")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this path")
@@ -121,6 +130,32 @@ func run() int {
 		return 2
 	}
 
+	if *modelCheck {
+		mcfg := april.DefaultModelCheckConfig()
+		mcfg.Sizes = benchSizes
+		mcfg.Workers = *workers
+		if *verbose {
+			mcfg.Verbose = os.Stderr
+		}
+		rep, err := april.ModelCheck(mcfg)
+		if err != nil {
+			return fail(err)
+		}
+		rep.Sizes = *sizes
+		out := *statsJSON
+		if out == "" {
+			out = "BENCH_modelcheck.json"
+		}
+		if err := os.WriteFile(out, rep.JSON(), 0o644); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("Measured vs. model utilization (-sizes %s; m, T, p measured per run; C = %d cycles):\n\n",
+			*sizes, int(rep.Rows[0].SwitchCost))
+		fmt.Print(april.FormatModelCheck(rep))
+		fmt.Println("\nwritten to", out)
+		return 0
+	}
+
 	if *faultMatrix {
 		mcfg := april.DefaultFaultMatrixConfig()
 		mcfg.Seeds = *faultSeeds
@@ -153,11 +188,11 @@ func run() int {
 	cfg.Shards = *shards
 	cfg.Naive = *naive
 
-	if *traceOut != "" || *timelineOut != "" {
-		// Tracing the whole grid would interleave hundreds of machines;
-		// trace one representative run on the full ALEWIFE memory system
-		// instead.
-		if err := runTraced(cfg.Sizes, *traceBench, *traceProcs, *traceOut, *timelineOut, *sample); err != nil {
+	if *traceOut != "" || *timelineOut != "" || *serve != "" {
+		// Tracing (or serving) the whole grid would interleave hundreds
+		// of machines; observe one representative run on the full ALEWIFE
+		// memory system instead.
+		if err := runTraced(cfg.Sizes, *traceBench, *traceProcs, *shards, *traceOut, *timelineOut, *serve, *sample); err != nil {
 			return fail(err)
 		}
 		return 0
@@ -211,9 +246,11 @@ func run() int {
 	return 0
 }
 
-// runTraced executes one benchmark with tracing enabled and writes the
-// requested observability outputs.
-func runTraced(sizes april.Table3Sizes, benchName string, procs int, traceOut, timelineOut string, sample uint64) error {
+// runTraced executes one benchmark with the observability subsystem
+// enabled: file outputs for -trace/-timeline and, when serve is
+// non-empty, the live introspection server for the duration of the
+// run.
+func runTraced(sizes april.Table3Sizes, benchName string, procs, shards int, traceOut, timelineOut, serve string, sample uint64) error {
 	switch benchName {
 	case "fib", "factor", "queens", "speech":
 	default:
@@ -242,13 +279,21 @@ func runTraced(sizes april.Table3Sizes, benchName string, procs int, traceOut, t
 		}
 		topts.TimelineJSON = strings.HasSuffix(timelineOut, ".json")
 	}
-	res, err := april.Run(src, april.Options{
+	opts := april.Options{
 		Processors: procs,
 		Machine:    april.APRIL,
 		Alewife:    &april.AlewifeOptions{},
 		Output:     io.Discard,
 		Trace:      topts,
-	})
+		Shards:     shards,
+	}
+	if serve != "" {
+		opts.Serve = serve
+		opts.ServeNotify = func(url string) {
+			fmt.Fprintf(os.Stderr, "april-bench: observatory listening on %s\n", url)
+		}
+	}
+	res, err := april.Run(src, opts)
 	if err != nil {
 		return err
 	}

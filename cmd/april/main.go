@@ -10,6 +10,7 @@
 //	april -n 8 -alewife -stats prog.mt
 //	april -n 256 -alewife -shards 4 prog.mt
 //	april -n 8 -alewife -trace trace.json -timeline util.csv prog.mt
+//	april -n 64 -alewife -shards 2 -serve :8080 prog.mt
 //	april -n 8 -alewife -faults -fault-seed 3 -check prog.mt
 //	april -n 8 -alewife -check -autopsy prog.mt
 //	april -interp prog.mt           # reference interpreter
@@ -37,8 +38,10 @@ func main() {
 		dis     = flag.Bool("S", false, "print the compiled assembly listing and exit")
 		asm     = flag.Bool("asm", false, "treat the input as raw APRIL assembly instead of Mul-T")
 		cycles  = flag.Uint64("max-cycles", 0, "simulation cycle budget (0 = default)")
+		memMB   = flag.Int("mem", 0, "simulated physical memory in MiB (0 = default 256)")
 		ref     = flag.Bool("reference", false, "run the simulator's oracle paths (per-cycle loop, switch interpreter); results are bit-identical, only slower")
 		shards  = flag.Int("shards", 1, "split the simulated machine across this many host goroutines; results are bit-identical at any shard count (<= 1 keeps the sequential loop)")
+		serve   = flag.String("serve", "", "serve live run introspection on this host:port (e.g. :8080; /progress, /counters, /metrics, /timeline, /trace); observation-only")
 
 		faults    = flag.Bool("faults", false, "arm seeded timing perturbations (requires -alewife): hop jitter, transient link stalls, delayed directory replies; answers are unaffected, cycle counts shift")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for -faults")
@@ -79,6 +82,7 @@ func main() {
 		Sequential:  *seq,
 		Output:      os.Stdout,
 		MaxCycles:   *cycles,
+		MemoryBytes: uint32(*memMB) << 20,
 		Reference:   *ref,
 		Shards:      *shards,
 	}
@@ -89,6 +93,12 @@ func main() {
 	if *faults {
 		fc := april.DefaultFaultOptions(*faultSeed)
 		opts.Faults = &fc
+	}
+	if *serve != "" {
+		opts.Serve = *serve
+		opts.ServeNotify = func(url string) {
+			fmt.Fprintf(os.Stderr, "april: observatory listening on %s\n", url)
+		}
 	}
 
 	var traceFiles []*os.File

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestObsModelCheckShape runs the measured-vs-model grid at test sizes
+// and checks every cell measured its inputs and scored both
+// predictions.
+func TestObsModelCheckShape(t *testing.T) {
+	cfg := DefaultModelCheckConfig()
+	cfg.Sizes = TestSizes
+	cfg.Benchmarks = []string{"queens"}
+	cfg.Procs = []int{2, 4}
+	rep, err := ModelCheck(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.Benchmark != "queens" || row.Cycles == 0 || row.Result == "" {
+			t.Errorf("row not filled: %+v", row)
+		}
+		if row.MeanResident <= 0 || row.MissRate <= 0 || row.RemoteLatency <= 0 {
+			t.Errorf("%s %dp: model inputs not measured: p̄=%v m=%v T=%v",
+				row.Benchmark, row.Procs, row.MeanResident, row.MissRate, row.RemoteLatency)
+		}
+		if row.SwitchCost != 11 {
+			t.Errorf("%s %dp: switch cost %v, want the APRIL profile's 11",
+				row.Benchmark, row.Procs, row.SwitchCost)
+		}
+		if row.MeasuredModelScope <= 0 || row.MeasuredModelScope > 1 ||
+			row.MeasuredUtil > row.MeasuredModelScope {
+			t.Errorf("%s %dp: scope utilization %v vs overall %v",
+				row.Benchmark, row.Procs, row.MeasuredModelScope, row.MeasuredUtil)
+		}
+		if row.PredictedEq1 <= 0 || row.PredictedEq1 > 1 ||
+			row.PredictedModel <= 0 || row.PredictedModel > 1 {
+			t.Errorf("%s %dp: predictions out of range: eq1=%v model=%v",
+				row.Benchmark, row.Procs, row.PredictedEq1, row.PredictedModel)
+		}
+		if row.AbsErrEq1 != row.PredictedEq1-row.MeasuredModelScope {
+			t.Errorf("%s %dp: abs error inconsistent", row.Benchmark, row.Procs)
+		}
+	}
+
+	// The grid must be deterministic: a second run at one worker
+	// reproduces the same rows.
+	cfg.Workers = 1
+	rep2, err := ModelCheck(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Rows {
+		if rep.Rows[i] != rep2.Rows[i] {
+			t.Errorf("row %d not deterministic:\n%+v\n%+v", i, rep.Rows[i], rep2.Rows[i])
+		}
+	}
+
+	table := FormatModelCheck(rep)
+	if !strings.Contains(table, "queens") || !strings.Contains(table, "U-scope") {
+		t.Errorf("table missing content:\n%s", table)
+	}
+}

@@ -54,6 +54,10 @@ type PerfReport struct {
 	// GOMAXPROCS grants the shards real cores; on a single-core host the
 	// sweep still proves determinism and records the barrier overhead.
 	ShardScaling []ShardRow `json:"shard_scaling,omitempty"`
+
+	// WorkerOccupancy reports how the optimized grid's harness workers
+	// spent the sweep: runs and busy time per worker against wall time.
+	WorkerOccupancy *harness.Occupancy `json:"worker_occupancy,omitempty"`
 }
 
 // AlewifeRow is one ALEWIFE-mode throughput measurement: a single
@@ -86,9 +90,15 @@ type ShardRow struct {
 	Perf      proc.Perf `json:"perf"`
 	// CrossMessages counts coherence messages that crossed a shard
 	// boundary — the traffic the horizon barriers staged.
-	CrossMessages uint64  `json:"cross_shard_messages"`
-	Speedup       float64 `json:"speedup_vs_1shard"`
-	Identical     bool    `json:"identical"`
+	CrossMessages uint64 `json:"cross_shard_messages"`
+	// BarrierWaitFraction is the coordinator's barrier wait over the
+	// sharded loop's wall time; FallbackPct is the percentage of cycles
+	// executed on the sequential fallback path. Both are zero for the
+	// 1-shard rows (the sequential loop has no barriers or fallbacks).
+	BarrierWaitFraction float64 `json:"barrier_wait_fraction"`
+	FallbackPct         float64 `json:"fallback_pct"`
+	Speedup             float64 `json:"speedup_vs_1shard"`
+	Identical           bool    `json:"identical"`
 }
 
 // ShardSweep measures ShardRows for one benchmark across machine sizes
@@ -116,6 +126,10 @@ func ShardSweep(benchName string, sizes Sizes, nodeSizes, shardCounts []int) ([]
 				Result:        out.result,
 				Perf:          out.perf,
 				CrossMessages: out.cross,
+			}
+			if so := out.stats.Shard; so != nil {
+				row.BarrierWaitFraction = so.BarrierWaitFraction
+				row.FallbackPct = so.FallbackPct
 			}
 			if shards <= 1 {
 				base = out
@@ -183,6 +197,8 @@ func alewifeOnce(src string, nodes int, reference bool, shards int, memBytes uin
 	for _, n := range m.Nodes {
 		out.stats.PerNode = append(out.stats.PerNode, n.Proc.Stats)
 	}
+	out.stats.CrossShardMessages = out.cross
+	out.stats.Shard = shardOverhead(m)
 	return out, nil
 }
 
@@ -236,6 +252,8 @@ func Table3Perf(cfg Table3Config, sizesName string) (PerfReport, error) {
 
 	opt := cfg
 	opt.Naive, opt.Perf = false, &rep.Optimized
+	var occ harness.Occupancy
+	opt.Occupancy = &occ
 	rep.Workers = harness.Workers(opt.Workers)
 	gcBefore = proc.TakeGCSnapshot()
 	optRows, err := Table3(opt)
@@ -243,6 +261,7 @@ func Table3Perf(cfg Table3Config, sizesName string) (PerfReport, error) {
 		return PerfReport{}, fmt.Errorf("optimized grid: %w", err)
 	}
 	rep.Optimized.SetGC(gcBefore, proc.TakeGCSnapshot())
+	rep.WorkerOccupancy = &occ
 
 	rep.RowsIdentical = reflect.DeepEqual(baseRows, optRows)
 	if rep.Optimized.WallSeconds > 0 {
@@ -317,8 +336,13 @@ func (r PerfReport) Summary() string {
 		if !row.Identical {
 			sident = "MISMATCH"
 		}
-		s += fmt.Sprintf("\n  shards %s %4dp x%d: %6.2fs (%.2fx vs 1 shard, %d cross msgs, results %s)",
-			row.Benchmark, row.Nodes, row.Shards, row.Perf.WallSeconds, row.Speedup, row.CrossMessages, sident)
+		s += fmt.Sprintf("\n  shards %s %4dp x%d: %6.2fs (%.2fx vs 1 shard, %d cross msgs, barrier %4.1f%%, fallback %4.1f%%, results %s)",
+			row.Benchmark, row.Nodes, row.Shards, row.Perf.WallSeconds, row.Speedup,
+			row.CrossMessages, 100*row.BarrierWaitFraction, row.FallbackPct, sident)
+	}
+	if o := r.WorkerOccupancy; o != nil {
+		s += fmt.Sprintf("\n  harness: %d workers, %.0f%% busy over %.2fs",
+			o.Workers, 100*o.BusyFraction(), float64(o.WallNS)/1e9)
 	}
 	return s
 }

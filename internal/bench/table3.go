@@ -68,6 +68,10 @@ type Table3Config struct {
 	// grid order (the -stats-json payload): machine totals, per-node
 	// breakdowns, and host-side throughput.
 	Stats *[]RunStats
+
+	// Occupancy, when non-nil, receives the harness worker pool's
+	// per-worker run counts and busy time for the grid.
+	Occupancy *harness.Occupancy
 }
 
 // RunStats is one grid run's statistics dump, JSON-exportable.
@@ -80,6 +84,73 @@ type RunStats struct {
 	Total           proc.Stats   `json:"total"`
 	PerNode         []proc.Stats `json:"per_node"`
 	Perf            proc.Perf    `json:"perf"`
+
+	// CrossShardMessages and Shard appear only for sharded runs:
+	// coherence traffic that crossed a shard boundary, and the PDES
+	// loop's host-side telemetry.
+	CrossShardMessages uint64         `json:"cross_shard_messages,omitempty"`
+	Shard              *ShardOverhead `json:"shard,omitempty"`
+}
+
+// ShardOverhead is the sharded run loop's host-side telemetry for one
+// run: how cycles were classified and executed, where the wall time
+// went, and how evenly the shards were loaded. Purely observational —
+// the simulated results are bit-identical with or without sharding.
+type ShardOverhead struct {
+	Shards           int    `json:"shards"`
+	ParallelCycles   uint64 `json:"parallel_cycles"`
+	SequentialCycles uint64 `json:"sequential_cycles"`
+	FallbackStop     uint64 `json:"fallback_stop"`
+	FallbackSmall    uint64 `json:"fallback_small"`
+	LocalSteps       uint64 `json:"local_steps"`
+	GlobalSteps      uint64 `json:"global_steps"`
+	StopSteps        uint64 `json:"stop_steps"`
+	BarrierWaitNS    uint64 `json:"barrier_wait_ns"`
+	LoopWallNS       uint64 `json:"loop_wall_ns"`
+
+	// BarrierWaitFraction is barrier wait over the sharded loop's wall
+	// time: the coordinator's cost of waiting for straggler shards.
+	BarrierWaitFraction float64 `json:"barrier_wait_fraction"`
+	// FallbackPct is the percentage of executed cycles that ran on the
+	// sequential fallback path instead of the parallel one.
+	FallbackPct float64 `json:"fallback_pct"`
+
+	// Per-shard load: executed steps and busy wall time, indexed by
+	// shard.
+	ShardLocalSteps []uint64 `json:"shard_local_steps"`
+	ShardBusyNS     []uint64 `json:"shard_busy_ns"`
+}
+
+// shardOverhead summarizes m's PDES telemetry; nil for unsharded runs.
+func shardOverhead(m *sim.Machine) *ShardOverhead {
+	tel := m.ShardTelemetry()
+	if len(tel) <= 1 {
+		return nil
+	}
+	p := m.PDES()
+	so := &ShardOverhead{
+		Shards:           len(tel),
+		ParallelCycles:   p.ParallelCycles,
+		SequentialCycles: p.SequentialCycles,
+		FallbackStop:     p.FallbackStop,
+		FallbackSmall:    p.FallbackSmall,
+		LocalSteps:       p.LocalSteps,
+		GlobalSteps:      p.GlobalSteps,
+		StopSteps:        p.StopSteps,
+		BarrierWaitNS:    p.BarrierWaitNS,
+		LoopWallNS:       p.LoopWallNS,
+	}
+	if p.LoopWallNS > 0 {
+		so.BarrierWaitFraction = float64(p.BarrierWaitNS) / float64(p.LoopWallNS)
+	}
+	if total := p.ParallelCycles + p.SequentialCycles; total > 0 {
+		so.FallbackPct = 100 * float64(p.SequentialCycles) / float64(total)
+	}
+	for _, t := range tel {
+		so.ShardLocalSteps = append(so.ShardLocalSteps, t.LocalSteps)
+		so.ShardBusyNS = append(so.ShardBusyNS, t.BusyNS)
+	}
+	return so
 }
 
 // DefaultTable3Config mirrors the paper's configurations.
@@ -139,11 +210,14 @@ func runOnce(src string, mode mult.Mode, prof rts.Profile, lazy bool, nodes int,
 		rs.PerNode = append(rs.PerNode, n.Proc.Stats)
 		rs.ContextSwitches += n.Proc.Engine.Switches
 	}
+	rs.CrossShardMessages = m.CrossShardMessages()
+	rs.Shard = shardOverhead(m)
 	return runOut{
 		cycles: res.Cycles,
 		result: res.Formatted,
 		perf:   perf,
 		stats:  rs,
+		cross:  rs.CrossShardMessages,
 	}, nil
 }
 
@@ -263,7 +337,7 @@ func Table3(cfg Table3Config) ([]Row, error) {
 		}
 	}
 
-	outs, err := harness.Map(harness.Budget(cfg.Workers, cfg.Shards), len(specs), func(i int) (runOut, error) {
+	outs, occ, err := harness.MapOccupancy(harness.Budget(cfg.Workers, cfg.Shards), len(specs), func(i int) (runOut, error) {
 		s := specs[i]
 		out, err := runOnce(s.src, s.mode, s.prof, s.lazy, s.nodes, cfg.Naive, cfg.Shards)
 		if err != nil {
@@ -273,6 +347,9 @@ func Table3(cfg Table3Config) ([]Row, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Occupancy != nil {
+		*cfg.Occupancy = occ
 	}
 
 	if cfg.Stats != nil {

@@ -12,6 +12,7 @@ package harness
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Workers resolves a worker-count knob: n > 0 is used as given, any
@@ -45,6 +46,31 @@ func Budget(workers, shards int) int {
 	return workers
 }
 
+// Occupancy reports how a pool's workers spent a sweep: per-worker run
+// counts and busy wall time against the sweep's total wall time. It is
+// host-side telemetry only — the simulated results are unaffected, and
+// each worker writes only its own slot, so recording is race-free.
+type Occupancy struct {
+	Workers int      `json:"workers"`
+	Runs    []int    `json:"runs_per_worker"`
+	BusyNS  []uint64 `json:"busy_ns_per_worker"`
+	WallNS  uint64   `json:"wall_ns"`
+}
+
+// BusyFraction is the pool's mean utilization: summed busy time over
+// workers times wall time. 1.0 means no worker ever sat idle; low
+// values flag a sweep whose tail run dominates.
+func (o Occupancy) BusyFraction() float64 {
+	if o.Workers == 0 || o.WallNS == 0 {
+		return 0
+	}
+	var busy uint64
+	for _, b := range o.BusyNS {
+		busy += b
+	}
+	return float64(busy) / (float64(o.Workers) * float64(o.WallNS))
+}
+
 // Map runs fn(i) for i in [0, n) on a pool of workers and returns the
 // results indexed by i. Determinism guarantees:
 //
@@ -60,14 +86,27 @@ func Budget(workers, shards int) int {
 // intended shape is "construct everything the run needs inside fn" so
 // distinct indices share nothing mutable.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	results, _, err := MapOccupancy(workers, n, fn)
+	return results, err
+}
+
+// MapOccupancy is Map plus a per-worker occupancy report: which worker
+// ran how many indices and for how long, against the pool's wall time.
+func MapOccupancy[T any](workers, n int, fn func(i int) (T, error)) ([]T, Occupancy, error) {
 	results := make([]T, n)
-	if n == 0 {
-		return results, nil
-	}
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
+	occ := Occupancy{
+		Workers: workers,
+		Runs:    make([]int, workers),
+		BusyNS:  make([]uint64, workers),
+	}
+	if n == 0 {
+		return results, occ, nil
+	}
+	wallStart := time.Now()
 
 	var (
 		mu       sync.Mutex
@@ -78,7 +117,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				mu.Lock()
@@ -92,7 +131,10 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				next++
 				mu.Unlock()
 
+				start := time.Now()
 				v, err := fn(i)
+				occ.Runs[w]++
+				occ.BusyNS[w] += uint64(time.Since(start))
 
 				mu.Lock()
 				if err != nil {
@@ -104,13 +146,14 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	occ.WallNS = uint64(time.Since(wallStart))
 	if firstErr != nil {
-		return results, firstErr
+		return results, occ, firstErr
 	}
-	return results, nil
+	return results, occ, nil
 }
 
 // ForEach is Map without result values.

@@ -144,3 +144,46 @@ func TestMapConcurrentStress(t *testing.T) {
 		}
 	}
 }
+
+func TestObsMapOccupancy(t *testing.T) {
+	results, occ, err := MapOccupancy(3, 10, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range results {
+		if v != i*i {
+			t.Errorf("results[%d] = %d", i, v)
+		}
+	}
+	if occ.Workers != 3 || len(occ.Runs) != 3 || len(occ.BusyNS) != 3 {
+		t.Fatalf("occupancy shape: %+v", occ)
+	}
+	var runs int
+	for _, r := range occ.Runs {
+		runs += r
+	}
+	if runs != 10 {
+		t.Errorf("runs sum = %d, want 10", runs)
+	}
+	if occ.WallNS == 0 {
+		t.Error("wall time not recorded")
+	}
+	if f := occ.BusyFraction(); f < 0 || f > 1.000001 {
+		t.Errorf("busy fraction %v out of range", f)
+	}
+}
+
+func TestObsMapOccupancyEmptyAndZero(t *testing.T) {
+	_, occ, err := MapOccupancy(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.BusyFraction() != 0 {
+		t.Errorf("empty sweep busy fraction = %v", occ.BusyFraction())
+	}
+	if (Occupancy{}).BusyFraction() != 0 {
+		t.Error("zero-value occupancy must not divide by zero")
+	}
+}

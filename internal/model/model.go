@@ -163,6 +163,14 @@ func (p Params) Utilization(threads float64) Breakdown {
 	}
 }
 
+// Eq1 is equation (1) of the paper, exposed for measured-vs-model
+// cross-validation: utilization for p resident threads given a miss
+// rate m (misses per useful cycle), a remote latency T, and a context
+// switch cost C — all four of which a simulation run can measure.
+func Eq1(p, m, T, C float64) float64 {
+	return eq1(p, m, T, C)
+}
+
 // eq1 is equation (1) of the paper.
 func eq1(p, m, T, C float64) float64 {
 	pstar := (1 + T*m) / (1 + C*m)

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"io"
+	"strings"
+)
+
+// WriteSSEEvent frames one Server-Sent Events message: an optional
+// "event:" line, the payload split across "data:" lines (SSE cannot
+// carry a raw newline inside one data line — the browser EventSource
+// joins consecutive data lines with "\n" on receipt), and the blank
+// line that terminates the event. An empty payload still emits one
+// empty data line so the event is dispatched at all.
+func WriteSSEEvent(w io.Writer, event string, data string) error {
+	var b strings.Builder
+	if event != "" {
+		b.WriteString("event: ")
+		b.WriteString(event)
+		b.WriteByte('\n')
+	}
+	lines := strings.Split(data, "\n")
+	for _, line := range lines {
+		b.WriteString("data: ")
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestObsSSEFraming checks the wire framing: event line, data line,
+// blank-line terminator.
+func TestObsSSEFraming(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSSEEvent(&buf, "window", `{"cycle":4096}`); err != nil {
+		t.Fatal(err)
+	}
+	want := "event: window\ndata: {\"cycle\":4096}\n\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+}
+
+// TestObsSSEMultiline: a payload containing newlines must split into
+// consecutive data lines (EventSource rejoins them with \n), never a
+// raw newline inside one data field.
+func TestObsSSEMultiline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSSEEvent(&buf, "", "line1\nline2\nline3"); err != nil {
+		t.Fatal(err)
+	}
+	want := "data: line1\ndata: line2\ndata: line3\n\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+}
+
+// TestObsSSEEmptyData: an empty payload still needs a data line or the
+// client never dispatches the event.
+func TestObsSSEEmptyData(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSSEEvent(&buf, "done", ""); err != nil {
+		t.Fatal(err)
+	}
+	want := "event: done\ndata: \n\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+}

@@ -165,6 +165,19 @@ type Machine struct {
 	part    network.Partition
 	shardOf []int32
 	shr     *shardRunner
+
+	// Host-side PDES telemetry (see telemetry.go). shardTel has one
+	// entry per shard; both stay zero on unsharded machines.
+	pdes     PDESStats
+	shardTel []ShardTelemetry
+
+	// lastProgress is the cycle of the most recent instruction
+	// retirement anywhere in the machine — the deadlock watchdog's
+	// baseline. A Machine field (not a run-loop local) so detection
+	// spans RunWindow boundaries: a windowed driver advancing 64K
+	// cycles at a time still trips the watchdog after deadlockWin
+	// cycles of no retirement, exactly as one long Run would.
+	lastProgress uint64
 }
 
 // New builds a machine. Compile programs against StaticHeap(), then
@@ -232,6 +245,7 @@ func New(cfg Config) (*Machine, error) {
 			m.shardOf[i] = int32(s)
 		}
 	}
+	m.shardTel = make([]ShardTelemetry, m.part.Shards())
 
 	if cfg.Alewife != nil {
 		if err := m.initAlewife(); err != nil {
@@ -365,10 +379,12 @@ func (m *Machine) Run() (Result, error) {
 // when the main thread exits, and reports whether the program
 // completed. It is the measurement entry point: allocation-regression
 // tests drive a steady-state window at a time inside
-// testing.AllocsPerRun. Deadlock detection restarts per window, so
-// only windows longer than deadlockWindow can report a deadlock. After
-// RunWindow reports done, call Run to obtain the final Result (it
-// returns immediately).
+// testing.AllocsPerRun, and the introspection server (internal/obs)
+// interleaves windows with snapshot requests. Deadlock detection spans
+// windows — the last-retirement baseline lives on the Machine — so a
+// windowed driver trips the watchdog exactly as one long Run would.
+// After RunWindow reports done, call Run to obtain the final Result
+// (it returns immediately).
 func (m *Machine) RunWindow(n uint64) (bool, error) {
 	if !m.loaded {
 		return false, errors.New("sim: no program loaded")
@@ -474,7 +490,7 @@ func (m *Machine) checkWedge() error {
 // loops: invariant-violation poll, scheduler-conservation watermark,
 // livelock scan, and the no-retirement deadlock window. A nil return
 // means keep running.
-func (m *Machine) watchdogs(lastProgress uint64) error {
+func (m *Machine) watchdogs() error {
 	if m.checker != nil {
 		if m.checker.Total() > 0 {
 			return m.crash(fault.ReasonInvariant, m.checker.Err())
@@ -493,7 +509,7 @@ func (m *Machine) watchdogs(lastProgress uint64) error {
 		}
 		m.nextWedgeCheck = m.now + wedgeInterval
 	}
-	if m.now-lastProgress > m.deadlockWin {
+	if m.now-m.lastProgress > m.deadlockWin {
 		return m.crash(fault.ReasonDeadlock, m.deadlockErr())
 	}
 	return nil
@@ -506,11 +522,10 @@ func (m *Machine) watchdogs(lastProgress uint64) error {
 // fastforward_test.go hold the two to that. It returns hitLimit=true
 // when m.now reaches limit before the main thread exits.
 func (m *Machine) runReferenceUntil(limit uint64) (hitLimit bool, err error) {
-	// Deadlock detection is incremental: lastProgress tracks the last
+	// Deadlock detection is incremental: m.lastProgress tracks the last
 	// cycle any node retired an instruction (updated per Step from the
 	// per-node retirement counters, so no periodic all-node stats scan
 	// — and no scan points the fast-forward jumps could miss).
-	lastProgress := m.now
 	for !m.Sched.MainDone {
 		// Close the sampling window before executing its boundary cycle,
 		// so rows land at identical cycles with or without fast-forward.
@@ -535,7 +550,7 @@ func (m *Machine) runReferenceUntil(limit uint64) (hitLimit bool, err error) {
 				n.busy = c - 1
 			}
 			if n.Proc.Stats.Instructions != retired {
-				lastProgress = m.now
+				m.lastProgress = m.now
 				n.lastRetired = m.now
 			}
 			if m.Sched.MainDone {
@@ -547,7 +562,7 @@ func (m *Machine) runReferenceUntil(limit uint64) (hitLimit bool, err error) {
 		}
 		m.now++
 
-		if err := m.watchdogs(lastProgress); err != nil {
+		if err := m.watchdogs(); err != nil {
 			return false, err
 		}
 	}
@@ -565,7 +580,6 @@ func (m *Machine) runReferenceUntil(limit uint64) (hitLimit bool, err error) {
 // order). It returns hitLimit=true when m.now reaches limit before the
 // main thread exits.
 func (m *Machine) runFastUntil(limit uint64) (hitLimit bool, err error) {
-	lastProgress := m.now
 	for !m.Sched.MainDone {
 		if m.sampler != nil && m.now >= m.sampler.NextBoundary() {
 			m.sample()
@@ -627,7 +641,7 @@ func (m *Machine) runFastUntil(limit uint64) (hitLimit bool, err error) {
 				keep = append(keep, id)
 			}
 			if n.Proc.Stats.Instructions != retired {
-				lastProgress = m.now
+				m.lastProgress = m.now
 				n.lastRetired = m.now
 			}
 			if m.Sched.MainDone {
@@ -640,7 +654,7 @@ func (m *Machine) runFastUntil(limit uint64) (hitLimit bool, err error) {
 		}
 		m.now++
 
-		if err := m.watchdogs(lastProgress); err != nil {
+		if err := m.watchdogs(); err != nil {
 			return false, err
 		}
 	}

@@ -156,6 +156,43 @@ func (m *Machine) CounterRegistry() *trace.Registry {
 			}
 		})
 	}
+	if m.part.Shards() > 1 {
+		// Host-side PDES telemetry (telemetry.go): how the sharded loop
+		// behaved — classifier mix, fallback reasons, barrier wait — and
+		// each shard's share of the parallel phases. Registered only on
+		// sharded machines so unsharded snapshots stay byte-stable.
+		r.Register("pdes", func() map[string]uint64 {
+			p := m.pdes
+			return map[string]uint64{
+				"parallel_cycles":       p.ParallelCycles,
+				"sequential_cycles":     p.SequentialCycles,
+				"fallback_stop":         p.FallbackStop,
+				"fallback_small":        p.FallbackSmall,
+				"local_steps":           p.LocalSteps,
+				"global_steps":          p.GlobalSteps,
+				"stop_steps":            p.StopSteps,
+				"barrier_wait_ns":       p.BarrierWaitNS,
+				"loop_wall_ns":          p.LoopWallNS,
+				"fabric_parallel_ticks": p.FabricParallelTicks,
+				"fabric_inline_ticks":   p.FabricInlineTicks,
+			}
+		})
+		for s := 0; s < m.part.Shards(); s++ {
+			s := s
+			lo, hi := m.part.Block(s)
+			nodes := uint64(hi - lo)
+			r.Register(fmt.Sprintf("shard%d.pdes", s), func() map[string]uint64 {
+				t := m.shardTel[s]
+				return map[string]uint64{
+					"nodes":          nodes,
+					"local_steps":    t.LocalSteps,
+					"busy_ns":        t.BusyNS,
+					"fabric_handled": t.FabricHandled,
+					"fabric_flushes": t.FabricFlushes,
+				}
+			})
+		}
+	}
 	r.Register("machine", func() map[string]uint64 {
 		s := m.TotalStats()
 		out := map[string]uint64{

@@ -49,6 +49,7 @@ package sim
 import (
 	"fmt"
 	"slices"
+	"time"
 
 	"april/internal/abi"
 	"april/internal/core"
@@ -296,16 +297,21 @@ func (r *shardRunner) stop() {
 // parallel runs fn(s) for every shard — shard 0 inline, the rest on the
 // workers — and joins. Worker panics are captured and rethrown on the
 // coordinator after the join, lowest shard first, so the run-loop's
-// recover barrier (runGuarded) sees them on its own goroutine.
+// recover barrier (runGuarded) sees them on its own goroutine. The
+// stretch between the coordinator finishing its own inline shard and
+// the last worker checking in is pure synchronization overhead; it
+// accrues into PDESStats.BarrierWaitNS (host clock, observation only).
 func (r *shardRunner) parallel(fn func(int)) {
 	n := len(r.shards)
 	for s := 1; s < n; s++ {
 		r.jobs[s-1] <- fn
 	}
 	r.run(0, fn)
+	wait := time.Now()
 	for s := 1; s < n; s++ {
 		<-r.done
 	}
+	r.m.pdes.BarrierWaitNS += uint64(time.Since(wait))
 	for s := range r.shards {
 		if p := r.shards[s].pan; p != nil {
 			r.shards[s].pan = nil
@@ -315,7 +321,11 @@ func (r *shardRunner) parallel(fn func(int)) {
 }
 
 func (r *shardRunner) run(s int, fn func(int)) {
+	start := time.Now()
 	defer func() {
+		// Busy accrual first: a panicking phase still spent the time,
+		// and the write targets this goroutine's own telemetry slot.
+		r.m.shardTel[s].BusyNS += uint64(time.Since(start))
 		if p := recover(); p != nil {
 			r.shards[s].pan = p
 		}
@@ -329,6 +339,7 @@ func (r *shardRunner) run(s int, fn func(int)) {
 func (r *shardRunner) stepShard(s int) {
 	sh := &r.shards[s]
 	m := r.m
+	m.shardTel[s].LocalSteps += uint64(len(sh.steps))
 	sh.keep = sh.keep[:0]
 	sh.wakes = sh.wakes[:0]
 	sh.retired = false
@@ -362,7 +373,8 @@ func (m *Machine) runShardedUntil(limit uint64) (hitLimit bool, err error) {
 	r := m.shardRunner()
 	r.start()
 	defer r.stop()
-	lastProgress := m.now
+	loopStart := time.Now()
+	defer func() { m.pdes.LoopWallNS += uint64(time.Since(loopStart)) }()
 	for !m.Sched.MainDone {
 		if m.sampler != nil && m.now >= m.sampler.NextBoundary() {
 			m.sample()
@@ -412,10 +424,13 @@ func (m *Machine) runShardedUntil(limit uint64) (hitLimit bool, err error) {
 				sh := &r.shards[m.shardOf[id]]
 				sh.steps = append(sh.steps, id)
 				localTotal++
+				m.pdes.LocalSteps++
 			case classGlobal:
 				r.globals = append(r.globals, id)
+				m.pdes.GlobalSteps++
 			default:
 				sequential = true
+				m.pdes.StopSteps++
 			}
 			if sequential {
 				break
@@ -423,6 +438,12 @@ func (m *Machine) runShardedUntil(limit uint64) (hitLimit bool, err error) {
 		}
 
 		if sequential || localTotal < r.batch {
+			m.pdes.SequentialCycles++
+			if sequential {
+				m.pdes.FallbackStop++
+			} else {
+				m.pdes.FallbackSmall++
+			}
 			// Sequential cycle: byte-for-byte the runFastUntil body.
 			keep := m.running[:0]
 			for _, id := range steps {
@@ -438,7 +459,7 @@ func (m *Machine) runShardedUntil(limit uint64) (hitLimit bool, err error) {
 					keep = append(keep, id)
 				}
 				if n.Proc.Stats.Instructions != retired {
-					lastProgress = m.now
+					m.lastProgress = m.now
 					n.lastRetired = m.now
 				}
 				if m.Sched.MainDone {
@@ -450,13 +471,14 @@ func (m *Machine) runShardedUntil(limit uint64) (hitLimit bool, err error) {
 				m.net.tick()
 			}
 			m.now++
-			if err := m.watchdogs(lastProgress); err != nil {
+			if err := m.watchdogs(); err != nil {
 				return false, err
 			}
 			continue
 		}
 
 		// Phase 1: workers step the LOCAL nodes.
+		m.pdes.ParallelCycles++
 		r.parallel(r.stepFn)
 		for s := range r.shards {
 			sh := &r.shards[s]
@@ -464,7 +486,7 @@ func (m *Machine) runShardedUntil(limit uint64) (hitLimit bool, err error) {
 				return false, fmt.Errorf("cycle %d node %d: %w", m.now, sh.errNode, sh.err)
 			}
 			if sh.retired {
-				lastProgress = m.now
+				m.lastProgress = m.now
 			}
 			for _, w := range sh.wakes {
 				m.wakeq.push(w.node, w.at)
@@ -487,7 +509,7 @@ func (m *Machine) runShardedUntil(limit uint64) (hitLimit bool, err error) {
 				gkeep = append(gkeep, id)
 			}
 			if n.Proc.Stats.Instructions != retired {
-				lastProgress = m.now
+				m.lastProgress = m.now
 				n.lastRetired = m.now
 			}
 			if m.Sched.MainDone {
@@ -520,7 +542,7 @@ func (m *Machine) runShardedUntil(limit uint64) (hitLimit bool, err error) {
 			m.net.tickSharded(r)
 		}
 		m.now++
-		if err := m.watchdogs(lastProgress); err != nil {
+		if err := m.watchdogs(); err != nil {
 			return false, err
 		}
 	}
@@ -568,6 +590,7 @@ func (f *netFabric) tickSharded(r *shardRunner) {
 		// Small cycle: inline, identical to the sequential tick body.
 		// (The invariant checkers force one shard, so the sequential
 		// tick's checkPool wrapper has nothing to do here.)
+		f.m.pdes.FabricInlineTicks++
 		for _, node := range f.pendBuf {
 			f.drainInto(node, f.ctls[node])
 		}
@@ -589,6 +612,7 @@ func (f *netFabric) tickSharded(r *shardRunner) {
 		st.msgs = f.net.Deliveries(node, st.msgs)
 		st.drains = append(st.drains, drainSpan{node: node, lo: lo, hi: len(st.msgs)})
 	}
+	f.m.pdes.FabricParallelTicks++
 	f.staging = true
 	r.parallel(r.tickFn)
 	f.staging = false
@@ -619,13 +643,17 @@ func (f *netFabric) tickSharded(r *shardRunner) {
 // to the shard's own controllers, rings, and stage buffers.
 func (f *netFabric) tickShard(s int) {
 	st := f.stages[s]
+	tel := &f.m.shardTel[s]
 	for _, d := range st.drains {
 		ctl := f.ctls[d.node]
+		tel.FabricHandled += uint64(d.hi - d.lo)
 		for _, nm := range st.msgs[d.lo:d.hi] {
 			ctl.handle(nm.Payload.Coh)
 		}
 	}
-	for _, id := range f.gatherShardDirty(s) {
+	dirty := f.gatherShardDirty(s)
+	tel.FabricFlushes += uint64(len(dirty))
+	for _, id := range dirty {
 		ctl := f.ctls[id]
 		ctl.processRecalls()
 		ctl.flushOutbox()
