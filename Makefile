@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench perf
+.PHONY: all build test verify bench perf compile-smoke
 
 all: verify
 
@@ -21,6 +21,15 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
 
 # Measure simulator throughput (reference loop vs fast-forward +
-# parallel harness) on the full Table 3 grid; writes BENCH_simperf.json.
+# parallel harness, compiled tier off and on) on the full Table 3 grid;
+# writes BENCH_simperf.json.
 perf:
 	$(GO) run ./cmd/april-bench -sizes paper -perf
+
+# Quick gate for the compiled execution tier: the small grid with the
+# compiler off and on (results must stay bit-identical), plus the
+# steady-state allocation pin with the translator armed.
+compile-smoke:
+	$(GO) run ./cmd/april-bench -sizes test -compile=false
+	$(GO) run ./cmd/april-bench -sizes test -compile -compile-threshold 1
+	$(GO) test -run CompiledSteadyStateAllocRate -v ./internal/sim/

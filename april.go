@@ -127,10 +127,20 @@ type Options struct {
 	Trace *TraceOptions
 	// Reference runs the simulator on its oracle paths — the per-cycle
 	// reference stepping loop and the opcode-switch interpreter instead
-	// of the wake-queue loop and predecoded dispatch. Simulated results
-	// are bit-identical either way; this exists for differential
-	// debugging of the simulator itself.
+	// of the wake-queue loop and predecoded dispatch (which also implies
+	// the compiled tier off). Simulated results are bit-identical either
+	// way; this exists for differential debugging of the simulator
+	// itself.
 	Reference bool
+	// DisableCompile turns off the compiled execution tier —
+	// profile-guided fusion of hot basic blocks into superinstructions
+	// run in bulk across isolated windows — leaving the predecoded
+	// per-op path as the differential oracle. Simulated results are
+	// bit-identical either way; the tier only changes host-side speed.
+	DisableCompile bool
+	// CompileThreshold is how many times a block entry PC must execute
+	// before the compiled tier translates it (0 = the default, 8).
+	CompileThreshold int
 	// Faults, when non-nil, arms seeded timing perturbations (see
 	// FaultOptions). Requires Alewife; perfect memory has no network to
 	// perturb.
@@ -350,6 +360,8 @@ func (o Options) build() (*sim.Machine, *isa.Program, error) {
 		Alewife:            o.Alewife,
 		DisableFastForward: o.Reference,
 		DisablePredecode:   o.Reference,
+		DisableCompile:     o.DisableCompile || o.Reference,
+		CompileThreshold:   o.CompileThreshold,
 		Faults:             o.Faults,
 		Check:              o.Check,
 		DeadlockWindow:     o.DeadlockWindow,
@@ -563,9 +575,11 @@ func Table3(cfg Table3Config) ([]Table3Row, error) { return bench.Table3(cfg) }
 // april-bench -perf writes to BENCH_simperf.json.
 type PerfReport = bench.PerfReport
 
-// Table3Perf runs the full Table 3 grid twice — reference per-cycle
-// loop on one worker, then fast-forward on cfg.Workers workers — and
-// reports the host-side speedup plus a bit-identity cross-check.
+// Table3Perf runs the full Table 3 grid three times — reference
+// per-cycle loop on one worker, then fast-forward with the compiled
+// tier off, then with basic-block superinstructions on, both on
+// cfg.Workers workers — and reports the host-side speedups plus a
+// bit-identity cross-check across all three grids.
 func Table3Perf(cfg Table3Config, sizesName string) (PerfReport, error) {
 	return bench.Table3Perf(cfg, sizesName)
 }

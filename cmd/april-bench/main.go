@@ -6,10 +6,11 @@
 // The grid's independent runs are fanned across host cores (-workers),
 // and each machine can itself be sharded across goroutines (-shards;
 // workers*shards is budgeted against GOMAXPROCS). -perf runs the whole
-// grid twice — reference per-cycle loop on one worker vs. fast-forward
-// on all workers — plus a 64-node ALEWIFE comparison and a shard-count
-// sweep over 256/512/1024-node tori, and writes the throughput report
-// to BENCH_simperf.json.
+// grid three times — reference per-cycle loop on one worker, then
+// fast-forward with and without the compiled tier on all workers —
+// plus a 64-node ALEWIFE comparison and a shard-count sweep over
+// 256/512/1024-node tori, and writes the throughput report to
+// BENCH_simperf.json.
 //
 // -model-check cross-validates the Section 8 analytical model: it runs
 // fib/queens on the full ALEWIFE memory system across the Figure 5
@@ -48,14 +49,16 @@ func main() {
 
 func run() int {
 	var (
-		sizes   = flag.String("sizes", "paper", "workload scale: paper | test")
-		verbose = flag.Bool("v", false, "log each measurement as it completes")
-		frames  = flag.Bool("frames", false, "run the task-frame ablation (E9) instead of Table 3")
-		workers = flag.Int("workers", 0, "parallel host workers (0 = one per core)")
-		shards  = flag.Int("shards", 1, "simulation shards per machine (sim.Config.Shards); results are bit-identical at any count; workers*shards is capped at GOMAXPROCS")
-		naive   = flag.Bool("naive", false, "use the reference per-cycle loop and switch interpreter (no fast-forward, no predecode)")
-		perf    = flag.Bool("perf", false, "measure simulator throughput and host allocator pressure (naive/serial vs fast/parallel, plus a 64-node ALEWIFE run) and write BENCH_simperf.json")
-		perfOut = flag.String("perf-out", "BENCH_simperf.json", "output path for -perf")
+		sizes            = flag.String("sizes", "paper", "workload scale: paper | test")
+		verbose          = flag.Bool("v", false, "log each measurement as it completes")
+		frames           = flag.Bool("frames", false, "run the task-frame ablation (E9) instead of Table 3")
+		workers          = flag.Int("workers", 0, "parallel host workers (0 = one per core)")
+		shards           = flag.Int("shards", 1, "simulation shards per machine (sim.Config.Shards); results are bit-identical at any count; workers*shards is capped at GOMAXPROCS")
+		naive            = flag.Bool("naive", false, "use the reference per-cycle loop and switch interpreter (no fast-forward, no predecode)")
+		compile          = flag.Bool("compile", true, "enable the compiled execution tier (profile-guided basic-block superinstructions); results are bit-identical on or off")
+		compileThreshold = flag.Int("compile-threshold", 0, "block executions before the compiled tier translates (0 = default 8)")
+		perf             = flag.Bool("perf", false, "measure simulator throughput and host allocator pressure (naive/serial vs fast/parallel, plus a 64-node ALEWIFE run) and write BENCH_simperf.json")
+		perfOut          = flag.String("perf-out", "BENCH_simperf.json", "output path for -perf")
 
 		statsJSON = flag.String("stats-json", "", "write every grid run's full statistics (totals, per-node, throughput) as JSON to this path")
 
@@ -187,6 +190,8 @@ func run() int {
 	cfg.Workers = *workers
 	cfg.Shards = *shards
 	cfg.Naive = *naive
+	cfg.NoCompile = !*compile
+	cfg.CompileThreshold = *compileThreshold
 
 	if *traceOut != "" || *timelineOut != "" || *serve != "" {
 		// Tracing (or serving) the whole grid would interleave hundreds
@@ -207,7 +212,7 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Printf("Simulator throughput on the full Table 3 grid (-sizes %s):\n  %s\n", *sizes, rep.Summary())
-		fmt.Printf("  baseline : %s\n  optimized: %s\n", rep.Baseline, rep.Optimized)
+		fmt.Printf("  baseline : %s\n  predecode: %s\n  compiled : %s\n", rep.Baseline, rep.Predecode, rep.Optimized)
 		fmt.Println("written to", *perfOut)
 		if !rep.RowsIdentical || (rep.Alewife != nil && !rep.Alewife.Identical) || !rep.ShardsIdentical() {
 			return fail(fmt.Errorf("simulated results differ between loops"))

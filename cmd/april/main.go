@@ -28,20 +28,22 @@ import (
 
 func main() {
 	var (
-		nProcs  = flag.Int("n", 1, "number of processors")
-		machine = flag.String("machine", "april", "machine profile: april | april-custom | encore")
-		lazy    = flag.Bool("lazy", false, "lazy task creation (instead of eager futures)")
-		seq     = flag.Bool("seq", false, "strip futures (sequential 'T seq' compilation)")
-		alewife = flag.Bool("alewife", false, "simulate the full memory system (caches + directory + network)")
-		stats   = flag.Bool("stats", false, "print execution statistics")
-		interp  = flag.Bool("interp", false, "run the reference interpreter instead of the simulator")
-		dis     = flag.Bool("S", false, "print the compiled assembly listing and exit")
-		asm     = flag.Bool("asm", false, "treat the input as raw APRIL assembly instead of Mul-T")
-		cycles  = flag.Uint64("max-cycles", 0, "simulation cycle budget (0 = default)")
-		memMB   = flag.Int("mem", 0, "simulated physical memory in MiB (0 = default 256)")
-		ref     = flag.Bool("reference", false, "run the simulator's oracle paths (per-cycle loop, switch interpreter); results are bit-identical, only slower")
-		shards  = flag.Int("shards", 1, "split the simulated machine across this many host goroutines; results are bit-identical at any shard count (<= 1 keeps the sequential loop)")
-		serve   = flag.String("serve", "", "serve live run introspection on this host:port (e.g. :8080; /progress, /counters, /metrics, /timeline, /trace); observation-only")
+		nProcs           = flag.Int("n", 1, "number of processors")
+		machine          = flag.String("machine", "april", "machine profile: april | april-custom | encore")
+		lazy             = flag.Bool("lazy", false, "lazy task creation (instead of eager futures)")
+		seq              = flag.Bool("seq", false, "strip futures (sequential 'T seq' compilation)")
+		alewife          = flag.Bool("alewife", false, "simulate the full memory system (caches + directory + network)")
+		stats            = flag.Bool("stats", false, "print execution statistics")
+		interp           = flag.Bool("interp", false, "run the reference interpreter instead of the simulator")
+		dis              = flag.Bool("S", false, "print the compiled assembly listing and exit")
+		asm              = flag.Bool("asm", false, "treat the input as raw APRIL assembly instead of Mul-T")
+		cycles           = flag.Uint64("max-cycles", 0, "simulation cycle budget (0 = default)")
+		memMB            = flag.Int("mem", 0, "simulated physical memory in MiB (0 = default 256)")
+		ref              = flag.Bool("reference", false, "run the simulator's oracle paths (per-cycle loop, switch interpreter); results are bit-identical, only slower")
+		compile          = flag.Bool("compile", true, "enable the compiled execution tier (profile-guided basic-block superinstructions); results are bit-identical on or off, only host speed changes")
+		compileThreshold = flag.Int("compile-threshold", 0, "block executions before translation (0 = default 8)")
+		shards           = flag.Int("shards", 1, "split the simulated machine across this many host goroutines; results are bit-identical at any shard count (<= 1 keeps the sequential loop)")
+		serve            = flag.String("serve", "", "serve live run introspection on this host:port (e.g. :8080; /progress, /counters, /metrics, /timeline, /trace); observation-only")
 
 		faults    = flag.Bool("faults", false, "arm seeded timing perturbations (requires -alewife): hop jitter, transient link stalls, delayed directory replies; answers are unaffected, cycle counts shift")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for -faults")
@@ -85,6 +87,9 @@ func main() {
 		MemoryBytes: uint32(*memMB) << 20,
 		Reference:   *ref,
 		Shards:      *shards,
+
+		DisableCompile:   !*compile,
+		CompileThreshold: *compileThreshold,
 	}
 	if *alewife {
 		opts.Alewife = &april.AlewifeOptions{}

@@ -16,6 +16,7 @@ func TestBenchmarkProgramsCorrect(t *testing.T) {
 		"queens": "4", // 6-queens has 4 solutions
 		"speech": "",
 	}
+	quick := &Table3Config{Sizes: TestSizes}
 	for _, name := range Names {
 		src := TestSizes.Source(name)
 		iv, err := mult.NewInterp(nil, 0).RunSource(src)
@@ -32,7 +33,7 @@ func TestBenchmarkProgramsCorrect(t *testing.T) {
 				{HardwareFutures: true, Sequential: true},
 				{HardwareFutures: su.mode.HardwareFutures, Sequential: true},
 			} {
-				out, err := runOnce(src, mode, su.prof, false, 1, false, 1)
+				out, err := runOnce(src, mode, su.prof, false, 1, quick)
 				if err != nil {
 					t.Fatalf("%s/%s seq: %v", name, su.sys, err)
 				}
@@ -42,7 +43,7 @@ func TestBenchmarkProgramsCorrect(t *testing.T) {
 			}
 			// Parallel at a couple of machine sizes.
 			for _, p := range []int{1, 4} {
-				out, err := runOnce(src, su.mode, su.prof, su.lazy, p, false, 1)
+				out, err := runOnce(src, su.mode, su.prof, su.lazy, p, quick)
 				if err != nil {
 					t.Fatalf("%s/%s %dp: %v", name, su.sys, p, err)
 				}

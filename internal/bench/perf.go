@@ -8,19 +8,21 @@ import (
 	"time"
 
 	"april/internal/harness"
+	"april/internal/isa"
 	"april/internal/mult"
 	"april/internal/proc"
 	"april/internal/rts"
 	"april/internal/sim"
 )
 
-// PerfReport is the before/after simulator-throughput measurement that
+// PerfReport is the simulator-throughput measurement that
 // cmd/april-bench -perf serializes to BENCH_simperf.json: the full
-// Table 3 grid run twice on the same host — once at the pre-overhaul
+// Table 3 grid run three times on the same host — at the pre-overhaul
 // cost profile (reference per-cycle loop, eagerly materialized memory,
-// a single worker), once with fast-forward, demand paging and the
-// parallel harness — with a bit-identity cross-check between the two
-// sets of rows.
+// a single worker), with fast-forward, predecoded dispatch, demand
+// paging and the parallel harness but the compiled tier off, and
+// finally with profile-guided basic-block superinstructions on — with
+// a bit-identity cross-check across the three sets of rows.
 type PerfReport struct {
 	GeneratedAt string `json:"generated_at"`
 	GoVersion   string `json:"go_version"`
@@ -29,15 +31,25 @@ type PerfReport struct {
 	Sizes       string `json:"sizes"`
 	Workers     int    `json:"workers"` // workers used by the optimized grid
 
-	// Baseline: naive loop, one worker. Optimized: fast-forward,
-	// Workers workers. Both cover the identical run grid.
+	// Baseline: naive loop, one worker. Predecode: fast-forward and
+	// predecoded per-op dispatch on Workers workers with the compiled
+	// tier off. Optimized: the same plus profile-guided basic-block
+	// superinstructions. All three cover the identical run grid.
 	Baseline  proc.Perf `json:"baseline"`
+	Predecode proc.Perf `json:"predecode"`
 	Optimized proc.Perf `json:"optimized"`
 
-	// Speedup is baseline wall time / optimized wall time.
-	Speedup float64 `json:"speedup"`
+	// Speedup is baseline wall time / optimized wall time;
+	// CompiledVsPredecode is predecode wall time / optimized wall time
+	// (the compiled tier's own contribution, workers held equal).
+	Speedup             float64 `json:"speedup"`
+	CompiledVsPredecode float64 `json:"compiled_vs_predecode"`
 
-	// RowsIdentical asserts the two grids produced byte-identical
+	// CompileThreshold is the block-translation threshold the compiled
+	// grid ran with (the isa.DefaultCompileThreshold unless overridden).
+	CompileThreshold int `json:"compile_threshold"`
+
+	// RowsIdentical asserts the three grids produced byte-identical
 	// simulated results (same cycle counts, same program outputs).
 	RowsIdentical bool `json:"rows_identical"`
 
@@ -243,6 +255,7 @@ func Table3Perf(cfg Table3Config, sizesName string) (PerfReport, error) {
 
 	base := cfg
 	base.Naive, base.Workers, base.Perf = true, 1, &rep.Baseline
+	runtime.GC()
 	gcBefore := proc.TakeGCSnapshot()
 	baseRows, err := Table3(base)
 	if err != nil {
@@ -250,11 +263,31 @@ func Table3Perf(cfg Table3Config, sizesName string) (PerfReport, error) {
 	}
 	rep.Baseline.SetGC(gcBefore, proc.TakeGCSnapshot())
 
+	pre := cfg
+	pre.Naive, pre.NoCompile, pre.Perf = false, true, &rep.Predecode
+	// Collect before each timed grid so no side inherits the previous
+	// grid's heap target: the naive grid's allocation churn otherwise
+	// leaves the pacer with a bloated goal that flatters whichever
+	// side runs next (observed as a 2x GC-count skew between the
+	// predecode and compiled grids despite identical alloc rates).
+	runtime.GC()
+	gcBefore = proc.TakeGCSnapshot()
+	preRows, err := Table3(pre)
+	if err != nil {
+		return PerfReport{}, fmt.Errorf("predecode grid: %w", err)
+	}
+	rep.Predecode.SetGC(gcBefore, proc.TakeGCSnapshot())
+
 	opt := cfg
-	opt.Naive, opt.Perf = false, &rep.Optimized
+	opt.Naive, opt.NoCompile, opt.Perf = false, false, &rep.Optimized
 	var occ harness.Occupancy
 	opt.Occupancy = &occ
 	rep.Workers = harness.Workers(opt.Workers)
+	rep.CompileThreshold = opt.CompileThreshold
+	if rep.CompileThreshold == 0 {
+		rep.CompileThreshold = isa.DefaultCompileThreshold
+	}
+	runtime.GC()
 	gcBefore = proc.TakeGCSnapshot()
 	optRows, err := Table3(opt)
 	if err != nil {
@@ -263,9 +296,10 @@ func Table3Perf(cfg Table3Config, sizesName string) (PerfReport, error) {
 	rep.Optimized.SetGC(gcBefore, proc.TakeGCSnapshot())
 	rep.WorkerOccupancy = &occ
 
-	rep.RowsIdentical = reflect.DeepEqual(baseRows, optRows)
+	rep.RowsIdentical = reflect.DeepEqual(baseRows, optRows) && reflect.DeepEqual(preRows, optRows)
 	if rep.Optimized.WallSeconds > 0 {
 		rep.Speedup = rep.Baseline.WallSeconds / rep.Optimized.WallSeconds
+		rep.CompiledVsPredecode = rep.Predecode.WallSeconds / rep.Optimized.WallSeconds
 	}
 
 	// ALEWIFE-mode row: a 64-node full-memory-system run, the regime
@@ -314,8 +348,9 @@ func (r PerfReport) Summary() string {
 	if !r.RowsIdentical {
 		ident = "MISMATCH"
 	}
-	s := fmt.Sprintf("baseline %.2fs -> optimized %.2fs (%.2fx, %d workers, results %s)",
-		r.Baseline.WallSeconds, r.Optimized.WallSeconds, r.Speedup, r.Workers, ident)
+	s := fmt.Sprintf("baseline %.2fs -> predecode %.2fs -> compiled %.2fs (%.2fx overall, %.2fx from compile @ threshold %d, %d workers, results %s)",
+		r.Baseline.WallSeconds, r.Predecode.WallSeconds, r.Optimized.WallSeconds,
+		r.Speedup, r.CompiledVsPredecode, r.CompileThreshold, r.Workers, ident)
 	s += fmt.Sprintf("\n  gc: %.0f -> %.0f allocs/Mcycle, %.0f -> %.0f KB/Mcycle, %d -> %d GCs",
 		r.Baseline.AllocsPerMcycle, r.Optimized.AllocsPerMcycle,
 		r.Baseline.BytesPerMcycle/1024, r.Optimized.BytesPerMcycle/1024,

@@ -59,6 +59,16 @@ type Table3Config struct {
 	// comparison in Table3Perf.
 	Naive bool
 
+	// NoCompile turns off the compiled execution tier
+	// (sim.Config.DisableCompile), leaving predecoded per-op dispatch —
+	// the middle column of Table3Perf's three-way comparison. Results
+	// are bit-identical with the tier on or off.
+	NoCompile bool
+
+	// CompileThreshold overrides how hot a block entry must run before
+	// the compiled tier translates it (0 = the default, 8).
+	CompileThreshold int
+
 	// Perf, when non-nil, receives the whole grid's aggregate host-side
 	// throughput (simulated cycles and instructions over the grid's
 	// wall-clock time).
@@ -84,6 +94,11 @@ type RunStats struct {
 	Total           proc.Stats   `json:"total"`
 	PerNode         []proc.Stats `json:"per_node"`
 	Perf            proc.Perf    `json:"perf"`
+
+	// Kinds is the machine-wide per-micro-kind execution count — the
+	// opcode mix that drives the compiled tier's profile-guided
+	// translation. Maintained identically by all three execution tiers.
+	Kinds map[string]uint64 `json:"kinds,omitempty"`
 
 	// CrossShardMessages and Shard appear only for sharded runs:
 	// coherence traffic that crossed a shard boundary, and the PDES
@@ -176,10 +191,12 @@ type runOut struct {
 // opcode-switch interpreter, and eagerly materialized memory — so
 // Table3Perf's baseline measures what the simulator cost before the
 // throughput work; simulated results are identical either way.
-func runOnce(src string, mode mult.Mode, prof rts.Profile, lazy bool, nodes int, naive bool, shards int) (runOut, error) {
+func runOnce(src string, mode mult.Mode, prof rts.Profile, lazy bool, nodes int, cfg *Table3Config) (runOut, error) {
 	start := time.Now()
 	m, err := sim.New(sim.Config{Nodes: nodes, Profile: prof, Lazy: lazy,
-		DisableFastForward: naive, DisablePredecode: naive, Shards: shards})
+		DisableFastForward: cfg.Naive, DisablePredecode: cfg.Naive, Shards: cfg.Shards,
+		DisableCompile: cfg.NoCompile, CompileThreshold: cfg.CompileThreshold})
+	naive := cfg.Naive
 	if err != nil {
 		return runOut{}, err
 	}
@@ -205,6 +222,7 @@ func runOnce(src string, mode mult.Mode, prof rts.Profile, lazy bool, nodes int,
 		Total:   m.TotalStats(),
 		PerNode: make([]proc.Stats, 0, len(m.Nodes)),
 		Perf:    perf,
+		Kinds:   m.KindTotals(),
 	}
 	for _, n := range m.Nodes {
 		rs.PerNode = append(rs.PerNode, n.Proc.Stats)
@@ -339,7 +357,7 @@ func Table3(cfg Table3Config) ([]Row, error) {
 
 	outs, occ, err := harness.MapOccupancy(harness.Budget(cfg.Workers, cfg.Shards), len(specs), func(i int) (runOut, error) {
 		s := specs[i]
-		out, err := runOnce(s.src, s.mode, s.prof, s.lazy, s.nodes, cfg.Naive, cfg.Shards)
+		out, err := runOnce(s.src, s.mode, s.prof, s.lazy, s.nodes, &cfg)
 		if err != nil {
 			return runOut{}, fmt.Errorf("%s: %w", s.label, err)
 		}

@@ -1,0 +1,106 @@
+package isa
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mk builds a micro image from a kind sequence; BlockSet only reads
+// Kind during discovery.
+func mk(kinds ...MicroKind) []Micro {
+	m := make([]Micro, len(kinds))
+	for i, k := range kinds {
+		m[i].Kind = k
+	}
+	return m
+}
+
+func TestBlockSetThresholdGatesTranslation(t *testing.T) {
+	bs := NewBlockSet(mk(MAdd, MSub, MBranch), 3, true)
+	for i := 0; i < 2; i++ {
+		if n := bs.Enter(0); n != 0 {
+			t.Fatalf("Enter #%d translated early: got %d, want 0", i+1, n)
+		}
+		if bs.Translated(0) != 0 {
+			t.Fatalf("Translated(0) nonzero before threshold")
+		}
+	}
+	if n := bs.Enter(0); n != 3 {
+		t.Fatalf("Enter at threshold: got %d, want 3", n)
+	}
+	if bs.Translated(0) != 3 || bs.Blocks != 1 {
+		t.Fatalf("post-translation state: len %d blocks %d", bs.Translated(0), bs.Blocks)
+	}
+}
+
+func TestBlockEndsAtUnfusableAndTerminal(t *testing.T) {
+	// add, add, trap, add: block at 0 stops before the trap.
+	bs := NewBlockSet(mk(MAdd, MAdd, MTrap, MAdd), 1, true)
+	if n := bs.Enter(0); n != 2 {
+		t.Fatalf("block before trap: got %d, want 2", n)
+	}
+	// The trap PC itself pins per-op execution forever.
+	if n := bs.Enter(2); n != 0 {
+		t.Fatalf("trap entry fused: got %d, want 0", n)
+	}
+	if bs.NoBlocks != 1 {
+		t.Fatalf("NoBlocks = %d, want 1", bs.NoBlocks)
+	}
+	// A terminal control transfer is included, then ends the block.
+	bs = NewBlockSet(mk(MAdd, MBranch, MAdd, MAdd), 1, true)
+	if n := bs.Enter(0); n != 2 {
+		t.Fatalf("block through branch: got %d, want 2", n)
+	}
+}
+
+func TestBlockMemOpsRequirePerfectMemory(t *testing.T) {
+	img := mk(MAdd, MMem, MAdd, MBranch)
+	if n := NewBlockSet(img, 1, true).Enter(0); n != 4 {
+		t.Fatalf("perfect memory: got %d, want 4", n)
+	}
+	if n := NewBlockSet(img, 1, false).Enter(0); n != 1 {
+		t.Fatalf("fabric memory: got %d, want 1 (block must stop before the load)", n)
+	}
+}
+
+func TestBlockInteriorEntryTranslatesIndependently(t *testing.T) {
+	// A branch into the interior of an already-translated block (PC 2
+	// inside the block at 0) profiles and translates its own,
+	// overlapping block — both stay live, and neither touches the
+	// shared image.
+	img := mk(MAdd, MSub, MAnd, MOr, MBranch)
+	fresh := mk(MAdd, MSub, MAnd, MOr, MBranch)
+	bs := NewBlockSet(img, 1, true)
+	if n := bs.Enter(0); n != 5 {
+		t.Fatalf("outer block: got %d, want 5", n)
+	}
+	if n := bs.Enter(2); n != 3 {
+		t.Fatalf("interior entry: got %d, want 3", n)
+	}
+	if bs.Translated(0) != 5 || bs.Translated(2) != 3 {
+		t.Fatalf("overlapping blocks lost: %d/%d", bs.Translated(0), bs.Translated(2))
+	}
+	if !reflect.DeepEqual(img, fresh) {
+		t.Fatal("translation mutated the shared image")
+	}
+}
+
+func TestBlockLenCapped(t *testing.T) {
+	img := make([]Micro, MaxBlockLen+32)
+	for i := range img {
+		img[i].Kind = MAdd
+	}
+	bs := NewBlockSet(img, 1, true)
+	if n := bs.Enter(0); n != MaxBlockLen {
+		t.Fatalf("uncapped block: got %d, want %d", n, MaxBlockLen)
+	}
+}
+
+func TestKindOfAgreesWithPredecode(t *testing.T) {
+	for op := 0; op < 256; op++ {
+		want := PredecodeInst(Inst{Op: Opcode(op)}).Kind
+		if got := KindOf(Opcode(op)); got != want {
+			t.Fatalf("KindOf(%d) = %v, want %v", op, got, want)
+		}
+	}
+}

@@ -225,6 +225,30 @@ func (m *Memory) Access(addr uint32, store bool, value isa.Word) (prev isa.Word,
 	return prev, full, nil
 }
 
+// AccessPlain is Access for a pre-validated address (aligned and in
+// range — callers check with InRange) with no full/empty side effects:
+// the fused execution tier's fast path for plain-flavored loads and
+// stores on the perfect-memory port. idx is the word index
+// (addr / WordBytes). Behavior matches FE followed by Access exactly:
+// a nil data page reads zero, a nil full/empty page reads full, and a
+// store materializes its page.
+func (m *Memory) AccessPlain(idx uint32, store bool, value isa.Word) (prev isa.Word, full bool) {
+	pg := idx >> pageShift
+	full = true
+	if p := m.fe[pg]; p != nil {
+		full = p[(idx&pageMask)/64]&(1<<(idx%64)) != 0
+	}
+	if p := m.pages[pg]; p != nil {
+		prev = p[idx&pageMask]
+		if store {
+			p[idx&pageMask] = value
+		}
+	} else if store {
+		m.page(idx)[idx&pageMask] = value
+	}
+	return prev, full
+}
+
 // Fault is the panic value raised by the Must* accessors: a runtime
 // access to simulator-internal state went outside the simulated arena.
 // Carrying the operation, address, and memory size lets the machine's

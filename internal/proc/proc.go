@@ -6,6 +6,7 @@ import (
 
 	"april/internal/core"
 	"april/internal/isa"
+	"april/internal/mem"
 	"april/internal/trace"
 )
 
@@ -102,6 +103,31 @@ type Processor struct {
 	// of the reference opcode switches. Installed by SetMicro; shared
 	// read-only across the machine's processors.
 	micro []isa.Micro
+
+	// Kinds counts dispatched instructions by handler kind. All three
+	// execution tiers (reference switch, predecoded table, fused
+	// blocks) increment once per dispatch attempt, so the counts are
+	// tier-invariant; they live outside Stats because they are
+	// telemetry (the "isa" counter group), not part of the simulated
+	// machine state the differential tests compare.
+	Kinds [isa.NumMicroKinds]uint64
+
+	// FusedOps counts dispatches executed inside StepFused windows, and
+	// InlineSteps the single Steps resolved by the superinstruction
+	// handlers outside a window — compile-tier coverage telemetry (the
+	// "compile" counter group), outside Stats for the same reason as
+	// Kinds.
+	FusedOps    uint64
+	InlineSteps uint64
+
+	// Compile-tier state (see compile.go), installed by SetCompile:
+	// the machine's block translation set, the run-termination flag the
+	// fused loop must observe after every op, and — when the memory
+	// port is a PerfectPort — the raw memory behind it, enabling both
+	// flavored-access fusion and the plain-access fast path.
+	blocks  *isa.BlockSet
+	done    *bool
+	perfMem *mem.Memory
 }
 
 // New creates a processor over the given engine and program.
@@ -177,18 +203,39 @@ func (p *Processor) Step() (int, error) {
 	}
 	if m := p.micro; m != nil {
 		if uint64(f.PC) >= uint64(len(m)) {
-			return 0, fmt.Errorf("proc %d frame %d thread %d: isa: PC %d outside program of %d instructions",
-				p.ID, p.Engine.FP(), f.ThreadID, f.PC, len(m))
+			return 0, p.pcBoundsErr(f, len(m))
 		}
 		u := &m[f.PC]
+		p.Kinds[u.Kind]++
+		if p.blocks != nil {
+			// Compiled tier armed: a single op at the correct cycle may
+			// run through the superinstruction handlers even outside a
+			// fused window — it is the same state transformation at the
+			// same interleaving point, just without the dispatch-table
+			// indirection (and, for plain perfect-memory accesses, the
+			// port call). Multi-stepper cycles, which can never fuse,
+			// still get the tier's per-op win this way.
+			if p.fusedOp(f, u) {
+				p.InlineSteps++
+				p.Stats.Instructions++
+				p.Stats.UsefulCycles++
+				return 1, nil
+			}
+		}
 		return microTable[u.Kind](p, f, u)
 	}
 	code := p.Prog.Code
 	if uint64(f.PC) >= uint64(len(code)) {
-		return 0, fmt.Errorf("proc %d frame %d thread %d: isa: PC %d outside program of %d instructions",
-			p.ID, p.Engine.FP(), f.ThreadID, f.PC, len(code))
+		return 0, p.pcBoundsErr(f, len(code))
 	}
 	return p.execute(f, code[f.PC])
+}
+
+// pcBoundsErr is the out-of-bounds-PC error shared by all three
+// execution tiers (reference switch, predecoded table, fused blocks).
+func (p *Processor) pcBoundsErr(f *core.Frame, progLen int) error {
+	return fmt.Errorf("proc %d frame %d thread %d: isa: PC %d outside program of %d instructions",
+		p.ID, p.Engine.FP(), f.ThreadID, f.PC, progLen)
 }
 
 // stepSlow handles the uncommon Step cases: a halted processor, a
@@ -223,6 +270,7 @@ func (p *Processor) advance(f *core.Frame) {
 }
 
 func (p *Processor) execute(f *core.Frame, inst isa.Inst) (int, error) {
+	p.Kinds[isa.KindOf(inst.Op)]++
 	e := p.Engine
 	switch inst.Op.Class() {
 	case isa.ClassNop:

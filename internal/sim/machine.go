@@ -84,6 +84,22 @@ type Config struct {
 	// way; the switch interpreter is the differential oracle.
 	DisablePredecode bool
 
+	// DisableCompile turns off the third execution tier: profile-guided
+	// fusion of hot basic blocks into superinstructions, executed in
+	// bulk across isolated windows (see compile.go and proc.StepFused).
+	// As with the other two knobs, simulated results are bit-identical
+	// either way; disabling leaves the predecoded per-op path as the
+	// differential oracle for the compiled tier. The tier is implied
+	// off by DisablePredecode (it runs over the predecoded image),
+	// DisableFastForward (it lives in the work-proportional loops), and
+	// Check (the invariant checkers audit at per-cycle watermarks the
+	// fused windows would cross).
+	DisableCompile bool
+
+	// CompileThreshold is how many times a block entry PC must execute
+	// before it is translated (0 = isa.DefaultCompileThreshold).
+	CompileThreshold int
+
 	// Faults, when non-nil, arms the seeded perturbation plan: bounded
 	// per-hop delay jitter, transient link stalls, and delayed directory
 	// replies (see internal/fault). Timing shifts, results must not:
@@ -135,6 +151,11 @@ type Machine struct {
 	net        *netFabric // nil in perfect-memory mode
 	now        uint64
 	loaded     bool
+
+	// compileOn reports that Load armed the fused-block tier on every
+	// node; the run loops then try fusedStep (compile.go) whenever a
+	// cycle has exactly one stepper.
+	compileOn bool
 
 	// The work-proportional run loop's node scheduler (see wake.go):
 	// nodes executing 1-cycle instructions live on the sorted running
@@ -313,6 +334,19 @@ func (m *Machine) Load(prog *isa.Program) error {
 		micro := prog.Predecode()
 		for _, n := range m.Nodes {
 			n.Proc.SetMicro(micro)
+		}
+		if !m.Cfg.DisableCompile && !m.Cfg.DisableFastForward && !m.Cfg.Check {
+			// Arm the compiled tier: one block-translation set over the
+			// shared image (profiled and translated only on the
+			// coordinating goroutine), sized here so steady state
+			// allocates nothing. Memory ops fuse only on perfect memory
+			// — in ALEWIFE mode a miss inside a fused window would
+			// stamp network messages mid-window.
+			bs := isa.NewBlockSet(micro, m.Cfg.CompileThreshold, m.Cfg.Alewife == nil)
+			for _, n := range m.Nodes {
+				n.Proc.SetCompile(bs, &m.Sched.MainDone)
+			}
+			m.compileOn = true
 		}
 	}
 	main := m.Sched.NewThread(0)
@@ -509,7 +543,11 @@ func (m *Machine) watchdogs() error {
 		}
 		m.nextWedgeCheck = m.now + wedgeInterval
 	}
-	if m.now-m.lastProgress > m.deadlockWin {
+	// A fused window can leave lastProgress ahead of m.now (the window's
+	// last retirement lies in cycles the loop has not yet swept past);
+	// progress in the future is progress, so only fire once m.now has
+	// moved deadlockWin cycles beyond it.
+	if m.now > m.lastProgress && m.now-m.lastProgress > m.deadlockWin {
 		return m.crash(fault.ReasonDeadlock, m.deadlockErr())
 	}
 	return nil
@@ -626,6 +664,17 @@ func (m *Machine) runFastUntil(limit uint64) (hitLimit bool, err error) {
 		// multi-cycle ones move to the wake queue. In-place compaction is
 		// safe when steps aliases m.running (writes never pass reads).
 		keep := m.running[:0]
+		if m.compileOn && len(steps) == 1 {
+			// Exactly one stepper: try to run its compiled tier across
+			// the whole isolated window (see compile.go).
+			used, err := m.fusedStep(steps[0], limit, &keep)
+			if err != nil {
+				return false, err
+			}
+			if used {
+				steps = nil
+			}
+		}
 		for _, id := range steps {
 			n := m.Nodes[id]
 			retired := n.Proc.Stats.Instructions
@@ -722,6 +771,24 @@ func (m *Machine) fastForwardUntil(limit uint64) {
 
 // Now returns the current simulated cycle.
 func (m *Machine) Now() uint64 { return m.now }
+
+// KindTotals sums the per-MicroKind dispatch counters across nodes:
+// the machine's opcode mix, keyed by handler-kind name. All three
+// execution tiers maintain the counters identically, so the mix is
+// comparable across interpreter/predecode/compiled runs; the compiled
+// tier's profile-guided translation is driven by exactly this
+// distribution (per block-entry PC).
+func (m *Machine) KindTotals() map[string]uint64 {
+	out := make(map[string]uint64, isa.NumMicroKinds)
+	for k := 0; k < isa.NumMicroKinds; k++ {
+		var s uint64
+		for _, n := range m.Nodes {
+			s += n.Proc.Kinds[k]
+		}
+		out[isa.MicroKind(k).String()] = s
+	}
+	return out
+}
 
 // TotalStats sums the processor statistics across nodes.
 func (m *Machine) TotalStats() proc.Stats {

@@ -100,6 +100,33 @@ func (m *Machine) CounterRegistry() *trace.Registry {
 			"touches_unresolved": s.TouchesUnresolved,
 		}
 	})
+	// The opcode mix that drives the compiled tier's profile-guided
+	// translation, maintained identically by all three execution tiers.
+	r.Register("isa", m.KindTotals)
+	if m.compileOn {
+		// Compiled-tier coverage: dispatches executed inside fused
+		// windows and translation outcomes. Registered only when the
+		// tier is armed so oracle-path snapshots stay byte-stable.
+		r.Register("compile", func() map[string]uint64 {
+			var fused, inline, total uint64
+			for _, n := range m.Nodes {
+				fused += n.Proc.FusedOps
+				inline += n.Proc.InlineSteps
+				for _, k := range n.Proc.Kinds {
+					total += k
+				}
+			}
+			bs := m.Nodes[0].Proc.Blocks()
+			return map[string]uint64{
+				"fused_ops":         fused,
+				"inline_steps":      inline,
+				"dispatches":        total,
+				"translated_blocks": bs.Blocks,
+				"unfusable_entries": bs.NoBlocks,
+				"threshold":         uint64(bs.Threshold),
+			}
+		})
+	}
 	for i, n := range m.Nodes {
 		p, eng, ctl := n.Proc, n.Proc.Engine, n.cache
 		r.Register(fmt.Sprintf("node%d.proc", i), func() map[string]uint64 {

@@ -444,8 +444,20 @@ func (m *Machine) runShardedUntil(limit uint64) (hitLimit bool, err error) {
 			} else {
 				m.pdes.FallbackSmall++
 			}
-			// Sequential cycle: byte-for-byte the runFastUntil body.
+			// Sequential cycle: byte-for-byte the runFastUntil body,
+			// including the compiled tier's isolated-window fast path
+			// (fusion only ever runs on the coordinating goroutine —
+			// the parallel phases below step per-op).
 			keep := m.running[:0]
+			if m.compileOn && len(steps) == 1 {
+				used, err := m.fusedStep(steps[0], limit, &keep)
+				if err != nil {
+					return false, err
+				}
+				if used {
+					steps = nil
+				}
+			}
 			for _, id := range steps {
 				n := m.Nodes[id]
 				retired := n.Proc.Stats.Instructions
