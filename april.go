@@ -141,6 +141,16 @@ type Options struct {
 	// CompileThreshold is how many times a block entry PC must execute
 	// before the compiled tier translates it (0 = the default, 8).
 	CompileThreshold int
+	// DisableEpoch turns off the epoch engine — multi-node lockstep
+	// execution through the compiled tier across provably safe horizons
+	// — leaving per-cycle stepping as the differential oracle. Requires
+	// nothing; implied off whenever the compiled tier is off. Simulated
+	// results are bit-identical either way.
+	DisableEpoch bool
+	// Horizon caps epoch windows at that many simulated cycles (0 =
+	// unbounded, bounded only by the proven horizon; 1 degenerates to
+	// per-cycle stepping). Results are bit-identical at any cap.
+	Horizon uint64
 	// Faults, when non-nil, arms seeded timing perturbations (see
 	// FaultOptions). Requires Alewife; perfect memory has no network to
 	// perturb.
@@ -362,6 +372,8 @@ func (o Options) build() (*sim.Machine, *isa.Program, error) {
 		DisablePredecode:   o.Reference,
 		DisableCompile:     o.DisableCompile || o.Reference,
 		CompileThreshold:   o.CompileThreshold,
+		DisableEpoch:       o.DisableEpoch,
+		Horizon:            o.Horizon,
 		Faults:             o.Faults,
 		Check:              o.Check,
 		DeadlockWindow:     o.DeadlockWindow,

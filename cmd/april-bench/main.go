@@ -57,6 +57,8 @@ func run() int {
 		naive            = flag.Bool("naive", false, "use the reference per-cycle loop and switch interpreter (no fast-forward, no predecode)")
 		compile          = flag.Bool("compile", true, "enable the compiled execution tier (profile-guided basic-block superinstructions); results are bit-identical on or off")
 		compileThreshold = flag.Int("compile-threshold", 0, "block executions before the compiled tier translates (0 = default 8)")
+		epoch            = flag.Bool("epoch", true, "enable epoch execution (multi-node lockstep windows through the compiled tier); results are bit-identical on or off")
+		horizon          = flag.Uint64("horizon", 0, "cap epoch windows at this many simulated cycles (0 = unbounded, 1 = per-cycle stepping); results are bit-identical at any cap")
 		perf             = flag.Bool("perf", false, "measure simulator throughput and host allocator pressure (naive/serial vs fast/parallel, plus a 64-node ALEWIFE run) and write BENCH_simperf.json")
 		perfOut          = flag.String("perf-out", "BENCH_simperf.json", "output path for -perf")
 
@@ -192,6 +194,8 @@ func run() int {
 	cfg.Naive = *naive
 	cfg.NoCompile = !*compile
 	cfg.CompileThreshold = *compileThreshold
+	cfg.NoEpoch = !*epoch
+	cfg.Horizon = *horizon
 
 	if *traceOut != "" || *timelineOut != "" || *serve != "" {
 		// Tracing (or serving) the whole grid would interleave hundreds

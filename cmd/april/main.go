@@ -42,6 +42,8 @@ func main() {
 		ref              = flag.Bool("reference", false, "run the simulator's oracle paths (per-cycle loop, switch interpreter); results are bit-identical, only slower")
 		compile          = flag.Bool("compile", true, "enable the compiled execution tier (profile-guided basic-block superinstructions); results are bit-identical on or off, only host speed changes")
 		compileThreshold = flag.Int("compile-threshold", 0, "block executions before translation (0 = default 8)")
+		epoch            = flag.Bool("epoch", true, "enable epoch execution (multi-node lockstep windows across provably safe horizons); results are bit-identical on or off, only host speed changes")
+		horizon          = flag.Uint64("horizon", 0, "cap epoch windows at this many simulated cycles (0 = unbounded, 1 = per-cycle stepping); results are bit-identical at any cap")
 		shards           = flag.Int("shards", 1, "split the simulated machine across this many host goroutines; results are bit-identical at any shard count (<= 1 keeps the sequential loop)")
 		serve            = flag.String("serve", "", "serve live run introspection on this host:port (e.g. :8080; /progress, /counters, /metrics, /timeline, /trace); observation-only")
 
@@ -90,6 +92,8 @@ func main() {
 
 		DisableCompile:   !*compile,
 		CompileThreshold: *compileThreshold,
+		DisableEpoch:     !*epoch,
+		Horizon:          *horizon,
 	}
 	if *alewife {
 		opts.Alewife = &april.AlewifeOptions{}

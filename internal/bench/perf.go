@@ -10,6 +10,7 @@ import (
 	"april/internal/harness"
 	"april/internal/isa"
 	"april/internal/mult"
+	"april/internal/network"
 	"april/internal/proc"
 	"april/internal/rts"
 	"april/internal/sim"
@@ -67,6 +68,12 @@ type PerfReport struct {
 	// sweep still proves determinism and records the barrier overhead.
 	ShardScaling []ShardRow `json:"shard_scaling,omitempty"`
 
+	// HorizonSweep holds the epoch-window-cap sweep (sim.Config.Horizon
+	// = k) on a sharded machine: the same run at k in {1, 2, 4,
+	// slab-width}, bit-identical across the board, with barriers per
+	// 1000 cycles falling as the cap rises.
+	HorizonSweep []ShardRow `json:"horizon_sweep,omitempty"`
+
 	// WorkerOccupancy reports how the optimized grid's harness workers
 	// spent the sweep: runs and busy time per worker against wall time.
 	WorkerOccupancy *harness.Occupancy `json:"worker_occupancy,omitempty"`
@@ -74,17 +81,27 @@ type PerfReport struct {
 
 // AlewifeRow is one ALEWIFE-mode throughput measurement: a single
 // benchmark on the full memory system, run with the reference cost
-// profile and then optimized, with a bit-identity cross-check.
+// profile, with the compiled tier but epoch windows off (the
+// pre-epoch configuration), and fully optimized (compiled tier plus
+// multi-node epoch windows), with a bit-identity cross-check across
+// all three.
 type AlewifeRow struct {
 	Benchmark string    `json:"benchmark"`
 	Nodes     int       `json:"nodes"`
 	Cycles    uint64    `json:"cycles"`
 	Result    string    `json:"result"`
 	Baseline  proc.Perf `json:"baseline"`
+	Compiled  proc.Perf `json:"compiled_no_epoch"`
 	Optimized proc.Perf `json:"optimized"`
 	Speedup   float64   `json:"speedup"`
+	// EpochSpeedup is compiled-without-epochs wall time over optimized
+	// wall time: the epoch engine's own contribution on a multi-node
+	// machine, everything else held equal.
+	EpochSpeedup float64 `json:"epoch_speedup"`
+	// Epoch is the optimized run's epoch telemetry.
+	Epoch *EpochOverhead `json:"epoch,omitempty"`
 
-	// Identical asserts the two runs agreed on cycles, result, and
+	// Identical asserts the three runs agreed on cycles, result, and
 	// every node's full statistics.
 	Identical bool `json:"identical"`
 }
@@ -94,9 +111,12 @@ type AlewifeRow struct {
 // Speedup and Identical compare against the Shards=1 row at the same
 // machine size.
 type ShardRow struct {
-	Benchmark string    `json:"benchmark"`
-	Nodes     int       `json:"nodes"`
-	Shards    int       `json:"shards"`
+	Benchmark string `json:"benchmark"`
+	Nodes     int    `json:"nodes"`
+	Shards    int    `json:"shards"`
+	// Horizon is the epoch-window cap the row ran with (0 = unbounded,
+	// the default; 1 degenerates to per-cycle stepping).
+	Horizon   uint64    `json:"horizon,omitempty"`
 	Cycles    uint64    `json:"cycles"`
 	Result    string    `json:"result"`
 	Perf      proc.Perf `json:"perf"`
@@ -109,8 +129,13 @@ type ShardRow struct {
 	// 1-shard rows (the sequential loop has no barriers or fallbacks).
 	BarrierWaitFraction float64 `json:"barrier_wait_fraction"`
 	FallbackPct         float64 `json:"fallback_pct"`
-	Speedup             float64 `json:"speedup_vs_1shard"`
-	Identical           bool    `json:"identical"`
+	// BarriersPer1k is worker-pool joins per 1000 simulated cycles;
+	// EpochCyclesPct is the share of cycles committed inside epoch
+	// windows (the cycles that paid no barrier at all).
+	BarriersPer1k  float64 `json:"barriers_per_1k_cycles"`
+	EpochCyclesPct float64 `json:"epoch_cycles_pct"`
+	Speedup        float64 `json:"speedup_vs_1shard"`
+	Identical      bool    `json:"identical"`
 }
 
 // ShardSweep measures ShardRows for one benchmark across machine sizes
@@ -126,32 +151,16 @@ func ShardSweep(benchName string, sizes Sizes, nodeSizes, shardCounts []int) ([]
 			// A quarter of simulated memory is the stack arena; eager
 			// task trees on hundreds of nodes need thousands of 64 KB
 			// stacks, so give large machines a 2 GB address space.
-			out, err := alewifeOnce(src, nodes, false, shards, 2<<30)
+			out, err := alewifeOnce(src, nodes, alewifeOpts{shards: shards, memBytes: 2 << 30})
 			if err != nil {
 				return nil, fmt.Errorf("shard sweep %dp/%dshards: %w", nodes, shards, err)
 			}
-			row := ShardRow{
-				Benchmark:     benchName,
-				Nodes:         nodes,
-				Shards:        shards,
-				Cycles:        out.cycles,
-				Result:        out.result,
-				Perf:          out.perf,
-				CrossMessages: out.cross,
-			}
-			if so := out.stats.Shard; so != nil {
-				row.BarrierWaitFraction = so.BarrierWaitFraction
-				row.FallbackPct = so.FallbackPct
-			}
+			row := shardRow(benchName, nodes, shards, 0, out)
 			if shards <= 1 {
 				base = out
 				row.Speedup, row.Identical = 1, true
 			} else {
-				row.Identical = out.cycles == base.cycles && out.result == base.result &&
-					reflect.DeepEqual(out.stats.PerNode, base.stats.PerNode)
-				if out.perf.WallSeconds > 0 {
-					row.Speedup = base.perf.WallSeconds / out.perf.WallSeconds
-				}
+				row.Speedup, row.Identical = compareShardRuns(out, base)
 			}
 			rows = append(rows, row)
 		}
@@ -159,14 +168,89 @@ func ShardSweep(benchName string, sizes Sizes, nodeSizes, shardCounts []int) ([]
 	return rows, nil
 }
 
+// shardRow packages one sweep cell from a finished run.
+func shardRow(benchName string, nodes, shards int, horizon uint64, out runOut) ShardRow {
+	row := ShardRow{
+		Benchmark:     benchName,
+		Nodes:         nodes,
+		Shards:        shards,
+		Horizon:       horizon,
+		Cycles:        out.cycles,
+		Result:        out.result,
+		Perf:          out.perf,
+		CrossMessages: out.cross,
+	}
+	if so := out.stats.Shard; so != nil {
+		row.BarrierWaitFraction = so.BarrierWaitFraction
+		row.FallbackPct = so.FallbackPct
+		row.BarriersPer1k = so.BarriersPer1k
+	}
+	if eo := out.stats.Epoch; eo != nil {
+		row.EpochCyclesPct = eo.EpochCyclesPct
+	}
+	return row
+}
+
+// compareShardRuns cross-checks a sweep cell against its baseline run.
+func compareShardRuns(out, base runOut) (speedup float64, identical bool) {
+	identical = out.cycles == base.cycles && out.result == base.result &&
+		reflect.DeepEqual(out.stats.PerNode, base.stats.PerNode)
+	if out.perf.WallSeconds > 0 {
+		speedup = base.perf.WallSeconds / out.perf.WallSeconds
+	}
+	return speedup, identical
+}
+
+// HorizonSweep measures the epoch-window cap's effect on a sharded
+// machine: the same benchmark and shard count at several -horizon
+// values (1 degenerates to per-cycle barriers, 0 is unbounded), each
+// cross-checked bit-identical against the k=1 row. The interesting
+// columns are BarriersPer1k and EpochCyclesPct: raising the cap must
+// monotonically shift cycles from the phased path into windows without
+// moving a single simulated result.
+func HorizonSweep(benchName string, sizes Sizes, nodes, shards int, horizons []uint64) ([]ShardRow, error) {
+	src := sizes.Source(benchName)
+	var rows []ShardRow
+	var base runOut
+	for i, k := range horizons {
+		out, err := alewifeOnce(src, nodes, alewifeOpts{shards: shards, memBytes: 2 << 30, horizon: k})
+		if err != nil {
+			return nil, fmt.Errorf("horizon sweep %dp/%dshards/k=%d: %w", nodes, shards, k, err)
+		}
+		row := shardRow(benchName, nodes, shards, k, out)
+		if i == 0 {
+			base = out
+			row.Speedup, row.Identical = 1, true
+		} else {
+			row.Speedup, row.Identical = compareShardRuns(out, base)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// alewifeOpts selects the machine variant alewifeOnce measures.
+type alewifeOpts struct {
+	// reference selects the pre-overhaul cost profile: reference
+	// stepping loop, opcode-switch interpreter, eagerly materialized
+	// memory.
+	reference bool
+	// shards > 1 runs the sharded loop (mutually exclusive with
+	// reference, which forces one shard).
+	shards int
+	// memBytes sizes simulated memory (0 = the 256 MB default); memory
+	// is demand-paged, so a large address space costs only what the run
+	// touches.
+	memBytes uint32
+	// disableEpoch keeps the compiled tier but turns multi-node epoch
+	// windows off (sim.Config.DisableEpoch) — the PR 8 configuration.
+	disableEpoch bool
+	// horizon caps epoch windows at this many cycles (0 = unbounded).
+	horizon uint64
+}
+
 // alewifeOnce runs one benchmark on a fresh full-memory-system machine.
-// reference selects the pre-overhaul cost profile: reference stepping
-// loop, opcode-switch interpreter, eagerly materialized memory. shards
-// > 1 runs the sharded loop (mutually exclusive with reference, which
-// forces one shard). memBytes sizes simulated memory (0 = the 256 MB
-// default); memory is demand-paged, so a large address space costs
-// only what the run touches.
-func alewifeOnce(src string, nodes int, reference bool, shards int, memBytes uint32) (runOut, error) {
+func alewifeOnce(src string, nodes int, o alewifeOpts) (runOut, error) {
 	// The GC bracket matches the wall-clock bracket: it covers machine
 	// construction too, so the baseline pays for eager materialization
 	// where the optimized side demand-pages only the touched footprint.
@@ -176,15 +260,17 @@ func alewifeOnce(src string, nodes int, reference bool, shards int, memBytes uin
 		Nodes:              nodes,
 		Profile:            rts.APRIL,
 		Alewife:            &sim.AlewifeConfig{},
-		DisableFastForward: reference,
-		DisablePredecode:   reference,
-		Shards:             shards,
-		MemoryBytes:        memBytes,
+		DisableFastForward: o.reference,
+		DisablePredecode:   o.reference,
+		Shards:             o.shards,
+		MemoryBytes:        o.memBytes,
+		DisableEpoch:       o.disableEpoch,
+		Horizon:            o.horizon,
 	})
 	if err != nil {
 		return runOut{}, err
 	}
-	if reference {
+	if o.reference {
 		m.Mem.Materialize()
 	}
 	prog, err := mult.Compile(src, mult.Mode{HardwareFutures: true}, m.StaticHeap())
@@ -211,20 +297,30 @@ func alewifeOnce(src string, nodes int, reference bool, shards int, memBytes uin
 	}
 	out.stats.CrossShardMessages = out.cross
 	out.stats.Shard = shardOverhead(m)
+	out.stats.Epoch = epochOverhead(m)
 	return out, nil
 }
 
 // AlewifePerf measures one AlewifeRow: the named benchmark on an
-// ALEWIFE machine of the given size, reference vs optimized.
+// ALEWIFE machine of the given size, reference vs compiled-without-
+// epochs vs fully optimized.
 func AlewifePerf(benchName string, sizes Sizes, nodes int) (AlewifeRow, error) {
 	src := sizes.Source(benchName)
-	base, err := alewifeOnce(src, nodes, true, 1, 0)
+	base, err := alewifeOnce(src, nodes, alewifeOpts{reference: true})
 	if err != nil {
 		return AlewifeRow{}, fmt.Errorf("alewife reference run: %w", err)
 	}
-	opt, err := alewifeOnce(src, nodes, false, 1, 0)
+	comp, err := alewifeOnce(src, nodes, alewifeOpts{disableEpoch: true})
+	if err != nil {
+		return AlewifeRow{}, fmt.Errorf("alewife compiled-no-epoch run: %w", err)
+	}
+	opt, err := alewifeOnce(src, nodes, alewifeOpts{})
 	if err != nil {
 		return AlewifeRow{}, fmt.Errorf("alewife optimized run: %w", err)
+	}
+	same := func(a, b runOut) bool {
+		return a.cycles == b.cycles && a.result == b.result &&
+			reflect.DeepEqual(a.stats.PerNode, b.stats.PerNode)
 	}
 	row := AlewifeRow{
 		Benchmark: benchName,
@@ -232,12 +328,14 @@ func AlewifePerf(benchName string, sizes Sizes, nodes int) (AlewifeRow, error) {
 		Cycles:    opt.cycles,
 		Result:    opt.result,
 		Baseline:  base.perf,
+		Compiled:  comp.perf,
 		Optimized: opt.perf,
-		Identical: base.cycles == opt.cycles && base.result == opt.result &&
-			reflect.DeepEqual(base.stats.PerNode, opt.stats.PerNode),
+		Epoch:     opt.stats.Epoch,
+		Identical: same(base, opt) && same(comp, opt),
 	}
 	if row.Optimized.WallSeconds > 0 {
 		row.Speedup = row.Baseline.WallSeconds / row.Optimized.WallSeconds
+		row.EpochSpeedup = row.Compiled.WallSeconds / row.Optimized.WallSeconds
 	}
 	return row, nil
 }
@@ -319,13 +417,42 @@ func Table3Perf(cfg Table3Config, sizesName string) (PerfReport, error) {
 	if err != nil {
 		return PerfReport{}, err
 	}
+
+	// Horizon sweep: the epoch-window cap on the 64-node 2-shard
+	// machine, from the degenerate per-cycle k=1 up to the slab width
+	// (rows of the torus per shard — the depth of the contiguous slab
+	// each shard owns).
+	rep.HorizonSweep, err = HorizonSweep("queens", cfg.Sizes, 64, 2, horizonCaps(64, 2))
+	if err != nil {
+		return PerfReport{}, err
+	}
 	return rep, nil
+}
+
+// horizonCaps is the sweep schedule {1, 2, 4, slab-width}: slab width
+// is the number of torus rows per shard — the depth of the contiguous
+// slab a shard owns, and the natural upper bound a decoupled-fabric
+// lookahead could justify (network.PartitionLookahead).
+func horizonCaps(nodes, shards int) []uint64 {
+	geo := network.FitGeometry(nodes)
+	rows := geo.Nodes() / geo.Radix
+	slab := uint64(rows / shards)
+	caps := []uint64{1, 2, 4}
+	if slab > 4 {
+		caps = append(caps, slab)
+	}
+	return caps
 }
 
 // ShardsIdentical reports whether every shard-scaling row reproduced
 // its sequential baseline bit-identically.
 func (r PerfReport) ShardsIdentical() bool {
 	for _, row := range r.ShardScaling {
+		if !row.Identical {
+			return false
+		}
+	}
+	for _, row := range r.HorizonSweep {
 		if !row.Identical {
 			return false
 		}
@@ -360,8 +487,13 @@ func (r PerfReport) Summary() string {
 		if !a.Identical {
 			aident = "MISMATCH"
 		}
-		s += fmt.Sprintf("\n  alewife %s %dp: %.2fs -> %.2fs (%.2fx, results %s)",
-			a.Benchmark, a.Nodes, a.Baseline.WallSeconds, a.Optimized.WallSeconds, a.Speedup, aident)
+		s += fmt.Sprintf("\n  alewife %s %dp: %.2fs -> %.2fs -> %.2fs (%.2fx overall, %.2fx from epochs, results %s)",
+			a.Benchmark, a.Nodes, a.Baseline.WallSeconds, a.Compiled.WallSeconds,
+			a.Optimized.WallSeconds, a.Speedup, a.EpochSpeedup, aident)
+		if e := a.Epoch; e != nil {
+			s += fmt.Sprintf("\n  alewife epochs: %d windows, %.1f%% of cycles inside, %d fallbacks",
+				e.Windows, e.EpochCyclesPct, e.Fallbacks)
+		}
 		s += fmt.Sprintf("\n  alewife gc: %.0f -> %.0f allocs/Mcycle, %.0f -> %.0f KB/Mcycle",
 			a.Baseline.AllocsPerMcycle, a.Optimized.AllocsPerMcycle,
 			a.Baseline.BytesPerMcycle/1024, a.Optimized.BytesPerMcycle/1024)
@@ -371,9 +503,19 @@ func (r PerfReport) Summary() string {
 		if !row.Identical {
 			sident = "MISMATCH"
 		}
-		s += fmt.Sprintf("\n  shards %s %4dp x%d: %6.2fs (%.2fx vs 1 shard, %d cross msgs, barrier %4.1f%%, fallback %4.1f%%, results %s)",
+		s += fmt.Sprintf("\n  shards %s %4dp x%d: %6.2fs (%.2fx vs 1 shard, %d cross msgs, barrier %4.1f%%, fallback %4.1f%%, %.0f barriers/1k, epoch %4.1f%%, results %s)",
 			row.Benchmark, row.Nodes, row.Shards, row.Perf.WallSeconds, row.Speedup,
-			row.CrossMessages, 100*row.BarrierWaitFraction, row.FallbackPct, sident)
+			row.CrossMessages, 100*row.BarrierWaitFraction, row.FallbackPct,
+			row.BarriersPer1k, row.EpochCyclesPct, sident)
+	}
+	for _, row := range r.HorizonSweep {
+		sident := "IDENTICAL"
+		if !row.Identical {
+			sident = "MISMATCH"
+		}
+		s += fmt.Sprintf("\n  horizon %s %4dp x%d k=%-3d %6.2fs (%.0f barriers/1k, epoch %4.1f%%, results %s)",
+			row.Benchmark, row.Nodes, row.Shards, row.Horizon, row.Perf.WallSeconds,
+			row.BarriersPer1k, row.EpochCyclesPct, sident)
 	}
 	if o := r.WorkerOccupancy; o != nil {
 		s += fmt.Sprintf("\n  harness: %d workers, %.0f%% busy over %.2fs",

@@ -69,6 +69,13 @@ type Table3Config struct {
 	// the compiled tier translates it (0 = the default, 8).
 	CompileThreshold int
 
+	// NoEpoch turns off the epoch engine (sim.Config.DisableEpoch) —
+	// multi-node lockstep windows through the compiled tier — and
+	// Horizon caps its windows in cycles (sim.Config.Horizon; 0 =
+	// unbounded). Results are bit-identical at any setting.
+	NoEpoch bool
+	Horizon uint64
+
 	// Perf, when non-nil, receives the whole grid's aggregate host-side
 	// throughput (simulated cycles and instructions over the grid's
 	// wall-clock time).
@@ -105,6 +112,11 @@ type RunStats struct {
 	// loop's host-side telemetry.
 	CrossShardMessages uint64         `json:"cross_shard_messages,omitempty"`
 	Shard              *ShardOverhead `json:"shard,omitempty"`
+
+	// Epoch appears when the epoch engine committed at least one
+	// window: multi-node lockstep execution through the compiled tier
+	// (sim's epoch.go). Purely observational, like Shard.
+	Epoch *EpochOverhead `json:"epoch,omitempty"`
 }
 
 // ShardOverhead is the sharded run loop's host-side telemetry for one
@@ -117,6 +129,8 @@ type ShardOverhead struct {
 	SequentialCycles uint64 `json:"sequential_cycles"`
 	FallbackStop     uint64 `json:"fallback_stop"`
 	FallbackSmall    uint64 `json:"fallback_small"`
+	FallbackEpoch    uint64 `json:"fallback_epoch"`
+	Barriers         uint64 `json:"barriers"`
 	LocalSteps       uint64 `json:"local_steps"`
 	GlobalSteps      uint64 `json:"global_steps"`
 	StopSteps        uint64 `json:"stop_steps"`
@@ -129,11 +143,57 @@ type ShardOverhead struct {
 	// FallbackPct is the percentage of executed cycles that ran on the
 	// sequential fallback path instead of the parallel one.
 	FallbackPct float64 `json:"fallback_pct"`
+	// BarriersPer1k is worker-pool joins per 1000 simulated cycles —
+	// the bulk-synchronous overhead epoch batches amortize away.
+	BarriersPer1k float64 `json:"barriers_per_1k_cycles"`
 
 	// Per-shard load: executed steps and busy wall time, indexed by
 	// shard.
 	ShardLocalSteps []uint64 `json:"shard_local_steps"`
 	ShardBusyNS     []uint64 `json:"shard_busy_ns"`
+}
+
+// EpochOverhead is the epoch engine's telemetry for one run: lockstep
+// windows committed, the cycles and node-steps they absorbed, and how
+// they ended (sim.EpochStats, serialized).
+type EpochOverhead struct {
+	Windows    uint64 `json:"windows"`
+	Cycles     uint64 `json:"cycles"`
+	Ops        uint64 `json:"ops"`
+	PartialOps uint64 `json:"partial_ops"`
+	Fallbacks  uint64 `json:"fallbacks"`
+	// LenHist is the committed-window-length histogram in power-of-two
+	// buckets (index b counts windows of bit-length-b complete cycles).
+	LenHist []uint64 `json:"len_hist"`
+	// EpochCyclesPct is the share of simulated cycles committed inside
+	// windows.
+	EpochCyclesPct float64 `json:"epoch_cycles_pct"`
+}
+
+// epochOverhead summarizes m's epoch telemetry; nil when the engine
+// never committed a window.
+func epochOverhead(m *sim.Machine) *EpochOverhead {
+	t := m.EpochTelemetry()
+	if t.Windows == 0 {
+		return nil
+	}
+	eo := &EpochOverhead{
+		Windows:    t.Windows,
+		Cycles:     t.Cycles,
+		Ops:        t.Ops,
+		PartialOps: t.PartialOps,
+		Fallbacks:  t.Fallbacks,
+	}
+	hist := t.LenHist
+	last := len(hist)
+	for last > 0 && hist[last-1] == 0 {
+		last--
+	}
+	eo.LenHist = append(eo.LenHist, hist[:last]...)
+	if now := m.Now(); now > 0 {
+		eo.EpochCyclesPct = 100 * float64(t.Cycles) / float64(now)
+	}
+	return eo
 }
 
 // shardOverhead summarizes m's PDES telemetry; nil for unsharded runs.
@@ -149,6 +209,8 @@ func shardOverhead(m *sim.Machine) *ShardOverhead {
 		SequentialCycles: p.SequentialCycles,
 		FallbackStop:     p.FallbackStop,
 		FallbackSmall:    p.FallbackSmall,
+		FallbackEpoch:    p.FallbackEpoch,
+		Barriers:         p.Barriers,
 		LocalSteps:       p.LocalSteps,
 		GlobalSteps:      p.GlobalSteps,
 		StopSteps:        p.StopSteps,
@@ -160,6 +222,9 @@ func shardOverhead(m *sim.Machine) *ShardOverhead {
 	}
 	if total := p.ParallelCycles + p.SequentialCycles; total > 0 {
 		so.FallbackPct = 100 * float64(p.SequentialCycles) / float64(total)
+	}
+	if now := m.Now(); now > 0 {
+		so.BarriersPer1k = 1000 * float64(p.Barriers) / float64(now)
 	}
 	for _, t := range tel {
 		so.ShardLocalSteps = append(so.ShardLocalSteps, t.LocalSteps)
@@ -195,7 +260,8 @@ func runOnce(src string, mode mult.Mode, prof rts.Profile, lazy bool, nodes int,
 	start := time.Now()
 	m, err := sim.New(sim.Config{Nodes: nodes, Profile: prof, Lazy: lazy,
 		DisableFastForward: cfg.Naive, DisablePredecode: cfg.Naive, Shards: cfg.Shards,
-		DisableCompile: cfg.NoCompile, CompileThreshold: cfg.CompileThreshold})
+		DisableCompile: cfg.NoCompile, CompileThreshold: cfg.CompileThreshold,
+		DisableEpoch: cfg.NoEpoch, Horizon: cfg.Horizon})
 	naive := cfg.Naive
 	if err != nil {
 		return runOut{}, err
@@ -230,6 +296,7 @@ func runOnce(src string, mode mult.Mode, prof rts.Profile, lazy bool, nodes int,
 	}
 	rs.CrossShardMessages = m.CrossShardMessages()
 	rs.Shard = shardOverhead(m)
+	rs.Epoch = epochOverhead(m)
 	return runOut{
 		cycles: res.Cycles,
 		result: res.Formatted,

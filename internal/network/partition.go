@@ -108,3 +108,64 @@ func Lookahead(n Network) uint64 {
 		return 1
 	}
 }
+
+// PartitionLookahead is the per-shard refinement of Lookahead: the
+// minimum number of cycles between shard s sending a message and the
+// earliest cycle at which any node OUTSIDE the shard can observe it.
+// Messages within the shard are invisible to other shards regardless of
+// latency, so only cross-boundary traffic bounds the window; a shard
+// whose nearest foreign node is far away can run ahead of the barrier
+// for the whole transit time even when the global Lookahead is 1.
+//
+// The ideal backend delivers at a flat latency, so every shard's window
+// is that latency. On the torus the bound is the shortest
+// dimension-order route from any node in the block to any node outside
+// it: contiguous id blocks are slabs of the cube, so for interior
+// shards this is the one-hop distance across the slab face, but
+// non-power-of-two shapes and uneven blocks can strand a shard farther
+// from its nearest neighbor. The transit of a minimum-size packet is
+// one cycle per hop with delivery on the following tick, so hops is a
+// conservative lower bound and at least 1 (the global barrier floor).
+//
+// When the partition has a single shard there is no cross-boundary
+// traffic at all; the window is bounded by the backend alone and the
+// global Lookahead is returned.
+func PartitionLookahead(n Network, p Partition, s int) uint64 {
+	if p.Shards() <= 1 {
+		return Lookahead(n)
+	}
+	t, ok := n.(*Torus)
+	if !ok {
+		return Lookahead(n)
+	}
+	geo := t.Geometry()
+	lo, hi := p.Block(s)
+	min := 0
+	for src := lo; src < hi; src++ {
+		for dst := 0; dst < p.Nodes(); dst++ {
+			if dst >= lo && dst < hi {
+				continue
+			}
+			if h := geo.Hops(src, dst); min == 0 || h < min {
+				min = h
+			}
+		}
+	}
+	if min < 1 {
+		min = 1
+	}
+	return uint64(min)
+}
+
+// MinPartitionLookahead folds PartitionLookahead over every shard: the
+// largest horizon the whole machine can commit between barriers when
+// every shard must stay inside its own window.
+func MinPartitionLookahead(n Network, p Partition) uint64 {
+	min := PartitionLookahead(n, p, 0)
+	for s := 1; s < p.Shards(); s++ {
+		if la := PartitionLookahead(n, p, s); la < min {
+			min = la
+		}
+	}
+	return min
+}

@@ -98,3 +98,77 @@ func TestShardLookahead(t *testing.T) {
 		t.Errorf("nil backend lookahead = %d, want the conservative 1", got)
 	}
 }
+
+// TestPartitionLookaheadIdeal: a flat-latency backend gives every shard
+// the full latency-L window regardless of the block layout.
+func TestPartitionLookaheadIdeal(t *testing.T) {
+	n := NewIdeal(12, 20)
+	p := ComputePartition(12, 3)
+	for s := 0; s < p.Shards(); s++ {
+		if got := PartitionLookahead(n, p, s); got != 20 {
+			t.Errorf("ideal shard %d lookahead = %d, want 20", s, got)
+		}
+	}
+	if got := MinPartitionLookahead(n, p); got != 20 {
+		t.Errorf("ideal min lookahead = %d, want 20", got)
+	}
+}
+
+// TestPartitionLookaheadTorus: contiguous blocks are slabs, so adjacent
+// shards sit one hop apart; a single-shard partition has no
+// cross-boundary traffic and falls back to the global Lookahead.
+func TestPartitionLookaheadTorus(t *testing.T) {
+	tor, err := NewTorus(Geometry{Dim: 2, Radix: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ComputePartition(16, 4) // 4 slabs of 4: each a full row
+	for s := 0; s < p.Shards(); s++ {
+		if got := PartitionLookahead(tor, p, s); got != 1 {
+			t.Errorf("torus shard %d lookahead = %d, want 1 (adjacent slabs)", s, got)
+		}
+	}
+	if got := PartitionLookahead(tor, ComputePartition(16, 1), 0); got != Lookahead(tor) {
+		t.Errorf("single-shard lookahead = %d, want global %d", got, Lookahead(tor))
+	}
+}
+
+// TestPartitionLookaheadNonPowerOfTwo: a 3-ary 2-cube (9 nodes) split
+// unevenly — every hop count must come from real dimension-order
+// distances on the odd radix, and blocks that do not align with rows
+// still touch a foreign node one hop away.
+func TestPartitionLookaheadNonPowerOfTwo(t *testing.T) {
+	tor, err := NewTorus(Geometry{Dim: 2, Radix: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ComputePartition(9, 2) // blocks [0,4) and [4,9)
+	for s := 0; s < p.Shards(); s++ {
+		if got := PartitionLookahead(tor, p, s); got != 1 {
+			t.Errorf("9-node shard %d lookahead = %d, want 1", s, got)
+		}
+	}
+	// Exhaustively verify the reported minimum is achievable and tight
+	// for every shard of a 3-shard split.
+	p = ComputePartition(9, 3)
+	for s := 0; s < p.Shards(); s++ {
+		lo, hi := p.Block(s)
+		want := 0
+		for src := lo; src < hi; src++ {
+			for dst := 0; dst < 9; dst++ {
+				if dst >= lo && dst < hi {
+					continue
+				}
+				if h := tor.Geometry().Hops(src, dst); want == 0 || h < want {
+					want = h
+				}
+			}
+		}
+		if want < 1 {
+			want = 1
+		}
+		if got := PartitionLookahead(tor, p, s); got != uint64(want) {
+			t.Errorf("3-shard shard %d lookahead = %d, want %d", s, got, want)
+		}
+	}
+}

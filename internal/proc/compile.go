@@ -209,6 +209,20 @@ outer:
 		// Cold or unfusable PC: one op through the dispatch table.
 		u := &micro[pc]
 		if !memOK && memTouchKinds[u.Kind] {
+			// Non-perfect memory: the full dispatch path could stamp
+			// network messages mid-window, so only a provable clock-free
+			// cache hit may run here. epochMem touches no state when it
+			// refuses, and Kinds counts only completed dispatches (the
+			// caller's fallback Step counts the refused one).
+			if u.Kind == isa.MMem && p.epochMem(f, u) {
+				p.Kinds[u.Kind]++
+				fops++
+				nret++
+				lastRet = int64(t)
+				t++
+				ran = true
+				continue
+			}
 			break
 		}
 		p.Kinds[u.Kind]++
@@ -298,7 +312,11 @@ func (p *Processor) fusedOp(f *core.Frame, u *isa.Micro) bool {
 	e := p.Engine
 	switch u.Kind {
 	case isa.MMem:
-		return p.fusedMem(f, u)
+		// Perfect memory fuses through the plain-access fast path; an
+		// ALEWIFE port fuses exactly the clock-free cache hits (the two
+		// are mutually exclusive: perfMem and epochPort are never both
+		// set).
+		return p.fusedMem(f, u) || p.epochMem(f, u)
 	case isa.MNop:
 		f.PC++
 		f.NPC = f.PC + 1

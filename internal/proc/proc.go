@@ -112,13 +112,15 @@ type Processor struct {
 	// machine state the differential tests compare.
 	Kinds [isa.NumMicroKinds]uint64
 
-	// FusedOps counts dispatches executed inside StepFused windows, and
+	// FusedOps counts dispatches executed inside StepFused windows,
 	// InlineSteps the single Steps resolved by the superinstruction
-	// handlers outside a window — compile-tier coverage telemetry (the
-	// "compile" counter group), outside Stats for the same reason as
-	// Kinds.
+	// handlers outside a window, and EpochOps the ops executed by
+	// EpochStep inside multi-node epoch windows — compile-tier coverage
+	// telemetry (the "compile" counter group), outside Stats for the
+	// same reason as Kinds.
 	FusedOps    uint64
 	InlineSteps uint64
+	EpochOps    uint64
 
 	// Compile-tier state (see compile.go), installed by SetCompile:
 	// the machine's block translation set, the run-termination flag the
@@ -128,6 +130,12 @@ type Processor struct {
 	blocks  *isa.BlockSet
 	done    *bool
 	perfMem *mem.Memory
+
+	// epochPort, when non-nil, is the clock-free cache-hit slice of an
+	// ALEWIFE memory port (see epoch.go), letting the superinstruction
+	// handlers complete plain cached accesses without the full port
+	// call — and letting epoch windows cross them.
+	epochPort EpochPort
 }
 
 // New creates a processor over the given engine and program.

@@ -508,6 +508,56 @@ func (c *cacheCtl) Access(addr uint32, f isa.MemFlavor, store bool, value isa.Wo
 	return res, err
 }
 
+// EpochHit implements proc.EpochPort: the clock-free slice of access's
+// hit path, driven by the epoch engine and the superinstruction
+// handlers without a fabric tick. It completes a plain access iff the
+// block is cached with the required permission — a store needs the
+// exclusive copy; a load is satisfied by any copy — and mirrors the
+// full hit path byte for byte: the same cache Lookup (hit counter and
+// LRU touch), the same FEAccess against the flat store, the same dirty
+// marking, and the same interlock release. Everything else (miss,
+// upgrade, out-of-range address) refuses with no state touched, so the
+// caller's fallback through Access observes exactly the state the
+// reference path would. The callers exclude full/empty-flavored
+// accesses, so needWrite reduces to store and FEAccess cannot
+// sync-fault. Note Probe, not Lookup, makes the refusal decision: a
+// refused access must not pre-count the miss the full path is about to
+// count. (The invariant checkers force the compiled tier off, so the
+// checkBlock audit in Access has no counterpart here.)
+func (c *cacheCtl) EpochHit(addr uint32, store bool, value isa.Word) (isa.Word, bool, bool) {
+	block := c.blockOf(addr)
+	st, hit := c.cache.Probe(block)
+	if !hit || (store && st != cache.Exclusive) || !c.mem().InRange(addr) {
+		return 0, false, false
+	}
+	if _, held := c.locked[block]; held {
+		// A hit releases the first-use interlock, and a recall deferred
+		// on that lock would then fire on the very next tick — earlier
+		// than the nextEvent() horizon the epoch window was proved
+		// against (which prices deferred recalls at lock expiry). Only
+		// the per-op path, which ticks the fabric every cycle, may
+		// perform that release.
+		for i := range c.recallQ {
+			if c.recallQ[i].msg.Block == block {
+				return 0, false, false
+			}
+		}
+	}
+	c.cache.Lookup(block)
+	res, err := proc.FEAccess(c.mem(), addr, isa.MemFlavor{}, store, value)
+	if err != nil {
+		// Unreachable: InRange held above and a plain flavored access
+		// has no other failure mode. Refusing would desynchronize the
+		// Lookup already counted, so fail loudly instead.
+		panic(err)
+	}
+	if store {
+		c.cache.MarkDirty(block)
+	}
+	delete(c.locked, block)
+	return res.Value, res.Full, true
+}
+
 func (c *cacheCtl) access(addr uint32, f isa.MemFlavor, store bool, value isa.Word) (proc.MemResult, error) {
 	needWrite := store || f.ResetFE || f.SetFE
 	block := c.blockOf(addr)

@@ -100,6 +100,24 @@ type Config struct {
 	// before it is translated (0 = isa.DefaultCompileThreshold).
 	CompileThreshold int
 
+	// DisableEpoch turns off the epoch engine (see epoch.go): multi-node
+	// lockstep execution through the compiled tier across provably safe
+	// horizons. As with the other tier knobs, simulated results are
+	// bit-identical either way; disabling leaves the per-cycle stepping
+	// of the same ops as the differential oracle for epoch windows. The
+	// engine is implied off by anything that disarms the compiled tier
+	// (DisablePredecode, DisableCompile, DisableFastForward, Check).
+	DisableEpoch bool
+
+	// Horizon caps the epoch engine's window length in cycles: 0 means
+	// auto (windows bounded only by the provable safe horizon — the
+	// next wake, network event, sampler boundary, or watchdog
+	// watermark), and k >= 1 additionally caps every window at k
+	// cycles. 1 therefore degenerates to per-cycle stepping (a 1-cycle
+	// window cannot beat the per-cycle path and is never opened), which
+	// is the -horizon sweep's baseline point.
+	Horizon uint64
+
 	// Faults, when non-nil, arms the seeded perturbation plan: bounded
 	// per-hop delay jitter, transient link stalls, and delayed directory
 	// replies (see internal/fault). Timing shifts, results must not:
@@ -154,8 +172,12 @@ type Machine struct {
 
 	// compileOn reports that Load armed the fused-block tier on every
 	// node; the run loops then try fusedStep (compile.go) whenever a
-	// cycle has exactly one stepper.
+	// cycle has exactly one stepper. epochOn additionally arms the
+	// multi-node epoch engine (epoch.go) for cycles with two or more
+	// steppers; epochTel is its telemetry (see telemetry.go).
 	compileOn bool
+	epochOn   bool
+	epochTel  EpochStats
 
 	// The work-proportional run loop's node scheduler (see wake.go):
 	// nodes executing 1-cycle instructions live on the sorted running
@@ -347,6 +369,17 @@ func (m *Machine) Load(prog *isa.Program) error {
 				n.Proc.SetCompile(bs, &m.Sched.MainDone)
 			}
 			m.compileOn = true
+			if m.Cfg.Alewife != nil {
+				// ALEWIFE blocks exclude memory ops, but the clock-free
+				// cache-hit port lets both the per-op superinstruction
+				// path and epoch windows cross plain cached accesses.
+				for _, n := range m.Nodes {
+					n.Proc.SetEpochPort(n.cache)
+				}
+			}
+			// The epoch engine rides on the compiled tier: multi-node
+			// lockstep windows execute exclusively epoch-safe fused ops.
+			m.epochOn = !m.Cfg.DisableEpoch
 		}
 	}
 	main := m.Sched.NewThread(0)
@@ -674,6 +707,24 @@ func (m *Machine) runFastUntil(limit uint64) (hitLimit bool, err error) {
 			if used {
 				steps = nil
 			}
+		} else if m.epochOn && len(steps) > 1 {
+			// Two or more steppers: try a lockstep epoch window across
+			// the group's safe horizon (see epoch.go).
+			si, epochFull := m.epochWindow(steps, limit)
+			if epochFull {
+				// Whole window committed: every stepper ran 1-cycle ops,
+				// so the running list's content is unchanged and the
+				// fabric already replayed its no-op ticks.
+				m.running = append(keep, steps...)
+				if err := m.watchdogs(); err != nil {
+					return false, err
+				}
+				continue
+			}
+			// Mid-epoch fallback (or no window): steps[:si] already
+			// stepped in the current cycle; finish it per-op below.
+			keep = append(keep, steps[:si]...)
+			steps = steps[si:]
 		}
 		for _, id := range steps {
 			n := m.Nodes[id]

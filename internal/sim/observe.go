@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"april/internal/network"
 	"april/internal/proc"
 	"april/internal/trace"
 )
@@ -116,15 +117,41 @@ func (m *Machine) CounterRegistry() *trace.Registry {
 					total += k
 				}
 			}
+			var epoch uint64
+			for _, n := range m.Nodes {
+				epoch += n.Proc.EpochOps
+			}
 			bs := m.Nodes[0].Proc.Blocks()
 			return map[string]uint64{
 				"fused_ops":         fused,
 				"inline_steps":      inline,
+				"epoch_ops":         epoch,
 				"dispatches":        total,
 				"translated_blocks": bs.Blocks,
 				"unfusable_entries": bs.NoBlocks,
 				"threshold":         uint64(bs.Threshold),
 			}
+		})
+	}
+	if m.epochOn {
+		// Epoch engine coverage (epoch.go): lockstep windows committed,
+		// cycles and ops they absorbed, mid-epoch fallbacks, and the
+		// committed-window-length histogram in power-of-two buckets
+		// (len_p2_b counts windows of 2^(b-1)..2^b-1 complete cycles;
+		// b=0 is windows that only committed a partial cycle).
+		r.Register("epoch", func() map[string]uint64 {
+			t := m.epochTel
+			out := map[string]uint64{
+				"windows":     t.Windows,
+				"cycles":      t.Cycles,
+				"ops":         t.Ops,
+				"partial_ops": t.PartialOps,
+				"fallbacks":   t.Fallbacks,
+			}
+			for b, c := range t.LenHist {
+				out[fmt.Sprintf("len_p2_%d", b)] = c
+			}
+			return out
 		})
 	}
 	for i, n := range m.Nodes {
@@ -195,6 +222,9 @@ func (m *Machine) CounterRegistry() *trace.Registry {
 				"sequential_cycles":     p.SequentialCycles,
 				"fallback_stop":         p.FallbackStop,
 				"fallback_small":        p.FallbackSmall,
+				"fallback_epoch":        p.FallbackEpoch,
+				"barriers":              p.Barriers,
+				"barriers_per_1k":       safePer1k(p.Barriers, m.now),
 				"local_steps":           p.LocalSteps,
 				"global_steps":          p.GlobalSteps,
 				"stop_steps":            p.StopSteps,
@@ -208,10 +238,18 @@ func (m *Machine) CounterRegistry() *trace.Registry {
 			s := s
 			lo, hi := m.part.Block(s)
 			nodes := uint64(hi - lo)
+			var lookahead uint64 = 1
+			if m.net != nil {
+				lookahead = network.PartitionLookahead(m.net.net, m.part, s)
+			}
 			r.Register(fmt.Sprintf("shard%d.pdes", s), func() map[string]uint64 {
 				t := m.shardTel[s]
 				return map[string]uint64{
-					"nodes":          nodes,
+					"nodes": nodes,
+					// Static per-slab lookahead: cycles before this
+					// shard's sends become visible outside it
+					// (network.PartitionLookahead).
+					"lookahead":      lookahead,
 					"local_steps":    t.LocalSteps,
 					"busy_ns":        t.BusyNS,
 					"fabric_handled": t.FabricHandled,
@@ -238,4 +276,13 @@ func (m *Machine) CounterRegistry() *trace.Registry {
 		return out
 	})
 	return r
+}
+
+// safePer1k scales a counter to events per 1000 simulated cycles,
+// guarding the cycle-0 snapshot.
+func safePer1k(count, cycles uint64) uint64 {
+	if cycles == 0 {
+		return 0
+	}
+	return count * 1000 / cycles
 }

@@ -4,10 +4,20 @@
 //
 // The torus's lookahead is one cycle (network.Lookahead: a one-flit
 // message between adjacent nodes is observable one tick after the
-// send), so the safe horizon is a single cycle and the loop runs as
-// per-cycle bulk-synchronous phases rather than multi-cycle windows —
-// stretches where a longer horizon would pay are exactly the stretches
-// fastForwardUntil already crosses in one jump. Each cycle:
+// send), so the phased path commits one cycle per barrier. Two things
+// raise the loop above that floor. Stretches where no node steps are
+// crossed in one jump by fastForwardUntil. Stretches where every
+// stepper's next ops are epoch-safe run as multi-cycle lockstep
+// batches (epoch.go): the group's safe horizon — bounded by the
+// fabric's next event rather than the static per-hop lookahead — is
+// executed on the coordinator in reference order with zero barriers,
+// and the phased machinery below only runs on the cycles epochs cannot
+// cover. (network.PartitionLookahead refines the static bound per
+// shard — a slab's nearest foreign node can be several hops away — and
+// sizes the batch a decoupled-fabric design could commit; with the
+// fabric central, the engine conservatively uses the global event
+// horizon, which is never shorter than one lookahead window and
+// usually far longer.) Each phased cycle:
 //
 //  1. The coordinator classifies every node due to step this cycle
 //     (classifyStep). LOCAL steps touch only state the owning shard can
@@ -302,6 +312,7 @@ func (r *shardRunner) stop() {
 // the last worker checking in is pure synchronization overhead; it
 // accrues into PDESStats.BarrierWaitNS (host clock, observation only).
 func (r *shardRunner) parallel(fn func(int)) {
+	r.m.pdes.Barriers++
 	n := len(r.shards)
 	for s := 1; s < n; s++ {
 		r.jobs[s-1] <- fn
@@ -408,6 +419,37 @@ func (m *Machine) runShardedUntil(limit uint64) (hitLimit bool, err error) {
 		default:
 			m.mergeBuf = mergeSorted(m.mergeBuf[:0], m.running, due)
 			steps = m.mergeBuf
+		}
+
+		// Multi-cycle epoch batch: when the whole group's safe horizon
+		// spans several cycles, run the steppers in lockstep through the
+		// compiled tier (epoch.go) and pay the per-cycle machinery —
+		// classification, phase barriers, fabric staging — once per
+		// window instead of once per cycle. This is what lifts the
+		// sharded loop from per-cycle bulk-synchronous to k-cycle
+		// batches: barriers only happen on the cycles epochs cannot
+		// cover.
+		if m.epochOn && len(steps) > 1 {
+			si, epochFull := m.epochWindow(steps, limit)
+			if epochFull {
+				m.running = append(m.running[:0], steps...)
+				if err := m.watchdogs(); err != nil {
+					return false, err
+				}
+				continue
+			}
+			if si > 0 {
+				// Mid-epoch fallback: the cycle at m.now holds an
+				// epoch-unsafe op. steps[:si] already stepped; finish the
+				// cycle per-op in reference order (the sequential body).
+				m.pdes.SequentialCycles++
+				m.pdes.FallbackEpoch++
+				if err := m.epochFinishCycle(steps, si); err != nil {
+					return false, err
+				}
+				continue
+			}
+			// Nothing committed: classify and dispatch the cycle below.
 		}
 
 		// Classify the cycle's steppers into per-shard LOCAL lists and

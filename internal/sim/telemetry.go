@@ -21,6 +21,13 @@ type PDESStats struct {
 	SequentialCycles uint64 // cycles run through the sequential fallback
 	FallbackStop     uint64 // fallbacks forced by a STOP classification
 	FallbackSmall    uint64 // fallbacks because the cycle had fewer LOCAL steps than ShardBatch
+	FallbackEpoch    uint64 // sequential cycles entered from a mid-epoch stop (epoch.go)
+
+	// Barriers counts worker-pool joins (phase-1 steps and parallel
+	// fabric ticks both join once). Epoch batches are the mechanism
+	// that lowers barriers-per-1k-cycles below the per-cycle floor:
+	// cycles committed inside a window never reach the phased path.
+	Barriers uint64
 
 	// Classifier verdicts, counted per examined step (cycles that fall
 	// back still count the verdicts seen up to and including the STOP
@@ -50,6 +57,30 @@ type ShardTelemetry struct {
 	BusyNS        uint64 // host wall time inside this shard's phase bodies
 	FabricHandled uint64 // staged network deliveries handled
 	FabricFlushes uint64 // dirty controllers matured (recalls + outbox)
+}
+
+// EpochStats aggregates the epoch engine's behavior (epoch.go) over a
+// run: how often multi-node lockstep windows opened, how many cycles
+// and node-steps they absorbed, and how they ended. All-zero when the
+// engine is disarmed (DisableEpoch or anything disarming the compiled
+// tier). Like PDESStats, pure host-side observation: simulated results
+// are bit-identical with the engine on or off.
+type EpochStats struct {
+	Windows uint64 // windows that executed at least one op
+	Cycles  uint64 // complete simulated cycles committed inside windows
+	Ops     uint64 // node-steps executed inside windows
+	// PartialOps counts the steps of partially completed cycles (the
+	// prefix executed before a mid-epoch stop); Fallbacks counts the
+	// windows an epoch-unsafe op stopped (the rest ended at their
+	// horizon bound).
+	PartialOps uint64
+	Fallbacks  uint64
+	// LenHist is the committed-window-length histogram in power-of-two
+	// buckets: LenHist[b] counts windows whose complete-cycle count has
+	// bit length b — bucket 0 is fc=0 (only a partial cycle committed),
+	// bucket 1 is fc=1, bucket 2 is 2-3, bucket 3 is 4-7, and so on;
+	// the last bucket absorbs everything longer.
+	LenHist [17]uint64
 }
 
 // PDES returns the run loop's aggregate PDES telemetry. Zero-valued
