@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench perf compile-smoke epoch-smoke
+.PHONY: all build test verify bench perf compile-smoke epoch-smoke checkpoint-smoke
 
 all: verify
 
@@ -43,3 +43,24 @@ epoch-smoke:
 	$(GO) run ./cmd/april-bench -sizes test -shards 2 -epoch=false
 	$(GO) test -race -run Epoch -v ./internal/sim/
 	$(GO) test -run EpochSteadyStateAllocRate -v ./internal/sim/
+
+# Quick gate for checkpoint/restore: kill a checkpointed run mid-flight,
+# restore the newest image, and require bit-identical simulated stats;
+# then sabotage a run at a known cycle and require the bisector to pin
+# it exactly; then the snapshot differential matrix under race.
+checkpoint-smoke:
+	$(GO) build -o /tmp/april ./cmd/april
+	/tmp/april -n 64 -alewife -stats-json examples/progs/queens.mt | tail -1 > /tmp/ckpt-clean.json
+	rm -rf /tmp/ckpt-smoke
+	/tmp/april -n 64 -alewife -checkpoint-every 20000 \
+		-checkpoint-dir /tmp/ckpt-smoke -stats-json examples/progs/queens.mt & \
+	pid=$$!; for i in $$(seq 1 300); do \
+		ls /tmp/ckpt-smoke/ckpt-*.img >/dev/null 2>&1 && break; sleep 0.1; done; \
+	kill -KILL $$pid 2>/dev/null || true
+	/tmp/april -restore "$$(ls /tmp/ckpt-smoke/ckpt-*.img | tail -1)" -stats-json \
+		| tail -1 | diff - /tmp/ckpt-clean.json
+	rm -rf /tmp/ckpt-bisect
+	/tmp/april -n 8 -alewife -sabotage 150000 -max-cycles 250000 -checkpoint-every 20000 \
+		-checkpoint-keep 20 -checkpoint-dir /tmp/ckpt-bisect examples/progs/queens.mt || true
+	/tmp/april -bisect /tmp/ckpt-bisect | grep -q '^first violating cycle: 150000$$'
+	$(GO) test -race -run Snapshot -v ./internal/sim/

@@ -23,6 +23,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -37,6 +40,7 @@ import (
 	"april/internal/proc"
 	"april/internal/rts"
 	"april/internal/sim"
+	"april/internal/snapshot"
 	"april/internal/trace"
 	"april/internal/workload"
 )
@@ -180,6 +184,23 @@ type Options struct {
 	// ServeNotify, when non-nil, receives the server's base URL (e.g.
 	// "http://127.0.0.1:41873") once it is listening.
 	ServeNotify func(url string)
+	// CheckpointEvery, when nonzero, writes a restorable machine image
+	// into CheckpointDir every N simulated cycles (atomic write-rename;
+	// the last CheckpointKeep images are retained, default 8). A run
+	// killed or crashed mid-flight resumes from the newest image with
+	// Restore — bit-identically, reaching the same final state the
+	// uninterrupted run would have. Checkpointing composes with Serve
+	// (images are written between windows, and /checkpoint serves one
+	// on demand).
+	CheckpointEvery uint64
+	CheckpointDir   string
+	CheckpointKeep  int
+	// SabotageCycle, when nonzero, deliberately corrupts scheduler
+	// state at that cycle (a thread marked dead without recycling) so
+	// the invariant checkers must report a violation there. It is part
+	// of the run's identity and fires deterministically under every
+	// tier — the test and demo hook for crash recovery and Bisect.
+	SabotageCycle uint64
 }
 
 // TraceOptions selects a run's observability outputs. Any nil writer
@@ -205,12 +226,14 @@ type TraceOptions struct {
 	Capacity int
 }
 
-// enable attaches the requested observers to a built machine.
+// enable attaches the requested observers to a built machine. Already
+// attached observers are kept (a restored machine arms them during
+// decode so ring cursors continue from the image).
 func (t *TraceOptions) enable(m *sim.Machine) {
-	if t.ChromeOut != nil {
+	if t.ChromeOut != nil && m.Tracer() == nil {
 		m.EnableTracing(t.Capacity)
 	}
-	if t.TimelineOut != nil {
+	if t.TimelineOut != nil && m.Sampler() == nil {
 		m.EnableTimeline(t.SampleInterval)
 	}
 }
@@ -250,9 +273,12 @@ func executeRun(m *sim.Machine, o Options) (sim.Result, error) {
 	}
 	var res sim.Result
 	var err error
-	if o.Serve != "" {
+	switch {
+	case o.Serve != "":
 		res, err = runServed(m, o)
-	} else {
+	case o.CheckpointEvery > 0:
+		res, err = runCheckpointed(m, o)
+	default:
 		res, err = m.Run()
 	}
 	if err != nil {
@@ -264,6 +290,87 @@ func executeRun(m *sim.Machine, o Options) (sim.Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// defaultCheckpointKeep is how many checkpoint images a run retains
+// when Options.CheckpointKeep is zero: enough spread for the bisector
+// to bound a late divergence without flooding the directory.
+const defaultCheckpointKeep = 8
+
+// checkpointer writes periodic machine images with atomic
+// write-rename and bounded retention.
+type checkpointer struct {
+	every uint64
+	dir   string
+	keep  int
+	next  uint64   // cycle at/after which the next image is due
+	files []string // retained image paths, oldest first
+}
+
+func newCheckpointer(o Options, now uint64) (*checkpointer, error) {
+	dir := o.CheckpointDir
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("april: checkpoint dir: %w", err)
+	}
+	keep := o.CheckpointKeep
+	if keep <= 0 {
+		keep = defaultCheckpointKeep
+	}
+	return &checkpointer{every: o.CheckpointEvery, dir: dir, keep: keep, next: now + o.CheckpointEvery}, nil
+}
+
+// maybeWrite checkpoints the machine if a boundary has passed. Must be
+// called only at cycle boundaries (between RunWindow slices).
+func (c *checkpointer) maybeWrite(m *sim.Machine) error {
+	if m.Now() < c.next {
+		return nil
+	}
+	img, err := m.Snapshot()
+	if err != nil {
+		return fmt.Errorf("april: checkpoint: %w", err)
+	}
+	path := filepath.Join(c.dir, fmt.Sprintf("ckpt-%012d.img", m.Now()))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, img, 0o644); err != nil {
+		return fmt.Errorf("april: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("april: checkpoint: %w", err)
+	}
+	c.files = append(c.files, path)
+	for len(c.files) > c.keep {
+		os.Remove(c.files[0])
+		c.files = c.files[1:]
+	}
+	m.SetCheckpointInfo(m.Now(), "april -restore "+path)
+	c.next = m.Now() + c.every
+	return nil
+}
+
+// runCheckpointed drives the machine in CheckpointEvery-cycle windows,
+// writing an image at each boundary. A crash mid-window still leaves
+// the previous boundary's image on disk, and the crash report names
+// it.
+func runCheckpointed(m *sim.Machine, o Options) (sim.Result, error) {
+	ck, err := newCheckpointer(o, m.Now())
+	if err != nil {
+		return sim.Result{}, err
+	}
+	for {
+		done, err := m.RunWindow(ck.every)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		if done {
+			return m.Run()
+		}
+		if err := ck.maybeWrite(m); err != nil {
+			return sim.Result{}, err
+		}
+	}
 }
 
 // serveWindow is the introspection server's slice length in cycles:
@@ -316,6 +423,7 @@ func runServed(m *sim.Machine, o Options) (sim.Result, error) {
 		ChromeTrace: func(w io.Writer) error {
 			return trace.WriteChrome(w, m.Tracer(), m.Cfg.Profile.Frames, m.Now())
 		},
+		Checkpoint: m.Snapshot,
 	})
 	url, err := srv.Start(o.Serve)
 	if err != nil {
@@ -325,10 +433,20 @@ func runServed(m *sim.Machine, o Options) (sim.Result, error) {
 	if o.ServeNotify != nil {
 		o.ServeNotify(url)
 	}
+	var ck *checkpointer
+	if o.CheckpointEvery > 0 {
+		if ck, err = newCheckpointer(o, m.Now()); err != nil {
+			return sim.Result{}, err
+		}
+	}
 	var done bool
 	var runErr error
 	for !done && runErr == nil {
-		srv.Step(func() { done, runErr = m.RunWindow(serveWindow) })
+		srv.Step(func() {
+			if done, runErr = m.RunWindow(serveWindow); runErr == nil && !done && ck != nil {
+				runErr = ck.maybeWrite(m)
+			}
+		})
 	}
 	if runErr != nil {
 		return sim.Result{}, runErr
@@ -378,6 +496,7 @@ func (o Options) build() (*sim.Machine, *isa.Program, error) {
 		Check:              o.Check,
 		DeadlockWindow:     o.DeadlockWindow,
 		Shards:             o.Shards,
+		SabotageCycle:      o.SabotageCycle,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -433,6 +552,11 @@ func Run(source string, o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return packageResult(m, res, start), nil
+}
+
+// packageResult reduces a completed machine to the public Result.
+func packageResult(m *sim.Machine, res sim.Result, start time.Time) Result {
 	stats := m.TotalStats()
 	var switches uint64
 	for _, n := range m.Nodes {
@@ -451,7 +575,247 @@ func Run(source string, o Options) (Result, error) {
 		TouchesUnresolved: s.TouchesUnresolved,
 		CacheMissTraps:    stats.Traps[core.TrapCacheMiss],
 		Perf:              proc.NewPerf(res.Cycles, stats.Instructions, time.Since(start)),
+	}
+}
+
+// Restore resumes a run from a checkpoint image written by a
+// CheckpointEvery run (or downloaded from a server's /checkpoint). The
+// image is self-contained — program, configuration, and complete
+// machine state — so Options fields that describe what to run
+// (Processors, Machine, Alewife, Faults, memory and cycle budgets) are
+// ignored; host-side fields still apply: Output, tier selection
+// (Reference, DisableCompile, DisableEpoch, CompileThreshold,
+// Horizon), Shards, Check, Trace, Serve, and the Checkpoint* fields
+// (resuming a checkpointed run keeps checkpointing). The resumed run
+// reaches a final state bit-identical to the uninterrupted original.
+func Restore(image []byte, o Options) (Result, error) {
+	start := time.Now()
+	ov := sim.RestoreOverrides{
+		Out:              o.Output,
+		Reference:        o.Reference,
+		DisableCompile:   o.DisableCompile || o.Reference,
+		DisableEpoch:     o.DisableEpoch,
+		CompileThreshold: o.CompileThreshold,
+		Horizon:          o.Horizon,
+		Shards:           o.Shards,
+		Check:            o.Check,
+	}
+	if t := o.Trace; t != nil {
+		ov.Trace = t.ChromeOut != nil
+		ov.Timeline = t.TimelineOut != nil
+		ov.TimelineInterval = t.SampleInterval
+	}
+	m, err := sim.Restore(image, ov)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := executeRun(m, o)
+	if err != nil {
+		return Result{}, err
+	}
+	return packageResult(m, res, start), nil
+}
+
+// RestoreFile is Restore over an image file path.
+func RestoreFile(path string, o Options) (Result, error) {
+	img, err := os.ReadFile(path)
+	if err != nil {
+		return Result{}, fmt.Errorf("april: restore: %w", err)
+	}
+	return Restore(img, o)
+}
+
+// BisectOptions configures automatic divergence bisection.
+type BisectOptions struct {
+	// Dir is a checkpoint directory holding ckpt-*.img images of one
+	// run (all must share the run identity hash).
+	Dir string
+	// Log, when non-nil, receives one line per probe.
+	Log io.Writer
+}
+
+// BisectResult reports where a run first violates its invariants.
+type BisectResult struct {
+	// FirstBadCycle is the exact first cycle at which the full
+	// invariant audit fails; at CleanCycle (= FirstBadCycle-1 unless a
+	// checkpoint bound it tighter) it still passes.
+	FirstBadCycle uint64
+	CleanCycle    uint64
+	// Checkpoint is the image the culprit window replays from: restore
+	// it and run FirstBadCycle-CleanCycle cycles to watch the
+	// violation happen.
+	Checkpoint string
+	// Report is the autopsy scoped to the first violating cycle.
+	Report *FaultReport
+}
+
+// Bisect pins the first invariant-violating cycle of a checkpointed
+// run. It binary-searches the retained checkpoints — restoring each
+// candidate under the reference tier with checkers armed and running
+// the full invariant audit at its cycle — to bound the violation
+// between a clean and a dirty image, then binary-searches cycles
+// inside that window by replaying from the clean image. Every probe is
+// a fresh deterministic restore, so the answer is exact: the returned
+// cycle fails the audit and the cycle before it passes.
+func Bisect(o BisectOptions) (BisectResult, error) {
+	logf := func(format string, args ...any) {
+		if o.Log != nil {
+			fmt.Fprintf(o.Log, format+"\n", args...)
+		}
+	}
+	cks, err := loadCheckpoints(o.Dir)
+	if err != nil {
+		return BisectResult{}, err
+	}
+	logf("bisect: %d checkpoints, cycles %d..%d", len(cks), cks[0].cycle, cks[len(cks)-1].cycle)
+
+	// Phase 1: first dirty checkpoint. probeAt audits a restored image
+	// in place; the predicate is monotone because a violation is
+	// persistent state corruption.
+	lo, hi := -1, len(cks)
+	var hiReport *FaultReport
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		bad, rep, err := probeAudit(cks[mid].img, cks[mid].cycle)
+		if err != nil {
+			return BisectResult{}, fmt.Errorf("april: bisect: probe %s: %w", cks[mid].path, err)
+		}
+		logf("bisect: checkpoint cycle %d: %s", cks[mid].cycle, verdict(bad))
+		if bad {
+			hi, hiReport = mid, rep
+		} else {
+			lo = mid
+		}
+	}
+	if hi == 0 {
+		return BisectResult{}, fmt.Errorf("april: bisect: earliest retained checkpoint (cycle %d) already violates; retain more images or checkpoint more often", cks[0].cycle)
+	}
+
+	var cleanCkpt ckptFile
+	var dirtyCycle uint64
+	if hi == len(cks) {
+		// Every checkpoint is clean: the violation (if any) happens
+		// after the last one. Run forward under checkers to find it.
+		cleanCkpt = cks[len(cks)-1]
+		bad, rep, err := probeAudit(cleanCkpt.img, ^uint64(0))
+		if err != nil {
+			return BisectResult{}, fmt.Errorf("april: bisect: forward run from cycle %d: %w", cleanCkpt.cycle, err)
+		}
+		if !bad {
+			return BisectResult{}, fmt.Errorf("april: bisect: no violation — the run completes cleanly from every retained checkpoint")
+		}
+		dirtyCycle, hiReport = rep.Cycle, rep
+		logf("bisect: forward run detects violation by cycle %d", dirtyCycle)
+	} else {
+		cleanCkpt = cks[hi-1]
+		dirtyCycle = cks[hi].cycle
+	}
+
+	// Phase 2: exact cycle inside (clean.cycle, dirtyCycle], replaying
+	// from the clean image each probe.
+	cLo, cHi := cleanCkpt.cycle, dirtyCycle
+	for cLo+1 < cHi {
+		mid := cLo + (cHi-cLo)/2
+		bad, rep, err := probeAudit(cleanCkpt.img, mid)
+		if err != nil {
+			return BisectResult{}, fmt.Errorf("april: bisect: replay to cycle %d: %w", mid, err)
+		}
+		logf("bisect: cycle %d: %s", mid, verdict(bad))
+		if bad {
+			cHi, hiReport = mid, rep
+		} else {
+			cLo = mid
+		}
+	}
+	logf("bisect: first violating cycle %d (clean through %d)", cHi, cLo)
+	return BisectResult{
+		FirstBadCycle: cHi,
+		CleanCycle:    cLo,
+		Checkpoint:    cleanCkpt.path,
+		Report:        hiReport,
 	}, nil
+}
+
+func verdict(bad bool) string {
+	if bad {
+		return "dirty"
+	}
+	return "clean"
+}
+
+type ckptFile struct {
+	path  string
+	cycle uint64
+	img   []byte
+}
+
+// loadCheckpoints reads a checkpoint directory: every ckpt-*.img,
+// validated and sorted by cycle, all from the same run.
+func loadCheckpoints(dir string) ([]ckptFile, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "ckpt-*.img"))
+	if err != nil {
+		return nil, fmt.Errorf("april: bisect: %w", err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("april: bisect: no ckpt-*.img images in %s", dir)
+	}
+	var cks []ckptFile
+	var hash uint64
+	for _, path := range paths {
+		img, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("april: bisect: %w", err)
+		}
+		hdr, err := snapshot.PeekHeader(img)
+		if err != nil {
+			return nil, fmt.Errorf("april: bisect: %s: %w", path, err)
+		}
+		if len(cks) == 0 {
+			hash = hdr.ConfigHash
+		} else if hdr.ConfigHash != hash {
+			return nil, fmt.Errorf("april: bisect: %s belongs to a different run (config hash %#x, expected %#x)", path, hdr.ConfigHash, hash)
+		}
+		cks = append(cks, ckptFile{path: path, cycle: hdr.Cycle, img: img})
+	}
+	sort.Slice(cks, func(i, j int) bool { return cks[i].cycle < cks[j].cycle })
+	return cks, nil
+}
+
+// probeAudit restores an image under the reference tier with checkers
+// armed, advances to the target cycle (the image's own cycle probes in
+// place; ^uint64(0) runs to completion), and audits. A mid-run
+// invariant crash counts as dirty at the crash cycle.
+func probeAudit(img []byte, target uint64) (bad bool, rep *FaultReport, err error) {
+	m, err := sim.Restore(img, sim.RestoreOverrides{Reference: true, Check: true})
+	if err != nil {
+		return false, nil, err
+	}
+	if target == ^uint64(0) {
+		// Run to completion; Run's own end-of-run sweep audits.
+		if _, err := m.Run(); err != nil {
+			if r, ok := Autopsy(err); ok && r.Reason == fault.ReasonInvariant {
+				return true, r, nil
+			}
+			return false, nil, err
+		}
+		return false, nil, nil
+	}
+	if target > m.Now() {
+		window := target - m.Now()
+		if _, err := m.RunWindow(window); err != nil {
+			if r, ok := Autopsy(err); ok && r.Reason == fault.ReasonInvariant {
+				return true, r, nil
+			}
+			return false, nil, err
+		}
+	}
+	if err := m.AuditNow(); err != nil {
+		if r, ok := Autopsy(err); ok {
+			return true, r, nil
+		}
+		return false, nil, err
+	}
+	return false, nil, nil
 }
 
 // Interpret evaluates a program with the sequential reference

@@ -14,9 +14,16 @@
 //	april -n 8 -alewife -faults -fault-seed 3 -check prog.mt
 //	april -n 8 -alewife -check -autopsy prog.mt
 //	april -interp prog.mt           # reference interpreter
+//
+// Checkpoint/restore and divergence bisection:
+//
+//	april -n 8 -alewife -checkpoint-every 100000 -checkpoint-dir ckpt prog.mt
+//	april -restore ckpt/ckpt-000000400000.img       # resume a killed run
+//	april -bisect ckpt                              # pin the first violating cycle
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -57,17 +64,50 @@ func main() {
 		countersOut = flag.String("counters", "", "write the unified end-of-run counter snapshot as JSON to this path")
 		sample      = flag.Uint64("sample", 0, "timeline sampling interval in cycles (0 = default 4096)")
 		traceCap    = flag.Int("trace-cap", 0, "per-node event ring capacity; the ring keeps the most recent events (0 = default 16384)")
+
+		ckptEvery = flag.Uint64("checkpoint-every", 0, "write a restorable machine image every N simulated cycles (atomic write-rename into -checkpoint-dir)")
+		ckptDir   = flag.String("checkpoint-dir", "", "checkpoint directory (default: current directory)")
+		ckptKeep  = flag.Int("checkpoint-keep", 0, "retain the last K checkpoint images (0 = default 8)")
+		restore   = flag.String("restore", "", "resume from a checkpoint image instead of compiling a program; machine-defining flags are ignored (the image is self-contained), host-side flags still apply")
+		bisect    = flag.String("bisect", "", "bisect the checkpoint directory for the first invariant-violating cycle and print its autopsy")
+		sabotage  = flag.Uint64("sabotage", 0, "deliberately corrupt scheduler state at this cycle (deterministic invariant violation; checkpoint/bisect test hook)")
+		statsJSON = flag.Bool("stats-json", false, "print the simulated run statistics as one JSON object (host-side perf excluded; stable across tiers, shards, and restores)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: april [flags] program.mt   (use - for stdin)")
-		flag.Usage()
-		os.Exit(2)
+
+	if *bisect != "" {
+		if flag.NArg() != 0 {
+			fatal(fmt.Errorf("-bisect takes no program argument"))
+		}
+		res, err := april.Bisect(april.BisectOptions{Dir: *bisect, Log: os.Stderr})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("first violating cycle: %d\n", res.FirstBadCycle)
+		fmt.Printf("clean through cycle:   %d\n", res.CleanCycle)
+		fmt.Printf("replay from:           %s\n", res.Checkpoint)
+		if res.Report != nil {
+			fmt.Print(res.Report.Render())
+		}
+		return
 	}
 
-	src, err := readSource(flag.Arg(0))
-	if err != nil {
-		fatal(err)
+	var src string
+	var err error
+	if *restore != "" {
+		if flag.NArg() != 0 {
+			fatal(fmt.Errorf("-restore takes no program argument"))
+		}
+	} else {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: april [flags] program.mt   (use - for stdin)")
+			flag.Usage()
+			os.Exit(2)
+		}
+		src, err = readSource(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	if *interp {
@@ -94,6 +134,11 @@ func main() {
 		CompileThreshold: *compileThreshold,
 		DisableEpoch:     !*epoch,
 		Horizon:          *horizon,
+
+		CheckpointEvery: *ckptEvery,
+		CheckpointDir:   *ckptDir,
+		CheckpointKeep:  *ckptKeep,
+		SabotageCycle:   *sabotage,
 	}
 	if *alewife {
 		opts.Alewife = &april.AlewifeOptions{}
@@ -144,9 +189,12 @@ func main() {
 	}
 
 	var res april.Result
-	if *asm {
+	switch {
+	case *restore != "":
+		res, err = april.RestoreFile(*restore, opts)
+	case *asm:
 		res, err = april.RunAssembly(src, opts)
-	} else {
+	default:
 		res, err = april.Run(src, opts)
 	}
 	if err != nil {
@@ -163,6 +211,24 @@ func main() {
 		}
 	}
 	fmt.Printf("=> %s\n", res.Value)
+	if *statsJSON {
+		payload, err := json.Marshal(map[string]any{
+			"value":              res.Value,
+			"cycles":             res.Cycles,
+			"instructions":       res.Instructions,
+			"utilization":        res.Utilization,
+			"context_switches":   res.ContextSwitches,
+			"tasks_created":      res.TasksCreated,
+			"steals":             res.Steals,
+			"touches_resolved":   res.TouchesResolved,
+			"touches_unresolved": res.TouchesUnresolved,
+			"cache_miss_traps":   res.CacheMissTraps,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", payload)
+	}
 	if *stats {
 		fmt.Printf("cycles:            %d\n", res.Cycles)
 		fmt.Printf("instructions:      %d\n", res.Instructions)

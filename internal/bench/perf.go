@@ -74,6 +74,11 @@ type PerfReport struct {
 	// 1000 cycles falling as the cap rises.
 	HorizonSweep []ShardRow `json:"horizon_sweep,omitempty"`
 
+	// CheckpointOverhead measures the snapshot/restore path across
+	// machine sizes: serialize latency, image size, restore latency, and
+	// a bit-identity cross-check of the restored run against the donor.
+	CheckpointOverhead []CheckpointRow `json:"checkpoint_overhead,omitempty"`
+
 	// WorkerOccupancy reports how the optimized grid's harness workers
 	// spent the sweep: runs and busy time per worker against wall time.
 	WorkerOccupancy *harness.Occupancy `json:"worker_occupancy,omitempty"`
@@ -136,6 +141,108 @@ type ShardRow struct {
 	EpochCyclesPct float64 `json:"epoch_cycles_pct"`
 	Speedup        float64 `json:"speedup_vs_1shard"`
 	Identical      bool    `json:"identical"`
+}
+
+// CheckpointRow is one checkpoint-overhead measurement: the benchmark
+// run to a mid-run cycle on an ALEWIFE machine, snapshotted, restored,
+// and both copies run to completion with a bit-identity cross-check.
+type CheckpointRow struct {
+	Benchmark  string `json:"benchmark"`
+	Nodes      int    `json:"nodes"`
+	Cycle      uint64 `json:"cycle"` // cycle the image captures
+	ImageBytes int    `json:"image_bytes"`
+	// SnapshotMS is the mean serialize latency over several snapshots of
+	// the same quiescent machine; RestoreMS is one full image-to-machine
+	// reconstruction (parse, rebuild, reinstall resident pages).
+	SnapshotMS float64 `json:"snapshot_ms"`
+	RestoreMS  float64 `json:"restore_ms"`
+	// Identical asserts the donor and the restored machine agreed on
+	// final cycles, result, and every node's full statistics.
+	Identical bool `json:"identical"`
+}
+
+// CheckpointSweep measures CheckpointRows for one benchmark across
+// machine sizes: the cost of writing a restorable image mid-run (the
+// -checkpoint-every price) and the proof that restoring it loses
+// nothing.
+func CheckpointSweep(benchName string, sizes Sizes, nodeSizes []int) ([]CheckpointRow, error) {
+	src := sizes.Source(benchName)
+	var rows []CheckpointRow
+	for _, nodes := range nodeSizes {
+		row, err := checkpointOnce(src, benchName, nodes)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint sweep %dp: %w", nodes, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func checkpointOnce(src, benchName string, nodes int) (CheckpointRow, error) {
+	m, err := sim.New(sim.Config{
+		Nodes:       nodes,
+		Profile:     rts.APRIL,
+		Alewife:     &sim.AlewifeConfig{},
+		MemoryBytes: 2 << 30,
+	})
+	if err != nil {
+		return CheckpointRow{}, err
+	}
+	prog, err := mult.Compile(src, mult.Mode{HardwareFutures: true}, m.StaticHeap())
+	if err != nil {
+		return CheckpointRow{}, err
+	}
+	if err := m.Load(prog); err != nil {
+		return CheckpointRow{}, err
+	}
+	// Snapshot mid-run so the image carries real state: warm caches,
+	// live threads, in-flight coherence traffic.
+	const warm = 20000
+	done, err := m.RunWindow(warm)
+	if err != nil {
+		return CheckpointRow{}, err
+	}
+	if done {
+		return CheckpointRow{}, fmt.Errorf("%s finished before cycle %d; pick a longer benchmark", benchName, warm)
+	}
+	const iters = 3
+	var img []byte
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if img, err = m.Snapshot(); err != nil {
+			return CheckpointRow{}, err
+		}
+	}
+	snapMS := time.Since(start).Seconds() * 1e3 / iters
+	row := CheckpointRow{
+		Benchmark:  benchName,
+		Nodes:      nodes,
+		Cycle:      m.Now(),
+		ImageBytes: len(img),
+		SnapshotMS: snapMS,
+	}
+	start = time.Now()
+	twin, err := sim.Restore(img, sim.RestoreOverrides{})
+	if err != nil {
+		return CheckpointRow{}, err
+	}
+	row.RestoreMS = time.Since(start).Seconds() * 1e3
+	donorRes, err := m.Run()
+	if err != nil {
+		return CheckpointRow{}, err
+	}
+	twinRes, err := twin.Run()
+	if err != nil {
+		return CheckpointRow{}, err
+	}
+	row.Identical = donorRes.Cycles == twinRes.Cycles && donorRes.Formatted == twinRes.Formatted
+	for i := range m.Nodes {
+		if !reflect.DeepEqual(m.Nodes[i].Proc.Stats, twin.Nodes[i].Proc.Stats) {
+			row.Identical = false
+			break
+		}
+	}
+	return row, nil
 }
 
 // ShardSweep measures ShardRows for one benchmark across machine sizes
@@ -426,6 +533,13 @@ func Table3Perf(cfg Table3Config, sizesName string) (PerfReport, error) {
 	if err != nil {
 		return PerfReport{}, err
 	}
+
+	// Checkpoint overhead: what -checkpoint-every costs per image at
+	// several machine sizes, and proof the image restores losslessly.
+	rep.CheckpointOverhead, err = CheckpointSweep("queens", cfg.Sizes, []int{16, 64, 256})
+	if err != nil {
+		return PerfReport{}, err
+	}
 	return rep, nil
 }
 
@@ -516,6 +630,15 @@ func (r PerfReport) Summary() string {
 		s += fmt.Sprintf("\n  horizon %s %4dp x%d k=%-3d %6.2fs (%.0f barriers/1k, epoch %4.1f%%, results %s)",
 			row.Benchmark, row.Nodes, row.Shards, row.Horizon, row.Perf.WallSeconds,
 			row.BarriersPer1k, row.EpochCyclesPct, sident)
+	}
+	for _, row := range r.CheckpointOverhead {
+		cident := "IDENTICAL"
+		if !row.Identical {
+			cident = "MISMATCH"
+		}
+		s += fmt.Sprintf("\n  checkpoint %s %4dp @%d: %5.1f MB image, snapshot %6.2f ms, restore %6.2f ms, results %s",
+			row.Benchmark, row.Nodes, row.Cycle, float64(row.ImageBytes)/(1<<20),
+			row.SnapshotMS, row.RestoreMS, cident)
 	}
 	if o := r.WorkerOccupancy; o != nil {
 		s += fmt.Sprintf("\n  harness: %d workers, %.0f%% busy over %.2fs",

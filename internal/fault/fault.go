@@ -50,6 +50,16 @@ type Config struct {
 	// queue behind them forever. This is the wedge-induction knob for
 	// crash-forensics tests; it has no effect on the ideal network.
 	StallLinks []int
+
+	// WedgeAtCycle schedules a node-targeted wedge: at the given cycle
+	// every torus output channel owned by WedgeNode becomes permanently
+	// stalled, as if the node's router died mid-run. Unlike StallLinks
+	// (stalled from cycle zero) the machine runs cleanly up to the arm
+	// point, which is what checkpoint-recovery tests need: the wedge
+	// lands in the middle of a run that earlier checkpoints predate.
+	// 0 disables; no effect on the ideal network.
+	WedgeAtCycle uint64
+	WedgeNode    int
 }
 
 // Default returns the standard perturbation plan for a seed: a few
@@ -79,7 +89,8 @@ const PermanentStall = 1 << 40
 // moments, stay bit-identical.
 type Plan struct {
 	cfg     Config
-	stalled []int // sorted copy of cfg.StallLinks
+	stalled []int // sorted copy of cfg.StallLinks (+ armed wedge channels)
+	armed   bool  // the scheduled wedge has fired
 }
 
 // NewPlan compiles a Config.
@@ -186,9 +197,38 @@ func (p *Plan) Stalled(channel int) bool {
 // StalledLinks returns the sorted permanently-stalled channel list.
 func (p *Plan) StalledLinks() []int { return p.stalled }
 
+// WedgePending reports that the plan schedules a wedge that has not
+// fired yet. The run loop polls it between execution slices and calls
+// ArmWedge once the configured cycle is reached.
+func (p *Plan) WedgePending() bool { return p.cfg.WedgeAtCycle > 0 && !p.armed }
+
+// WedgeArmed reports that the scheduled wedge has fired.
+func (p *Plan) WedgeArmed() bool { return p.armed }
+
+// ArmWedge fires the scheduled wedge: the given channels (the wedge
+// node's output channels, computed by the caller, who knows the torus
+// geometry) join the permanently-stalled set. Idempotent; a no-op when
+// no wedge is scheduled.
+func (p *Plan) ArmWedge(channels []int) {
+	if !p.WedgePending() {
+		return
+	}
+	p.armed = true
+	p.stalled = append(p.stalled, channels...)
+	sort.Ints(p.stalled)
+}
+
 // String summarizes the plan for reports.
 func (p *Plan) String() string {
 	c := p.cfg
-	return fmt.Sprintf("seed=%#x hop-jitter<=%d stall 1/%d<=%d reply<=%d stalled-links=%v",
+	s := fmt.Sprintf("seed=%#x hop-jitter<=%d stall 1/%d<=%d reply<=%d stalled-links=%v",
 		c.Seed, c.MaxHopJitter, c.StallEvery, c.StallCycles, c.MaxReplyDelay, p.stalled)
+	if c.WedgeAtCycle > 0 {
+		state := "pending"
+		if p.armed {
+			state = "armed"
+		}
+		s += fmt.Sprintf(" wedge-node=%d@%d(%s)", c.WedgeNode, c.WedgeAtCycle, state)
+	}
+	return s
 }

@@ -34,6 +34,14 @@ type Report struct {
 	// already rendered ("[cycle] node kind ..."), oldest first. Empty
 	// when tracing was not enabled.
 	TraceTails map[int][]string
+
+	// Checkpoint recovery: when the run was writing periodic machine
+	// images, the most recent one's cycle and the command line that
+	// resumes from it. HasCheckpoint distinguishes "checkpointing off"
+	// from "crashed at cycle 0 before the first image".
+	HasCheckpoint   bool
+	CheckpointCycle uint64
+	RestoreCmd      string
 }
 
 // NodeStatus is one processor's state at crash time.
@@ -108,6 +116,13 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&b, "== april autopsy: %s at cycle %d ==\n", r.Reason, r.Cycle)
 	if r.Message != "" {
 		fmt.Fprintf(&b, "cause: %s\n", r.Message)
+	}
+	if r.HasCheckpoint {
+		fmt.Fprintf(&b, "last checkpoint: cycle %d (%d cycles before the crash)\n",
+			r.CheckpointCycle, r.Cycle-r.CheckpointCycle)
+		if r.RestoreCmd != "" {
+			fmt.Fprintf(&b, "resume with: %s\n", r.RestoreCmd)
+		}
 	}
 
 	fmt.Fprintf(&b, "\nscheduler: %d live, %d ready, %d blocked\n",

@@ -1,0 +1,75 @@
+package mem
+
+import "fmt"
+
+// Snapshot support. The store is demand-paged, so a machine image only
+// needs the resident pages: a nil data page reads as zero and a nil
+// full/empty page reads as all-full, and — because page residency is
+// observable to the sharded run loop's access classifier via
+// PageResident — restore must reproduce the exact residency map, not
+// just the exact contents. The accessors below expose residency in
+// page-index order so encodings are deterministic.
+
+// PageWords is the number of words per demand page (exported for
+// snapshot encoders that size page payloads).
+const PageWords = pageWords
+
+// NumPages returns the number of page slots (resident or not).
+func (m *Memory) NumPages() int { return len(m.pages) }
+
+// Reset evicts every resident page, returning the store to its
+// untouched state. Restore calls it before installing an image's pages
+// so residency afterwards matches the image exactly — pages the
+// original run never touched but this process did (e.g. during program
+// loading) must not stay resident.
+func (m *Memory) Reset() {
+	for i := range m.pages {
+		m.pages[i] = nil
+	}
+	for i := range m.fe {
+		m.fe[i] = nil
+	}
+}
+
+// DumpResident calls data for every resident data page and fe for
+// every resident full/empty page, both in ascending page order. The
+// slices are the live backing store — callers must copy, not retain.
+func (m *Memory) DumpResident(data func(page uint32, words dataPage), fe func(page uint32, bits fePage)) {
+	for i, p := range m.pages {
+		if p != nil {
+			data(uint32(i), p)
+		}
+	}
+	for i, p := range m.fe {
+		if p != nil {
+			fe(uint32(i), p)
+		}
+	}
+}
+
+// InstallDataPage makes the given page resident with the given
+// contents, taking ownership of the slice. It is the restore-side
+// counterpart of DumpResident.
+func (m *Memory) InstallDataPage(page uint32, words dataPage) error {
+	if int(page) >= len(m.pages) {
+		return fmt.Errorf("mem: data page %d out of range (%d pages)", page, len(m.pages))
+	}
+	if len(words) != pageWords {
+		return fmt.Errorf("mem: data page %d has %d words, want %d", page, len(words), pageWords)
+	}
+	m.pages[page] = words
+	return nil
+}
+
+// InstallFEPage makes the given full/empty page resident, taking
+// ownership of the slice.
+func (m *Memory) InstallFEPage(page uint32, bits []uint64) error {
+	if int(page) >= len(m.fe) {
+		return fmt.Errorf("mem: full/empty page %d out of range (%d pages)", page, len(m.fe))
+	}
+	if len(bits) != pageWords/64 {
+		return fmt.Errorf("mem: full/empty page %d has %d bitmap words, want %d", page, len(bits), pageWords/64)
+	}
+	m.fe[page] = bits
+	return nil
+}

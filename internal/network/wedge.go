@@ -1,0 +1,16 @@
+package network
+
+// NodeChannels returns the flat ids of every output channel owned by
+// the given node, in (dim, dir) order. This is the set a node-targeted
+// wedge (fault.Config.WedgeAtCycle) stalls: with all of its output
+// channels dead the node can receive but never send, the
+// deterministic analogue of a router failing mid-run.
+func (t *Torus) NodeChannels(node int) []int {
+	out := make([]int, 0, 2*t.geo.Dim)
+	for dim := 0; dim < t.geo.Dim; dim++ {
+		for dir := 0; dir < 2; dir++ {
+			out = append(out, t.channelID(node, dim, dir))
+		}
+	}
+	return out
+}

@@ -25,6 +25,9 @@ type Hooks struct {
 	Counters    func() map[string]map[string]uint64
 	Timeline    func(from int) []trace.Sample
 	ChromeTrace func(w io.Writer) error
+	// Checkpoint serializes the machine into a restorable image
+	// (sim.Snapshot); nil disables /checkpoint with a 404.
+	Checkpoint func() ([]byte, error)
 }
 
 // Progress is the /progress payload. The hook fills the simulated
@@ -101,6 +104,7 @@ func (s *Server) Start(addr string) (string, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/timeline", s.handleTimeline)
 	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	s.httpSrv = &http.Server{Handler: mux}
 	go s.httpSrv.Serve(ln)
 	return "http://" + ln.Addr().String(), nil
@@ -190,6 +194,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 /metrics    Prometheus text exposition of the same counters
 /timeline   sampler windows as Server-Sent Events (?from=N to replay)
 /trace      Chrome-trace download of the event rings
+/checkpoint restorable machine image download (april -restore)
 `)
 }
 
@@ -324,6 +329,25 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", `attachment; filename="april-trace.json"`)
 	w.Write(buf.Bytes())
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.hooks.Checkpoint == nil {
+		http.Error(w, "checkpointing not armed", http.StatusNotFound)
+		return
+	}
+	// Serialize under the gate — the snapshot walks live machine state
+	// — then stream the image without holding the run hostage.
+	s.gate.Lock()
+	img, err := s.hooks.Checkpoint()
+	s.gate.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="april-checkpoint.img"`)
+	w.Write(img)
 }
 
 func (s *Server) writeDone(w io.Writer) {

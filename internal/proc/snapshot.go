@@ -1,0 +1,19 @@
+package proc
+
+import "april/internal/isa"
+
+// Snapshot support: the IPI queue is the only unexported simulated
+// state on a Processor (everything else is reconstructed from the
+// program by machine construction, or exported like Stats and Kinds).
+
+// DumpIPIs appends the undelivered IPI payloads, oldest first.
+func (p *Processor) DumpIPIs(buf []isa.Word) []isa.Word {
+	return append(buf, p.pendingIPI[p.ipiHead:]...)
+}
+
+// RestoreIPIs replaces the IPI queue with the given payloads (oldest
+// first), as dumped by DumpIPIs.
+func (p *Processor) RestoreIPIs(ws []isa.Word) {
+	p.pendingIPI = append(p.pendingIPI[:0], ws...)
+	p.ipiHead = 0
+}

@@ -41,6 +41,11 @@ func (m *Machine) buildReport(reason string, cause error) *fault.Report {
 	if m.checker != nil {
 		r.Violations = m.checker.Violations()
 	}
+	if m.ckptValid {
+		r.HasCheckpoint = true
+		r.CheckpointCycle = m.ckptCycle
+		r.RestoreCmd = m.ckptCmd
+	}
 
 	blocked := make([]int, len(m.Nodes))
 	m.Sched.BlockedByNode(blocked)

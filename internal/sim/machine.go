@@ -137,6 +137,16 @@ type Config struct {
 	// a deadlock (0 = the 3M-cycle default). Tests inducing wedges use a
 	// short window to fail fast.
 	DeadlockWindow uint64
+
+	// SabotageCycle, when non-zero, deliberately corrupts scheduler
+	// state at the given cycle (the lowest-ID live thread is marked dead
+	// without being recycled, breaking thread conservation). It exists
+	// so divergence-bisection tests have a run that is provably clean
+	// before the cycle and provably violating after it; see
+	// rts.(*Scheduler).CorruptThreadState and snapshot.go. Part of the
+	// machine-defining configuration: it changes simulated state, so it
+	// is embedded in snapshot images and included in the config hash.
+	SabotageCycle uint64
 }
 
 // ErrDeadlock is returned when the machine stops making progress.
@@ -221,6 +231,22 @@ type Machine struct {
 	// cycles at a time still trips the watchdog after deadlockWin
 	// cycles of no retirement, exactly as one long Run would.
 	lastProgress uint64
+
+	// Scheduled state events (see runEventful): whether the fault
+	// plan's node wedge and the sabotage corruption have fired. Restore
+	// rederives both from the image's cycle — an event has fired iff
+	// now >= its cycle, which runEventful guarantees at every window
+	// boundary.
+	wedgeArmed bool
+	sabotaged  bool
+
+	// Checkpoint provenance for crash reports (see autopsy.go and
+	// SetCheckpointInfo): the cycle of the most recent image written by
+	// the checkpointing driver and the command line that resumes from
+	// it.
+	ckptValid bool
+	ckptCycle uint64
+	ckptCmd   string
 }
 
 // New builds a machine. Compile programs against StaticHeap(), then
@@ -423,7 +449,7 @@ func (m *Machine) Run() (Result, error) {
 	if !m.loaded {
 		return Result{}, errors.New("sim: no program loaded")
 	}
-	hit, err := m.runGuarded(m.Cfg.MaxCycles)
+	hit, err := m.runEventful(m.Cfg.MaxCycles)
 	if err != nil {
 		return Result{}, err
 	}
@@ -463,7 +489,7 @@ func (m *Machine) RunWindow(n uint64) (bool, error) {
 	if limit > m.Cfg.MaxCycles {
 		limit = m.Cfg.MaxCycles
 	}
-	hit, err := m.runGuarded(limit)
+	hit, err := m.runEventful(limit)
 	if err != nil {
 		return false, err
 	}
@@ -499,6 +525,76 @@ func (m *Machine) runGuarded(limit uint64) (hit bool, err error) {
 		return m.runShardedUntil(limit)
 	}
 	return m.runFastUntil(limit)
+}
+
+// nextStateEvent returns the cycle of the earliest pending scheduled
+// state event — fault-plan wedge arming, sabotage corruption — or
+// ^uint64(0) when none is pending.
+func (m *Machine) nextStateEvent() uint64 {
+	next := ^uint64(0)
+	if m.plan != nil && !m.wedgeArmed && m.plan.WedgePending() {
+		if c := m.plan.Config().WedgeAtCycle; c < next {
+			next = c
+		}
+	}
+	if m.Cfg.SabotageCycle > 0 && !m.sabotaged && m.Cfg.SabotageCycle < next {
+		next = m.Cfg.SabotageCycle
+	}
+	return next
+}
+
+// fireStateEvents applies every scheduled state event due at or before
+// m.now. Only ever called between runGuarded slices — never mid-cycle —
+// so the mutations land at an exact cycle boundary in every execution
+// tier (all run loops stop exactly at their limit), and a snapshot
+// taken at any window boundary satisfies: event fired iff
+// now >= event cycle.
+func (m *Machine) fireStateEvents() {
+	if m.plan != nil && !m.wedgeArmed && m.plan.WedgePending() && m.now >= m.plan.Config().WedgeAtCycle {
+		m.armWedge()
+	}
+	if m.Cfg.SabotageCycle > 0 && !m.sabotaged && m.now >= m.Cfg.SabotageCycle {
+		m.sabotaged = true
+		m.Sched.CorruptThreadState()
+	}
+}
+
+// armWedge fires the fault plan's scheduled node wedge: every torus
+// output channel owned by the wedge node becomes permanently stalled.
+// The ideal network has no channels to stall, so there the wedge arms
+// as a no-op (matching StallLinks, which it generalizes).
+func (m *Machine) armWedge() {
+	m.wedgeArmed = true
+	var chans []int
+	if m.net != nil {
+		if t, ok := m.net.net.(*network.Torus); ok {
+			chans = t.NodeChannels(m.plan.Config().WedgeNode)
+		}
+	}
+	m.plan.ArmWedge(chans)
+}
+
+// runEventful drives runGuarded in slices bounded by the next scheduled
+// state event, firing each event exactly at its cycle. With no events
+// pending (the overwhelmingly common case) the first slice covers the
+// whole limit and this is a single runGuarded call.
+func (m *Machine) runEventful(limit uint64) (hit bool, err error) {
+	for {
+		sub := limit
+		if ev := m.nextStateEvent(); ev < sub {
+			sub = ev
+		}
+		hit, err = m.runGuarded(sub)
+		if err != nil || !hit {
+			return hit, err
+		}
+		// The slice ran its full span: m.now >= sub. Fire anything due
+		// here, then either hand back at the caller's limit or continue.
+		m.fireStateEvents()
+		if sub >= limit {
+			return true, nil
+		}
+	}
 }
 
 // Partition exposes the machine's shard layout: contiguous node blocks,

@@ -1,0 +1,347 @@
+// Package snapshot is the machine-image container format: a
+// self-describing header plus a checksummed binary payload, with
+// sticky-error primitive codecs for the encoders in internal/sim.
+//
+// The format is deliberately dumb — fixed-width little-endian scalars,
+// length-prefixed slices, no compression, no framing beyond the one
+// header — because the consumers are a deterministic simulator's
+// checkpoint loop and its divergence bisector: what matters is that
+// encode(decode(x)) is the identity, that a truncated or corrupted
+// file fails with a structured error instead of a panic or a silently
+// wrong machine, and that two images of the same run can be recognized
+// as such (the config hash) without decoding their payloads.
+//
+// Layout:
+//
+//	offset size
+//	0      8    magic "APRILIMG"
+//	8      4    format version (little-endian uint32)
+//	12     8    config hash (FNV-64a over the machine-defining prefix
+//	            of the payload; images of the same run share it)
+//	20     8    simulated cycle at which the image was taken
+//	28     8    payload length in bytes
+//	36     8    FNV-64a checksum of the payload
+//	44     -    payload
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// Version is the current image format version. Bump on any payload
+// layout change; Open rejects other versions with ErrVersion.
+const Version = 1
+
+var magic = [8]byte{'A', 'P', 'R', 'I', 'L', 'I', 'M', 'G'}
+
+// headerLen is the fixed byte length of the image header.
+const headerLen = 8 + 4 + 8 + 8 + 8 + 8
+
+// Structured open/decode failures. All errors returned by Open and by
+// Reader methods wrap one of these, so callers can classify with
+// errors.Is.
+var (
+	ErrMagic     = errors.New("snapshot: not an APRIL machine image")
+	ErrVersion   = errors.New("snapshot: unsupported image format version")
+	ErrTruncated = errors.New("snapshot: image truncated")
+	ErrChecksum  = errors.New("snapshot: image checksum mismatch")
+	ErrCorrupt   = errors.New("snapshot: image payload corrupt")
+)
+
+// Header is the decoded image header.
+type Header struct {
+	Version    uint32
+	ConfigHash uint64 // identity of the run this image belongs to
+	Cycle      uint64 // simulated cycle of the snapshot
+}
+
+// Hash is the checksum used throughout: FNV-64a.
+func Hash(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// Seal wraps an encoded payload in a header. configHash identifies the
+// run (images from the same run must carry the same hash) and cycle is
+// the simulated cycle of the snapshot.
+func Seal(payload []byte, configHash, cycle uint64) []byte {
+	out := make([]byte, headerLen+len(payload))
+	copy(out, magic[:])
+	binary.LittleEndian.PutUint32(out[8:], Version)
+	binary.LittleEndian.PutUint64(out[12:], configHash)
+	binary.LittleEndian.PutUint64(out[20:], cycle)
+	binary.LittleEndian.PutUint64(out[28:], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(out[36:], Hash(payload))
+	copy(out[headerLen:], payload)
+	return out
+}
+
+// Open validates an image's header and checksum and returns the header
+// plus a Reader positioned at the start of the payload.
+func Open(img []byte) (Header, *Reader, error) {
+	var h Header
+	if len(img) < headerLen {
+		return h, nil, fmt.Errorf("%w: %d bytes, header is %d", ErrTruncated, len(img), headerLen)
+	}
+	if [8]byte(img[:8]) != magic {
+		return h, nil, ErrMagic
+	}
+	h.Version = binary.LittleEndian.Uint32(img[8:])
+	if h.Version != Version {
+		return h, nil, fmt.Errorf("%w: image is v%d, this build reads v%d", ErrVersion, h.Version, Version)
+	}
+	h.ConfigHash = binary.LittleEndian.Uint64(img[12:])
+	h.Cycle = binary.LittleEndian.Uint64(img[20:])
+	plen := binary.LittleEndian.Uint64(img[28:])
+	sum := binary.LittleEndian.Uint64(img[36:])
+	payload := img[headerLen:]
+	if uint64(len(payload)) != plen {
+		return h, nil, fmt.Errorf("%w: header says %d payload bytes, file has %d", ErrTruncated, plen, len(payload))
+	}
+	if Hash(payload) != sum {
+		return h, nil, fmt.Errorf("%w (cycle %d)", ErrChecksum, h.Cycle)
+	}
+	return h, &Reader{buf: payload}, nil
+}
+
+// PeekHeader validates and returns just the header, skipping the
+// payload checksum — for listing checkpoint directories cheaply.
+func PeekHeader(img []byte) (Header, error) {
+	var h Header
+	if len(img) < headerLen {
+		return h, fmt.Errorf("%w: %d bytes, header is %d", ErrTruncated, len(img), headerLen)
+	}
+	if [8]byte(img[:8]) != magic {
+		return h, ErrMagic
+	}
+	h.Version = binary.LittleEndian.Uint32(img[8:])
+	if h.Version != Version {
+		return h, fmt.Errorf("%w: image is v%d, this build reads v%d", ErrVersion, h.Version, Version)
+	}
+	h.ConfigHash = binary.LittleEndian.Uint64(img[12:])
+	h.Cycle = binary.LittleEndian.Uint64(img[20:])
+	return h, nil
+}
+
+// Writer encodes primitives into a growing buffer. Writes cannot fail,
+// so there is no error state; the encoders stay straight-line code.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the given initial capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes encoded so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+func (w *Writer) U8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *Writer) I64(v int64)  { w.U64(uint64(v)) }
+func (w *Writer) Int(v int)    { w.I64(int64(v)) }
+
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Count prefixes a sequence with its length.
+func (w *Writer) Count(n int) { w.U32(uint32(n)) }
+
+// String encodes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Count(len(s))
+	w.buf = append(w.buf, s...)
+}
+
+// Ints encodes a length-prefixed []int.
+func (w *Writer) Ints(vs []int) {
+	w.Count(len(vs))
+	for _, v := range vs {
+		w.I64(int64(v))
+	}
+}
+
+// U32s encodes a length-prefixed []uint32.
+func (w *Writer) U32s(vs []uint32) {
+	w.Count(len(vs))
+	for _, v := range vs {
+		w.U32(v)
+	}
+}
+
+// U64s encodes a length-prefixed []uint64.
+func (w *Writer) U64s(vs []uint64) {
+	w.Count(len(vs))
+	for _, v := range vs {
+		w.U64(v)
+	}
+}
+
+// Reader decodes primitives with a sticky error: after the first
+// failure every subsequent read returns zero values, so decoders can
+// run straight-line and check Err once per section. All failures wrap
+// ErrTruncated or ErrCorrupt — never a panic, whatever the bytes.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// Err returns the first decode failure, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the undecoded byte count.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: reading %s at offset %d of %d", ErrTruncated, what, r.off, len(r.buf))
+	}
+}
+
+func (r *Reader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf)-r.off < n {
+		r.fail(what)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *Reader) U8() uint8 {
+	b := r.take(1, "u8")
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *Reader) U32() uint32 {
+	b := r.take(4, "u32")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *Reader) U64() uint64 {
+	b := r.take(8, "u64")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+func (r *Reader) Int() int   { return int(r.I64()) }
+
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.Corrupt("bool out of range")
+		return false
+	}
+}
+
+// Count decodes a sequence length and bounds-checks it: a count can
+// never exceed the remaining payload (every element is at least one
+// byte), so a corrupted length fails here instead of in a giant
+// allocation.
+func (r *Reader) Count(what string) int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > r.Remaining() {
+		r.err = fmt.Errorf("%w: %s count %d exceeds %d remaining payload bytes", ErrCorrupt, what, n, r.Remaining())
+		return 0
+	}
+	return n
+}
+
+// CountAtMost is Count with an additional domain bound (e.g. a
+// per-node list cannot exceed the node count).
+func (r *Reader) CountAtMost(what string, max int) int {
+	n := r.Count(what)
+	if r.err == nil && n > max {
+		r.err = fmt.Errorf("%w: %s count %d exceeds bound %d", ErrCorrupt, what, n, max)
+		return 0
+	}
+	return n
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Count("string")
+	b := r.take(n, "string body")
+	return string(b)
+}
+
+// Ints decodes a length-prefixed []int (nil when empty).
+func (r *Reader) Ints(what string) []int {
+	n := r.Count(what)
+	if n == 0 {
+		return nil
+	}
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = r.Int()
+	}
+	return vs
+}
+
+// U32s decodes a length-prefixed []uint32 (nil when empty).
+func (r *Reader) U32s(what string) []uint32 {
+	n := r.Count(what)
+	if n == 0 {
+		return nil
+	}
+	vs := make([]uint32, n)
+	for i := range vs {
+		vs[i] = r.U32()
+	}
+	return vs
+}
+
+// U64s decodes a length-prefixed []uint64 (nil when empty).
+func (r *Reader) U64s(what string) []uint64 {
+	n := r.Count(what)
+	if n == 0 {
+		return nil
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = r.U64()
+	}
+	return vs
+}
+
+// Corrupt records a semantic validation failure at the current offset
+// (value decoded fine but is out of domain).
+func (r *Reader) Corrupt(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s (offset %d)", ErrCorrupt, fmt.Sprintf(format, args...), r.off)
+	}
+}

@@ -1,0 +1,23 @@
+package trace
+
+// Snapshot support. Trace rings are cursor-only in machine images: the
+// retained events are a host-side flight-recorder window (bounded,
+// overwritten, never fed back into simulation), so an image records
+// just each ring's total counter and the sampler's window boundary.
+// After restore the counters continue from their pre-crash values —
+// keeping telemetry totals consistent — while the retained-event
+// window restarts empty.
+
+// SetCursor restores a ring's event counter. The retained window
+// restarts empty: events recorded before the cursor are accounted as
+// dropped.
+func (r *Ring) SetCursor(total uint64) {
+	r.total = total
+	r.base = total
+}
+
+// Cursor returns the ring's event counter.
+func (r *Ring) Cursor() uint64 { return r.total }
+
+// SetNextBoundary restores the sampler's window cursor.
+func (s *Sampler) SetNextBoundary(next uint64) { s.next = next }

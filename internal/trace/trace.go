@@ -185,6 +185,10 @@ type Ring struct {
 	buf   []Event
 	mask  uint64
 	total uint64
+	// base marks the restore point of a snapshot-restored ring: events
+	// before it were recorded by the pre-restore process and are not
+	// retained (they count as dropped). Zero for ordinary rings.
+	base uint64
 }
 
 // newRing builds a ring with capacity rounded up to a power of two.
@@ -207,20 +211,26 @@ func (r *Ring) Cap() int { return len(r.buf) }
 // Total counts every event ever recorded, including overwritten ones.
 func (r *Ring) Total() uint64 { return r.total }
 
-// Dropped counts events lost to ring wrap.
-func (r *Ring) Dropped() uint64 {
-	if r.total <= uint64(len(r.buf)) {
-		return 0
+// retained is the number of events currently held in the buffer:
+// bounded by capacity and by what was recorded since the ring's
+// restore point.
+func (r *Ring) retained() uint64 {
+	n := r.total - r.base
+	if n > uint64(len(r.buf)) {
+		n = uint64(len(r.buf))
 	}
-	return r.total - uint64(len(r.buf))
+	return n
+}
+
+// Dropped counts events lost to ring wrap (or to a snapshot restore,
+// which retains no events).
+func (r *Ring) Dropped() uint64 {
+	return r.total - r.retained()
 }
 
 // Events copies the retained events in record order, oldest first.
 func (r *Ring) Events() []Event {
-	n := r.total
-	if n > uint64(len(r.buf)) {
-		n = uint64(len(r.buf))
-	}
+	n := r.retained()
 	out := make([]Event, 0, n)
 	for i := r.total - n; i < r.total; i++ {
 		out = append(out, r.buf[i&r.mask])
